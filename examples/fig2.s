@@ -1,0 +1,22 @@
+# Figure 2 of the paper, as runnable assembly:
+#
+#   dune exec bin/hardbound_run.exe -- examples/fig2.s --asm
+#
+# A 4-byte object at the start of the globals region stands in for the
+# figure's address 0x1000.  The first load passes its implicit bounds
+# check and prints the loaded byte; the second (offset 5) traps.
+
+.entry main
+.func main
+  li t0, 0x00100000          ; set   R1 <- base of a 4-byte region
+  setbound t1, t0, 4         ; R2 <- {value; base; base+4}
+  lb a0, 2(t1)               ; read base+2: check passes
+  syscall print_int
+  li a0, 10
+  syscall print_char
+  add t3, t1, 1              ; R4 <- R2 + 1 (bounds copied unchanged)
+  lb a0, 5(t3)               ; read base+6: check FAILS here
+  syscall print_int
+  li a0, 0
+  syscall exit
+.end
