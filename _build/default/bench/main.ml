@@ -1,0 +1,172 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 5) and runs Bechamel micro-benchmarks of the
+   simulator's own hot paths.
+
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- --exp fig5   # one experiment
+     dune exec bench/main.exe -- --list       # experiment index
+
+   One Bechamel Test.make group corresponds to each paper table/figure:
+   the group exercises the simulator paths that the experiment stresses. *)
+
+module Figures = Hb_harness.Figures
+module Suite = Hb_harness.Suite
+module Run = Hb_harness.Run
+module Codegen = Hb_minic.Codegen
+module Encoding = Hardbound.Encoding
+module Meta = Hardbound.Meta
+
+let experiments =
+  [
+    ("fig5", "Figure 5: HardBound runtime overhead by encoding");
+    ("fig6", "Figure 6: memory (pages) overhead by encoding");
+    ("fig7", "Figure 7: comparison vs software-only schemes");
+    ("correctness", "Section 5.2: violation corpus sweep");
+    ("uop", "Section 5.4: bounds-check micro-op ablation");
+    ("malloc_only", "Section 3.2: malloc-only legacy mode");
+    ("redzone", "Section 2.1: red-zone tripwire baseline");
+    ("temporal", "Section 6.2: temporal-tracking extension");
+    ("bechamel", "Micro-benchmarks of the simulator itself");
+  ]
+
+let banner title =
+  Printf.printf "\n%s\n%s\n%s\n\n" (String.make 72 '=') title
+    (String.make 72 '=')
+
+(* The suite (36+ simulated runs) is collected once and shared by the
+   figures that read it. *)
+let suite =
+  lazy
+    (Suite.collect
+       ~progress:(fun name -> Printf.eprintf "[suite] running %s...\n%!" name)
+       ())
+
+let rec run_experiment name =
+  match name with
+  | "fig5" ->
+    banner "Figure 5";
+    print_string (Figures.figure5 (Lazy.force suite))
+  | "fig6" ->
+    banner "Figure 6";
+    print_string (Figures.figure6 (Lazy.force suite))
+  | "fig7" ->
+    banner "Figure 7";
+    print_string (Figures.figure7 (Lazy.force suite))
+  | "correctness" ->
+    banner "Section 5.2 correctness";
+    print_string (Figures.correctness ())
+  | "uop" ->
+    banner "Section 5.4 uop ablation";
+    print_string (Figures.uop_ablation ())
+  | "malloc_only" ->
+    banner "Section 3.2 malloc-only";
+    print_string (Figures.malloc_only ())
+  | "redzone" ->
+    banner "Section 2.1 red-zone tripwire";
+    print_string (Figures.redzone ())
+  | "temporal" ->
+    banner "Section 6.2 temporal extension";
+    print_string (Figures.temporal ())
+  | "bechamel" -> bechamel ()
+  | other ->
+    Printf.eprintf "unknown experiment %s; use --list\n" other;
+    exit 1
+
+(* ---- Bechamel micro-benchmarks ---------------------------------------- *)
+
+and bechamel () =
+  banner "Bechamel micro-benchmarks (simulator hot paths)";
+  let open Bechamel in
+  let open Toolkit in
+  (* Figure 5's machinery: encode/decode and a full HardBound step loop *)
+  let meta = Meta.make ~base:0x100000 ~size:16 in
+  let enc_test scheme =
+    Test.make
+      ~name:("encode+decode " ^ Encoding.scheme_name scheme)
+      (Staged.stage (fun () ->
+           match Encoding.encode scheme ~value:0x100000 meta with
+           | Encoding.Enc_inline { word; tag; aux } ->
+             ignore (Encoding.decode scheme ~word ~tag ~aux)
+           | Encoding.Enc_shadow { word; tag } ->
+             ignore (Encoding.decode scheme ~word ~tag ~aux:0)
+           | Encoding.Enc_non_pointer w ->
+             ignore (Encoding.decode scheme ~word:w ~tag:0 ~aux:0)))
+  in
+  (* Figure 4's tag cache: hierarchy accesses *)
+  let hier =
+    Hb_cache.Hierarchy.create (Hb_cache.Hierarchy.default_params ~tag_bits:1)
+  in
+  let counter = ref 0 in
+  let cache_test =
+    Test.make ~name:"hierarchy access (data+tag)"
+      (Staged.stage (fun () ->
+           incr counter;
+           let a = 0x100000 + (!counter * 4 land 0xFFFF) in
+           ignore (Hb_cache.Hierarchy.access hier Hb_cache.Hierarchy.Data a);
+           ignore
+             (Hb_cache.Hierarchy.access hier Hb_cache.Hierarchy.Tag_meta a)))
+  in
+  (* whole-machine throughput on treeadd, baseline vs hardbound *)
+  let treeadd = Hb_workloads.Workloads.find "treeadd" in
+  let mk_machine mode =
+    let image, globals = Hb_runtime.Build.compile ~mode treeadd.source in
+    fun () ->
+      let config = Hb_runtime.Build.config_for mode in
+      let m = Hb_cpu.Machine.create ~config ~globals image in
+      (* run a slice: enough to measure steady-state step cost *)
+      (try
+         for _ = 1 to 200_000 do
+           Hb_cpu.Machine.step m
+         done
+       with _ -> ());
+      ()
+  in
+  let machine_tests =
+    [
+      Test.make ~name:"machine 200k steps (baseline)"
+        (Staged.stage (mk_machine Codegen.Nochecks));
+      Test.make ~name:"machine 200k steps (hardbound)"
+        (Staged.stage (mk_machine Codegen.Hardbound));
+    ]
+  in
+  let compile_test =
+    Test.make ~name:"compile treeadd (full pipeline)"
+      (Staged.stage (fun () ->
+           ignore (Hb_runtime.Build.compile ~mode:Codegen.Hardbound
+                     treeadd.source)))
+  in
+  let grouped =
+    Test.make_grouped ~name:"hardbound"
+      ([ enc_test Encoding.Uncompressed; enc_test Encoding.Extern4;
+         enc_test Encoding.Intern4; enc_test Encoding.Intern11; cache_test;
+         compile_test ]
+      @ machine_tests)
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  List.iter
+    (fun (name, ols_result) ->
+      match Analyze.OLS.estimates ols_result with
+      | Some (est :: _) -> Printf.printf "%-48s %12.1f ns/run\n" name est
+      | _ -> Printf.printf "%-48s %12s\n" name "n/a")
+    (List.sort compare rows)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [ "--list" ] ->
+    List.iter (fun (k, d) -> Printf.printf "%-12s %s\n" k d) experiments
+  | [ "--exp"; name ] -> run_experiment name
+  | [] ->
+    List.iter (fun (k, _) -> run_experiment k) experiments
+  | _ ->
+    prerr_endline "usage: main.exe [--list | --exp <name>]";
+    exit 1

@@ -1,0 +1,1 @@
+bin/hardbound_run.ml: Arg Cmd Cmdliner Format Hardbound Hb_cpu Hb_isa Hb_minic Hb_runtime Printf Term

@@ -1,0 +1,1 @@
+bin/hardbound_run.mli:

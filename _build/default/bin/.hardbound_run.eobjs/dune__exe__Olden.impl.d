@@ -1,0 +1,1 @@
+bin/olden.ml: Array Hardbound Hb_cpu Hb_harness Hb_minic Hb_workloads List Printf Sys

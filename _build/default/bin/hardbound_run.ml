@@ -1,0 +1,147 @@
+(* Command-line driver: compile a MiniC source file (or assemble a .s
+   file) and execute it on the simulated HardBound machine.
+
+     dune exec bin/hardbound_run.exe -- prog.c
+     dune exec bin/hardbound_run.exe -- prog.c --mode softfat --stats
+     dune exec bin/hardbound_run.exe -- prog.s --asm --mode malloc-only
+     dune exec bin/hardbound_run.exe -- prog.c --emit-asm   # print assembly *)
+
+open Cmdliner
+
+module Codegen = Hb_minic.Codegen
+module Machine = Hb_cpu.Machine
+module Encoding = Hardbound.Encoding
+module Stats = Hb_cpu.Stats
+
+let mode_conv =
+  let parse s =
+    match s with
+    | "nochecks" | "none" -> Ok Codegen.Nochecks
+    | "hardbound" | "full" -> Ok Codegen.Hardbound
+    | "malloc-only" -> Ok Codegen.Hardbound_malloc_only
+    | "softfat" | "ccured" -> Ok Codegen.Softfat
+    | "objtable" | "jk" -> Ok Codegen.Objtable
+    | _ -> Error (`Msg ("unknown mode: " ^ s))
+  in
+  Arg.conv (parse, fun fmt m -> Format.pp_print_string fmt (Codegen.mode_name m))
+
+let scheme_conv =
+  let parse s =
+    match Encoding.scheme_of_name s with
+    | Some x -> Ok x
+    | None -> Error (`Msg ("unknown encoding: " ^ s))
+  in
+  Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Encoding.scheme_name s))
+
+let file =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"MiniC source file (or assembly with --asm)")
+
+let mode =
+  Arg.(value & opt mode_conv Codegen.Hardbound
+       & info [ "mode" ] ~docv:"MODE"
+           ~doc:"Protection scheme: nochecks | hardbound | malloc-only | \
+                 softfat | objtable")
+
+let scheme =
+  Arg.(value & opt scheme_conv Encoding.Extern4
+       & info [ "scheme" ] ~docv:"ENC"
+           ~doc:"Pointer encoding: uncompressed | extern-4 | intern-4 | \
+                 intern-11")
+
+let temporal =
+  Arg.(value & flag
+       & info [ "temporal" ] ~doc:"Enable the Section 6.2 temporal extension")
+
+let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print execution statistics")
+
+let asm =
+  Arg.(value & flag
+       & info [ "asm" ] ~doc:"Input is textual assembly, not MiniC")
+
+let emit_asm =
+  Arg.(value & flag
+       & info [ "emit-asm" ] ~doc:"Print generated assembly instead of running")
+
+let fuel =
+  Arg.(value & opt int 400_000_000
+       & info [ "fuel" ] ~docv:"N" ~doc:"Maximum instructions to execute")
+
+let trace =
+  Arg.(value & opt int 0
+       & info [ "trace" ] ~docv:"N"
+           ~doc:"Print an execution trace of the first N instructions")
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let run file mode scheme temporal stats asm emit_asm fuel trace =
+  let source = read_file file in
+  try
+    if asm then begin
+      let program = Hb_isa.Parser.parse_program source in
+      if emit_asm then (print_string (Hb_isa.Printer.program_str program); 0)
+      else begin
+        let image = Hb_isa.Program.link program in
+        let config =
+          { Machine.scheme; mode = Codegen.machine_mode mode;
+            checked_deref_uop = false; temporal; tripwire = false;
+            max_instrs = fuel }
+        in
+        let m = Machine.create ~config ~globals:"" image in
+        let status = Machine.run m in
+        print_string (Machine.output m);
+        Printf.printf "\n[%s]\n" (Machine.status_name status);
+        if stats then print_endline (Stats.to_string m.Machine.stats);
+        match status with Machine.Exited n -> n | _ -> 42
+      end
+    end
+    else if emit_asm then begin
+      let compiled = Hb_minic.Driver.compile_source ~mode source in
+      print_string (Hb_isa.Printer.program_str compiled.Codegen.program);
+      0
+    end
+    else begin
+      let status, m =
+        if trace > 0 then begin
+          let image, globals = Hb_runtime.Build.compile ~mode source in
+          let config =
+            Hb_runtime.Build.config_for ~scheme ~temporal ~max_instrs:fuel mode
+          in
+          let m = Machine.create ~config ~globals image in
+          let status =
+            match Machine.run_traced m ~n:trace ~out:print_endline with
+            | Some st -> st
+            | None -> Machine.run m
+          in
+          (status, m)
+        end
+        else Hb_runtime.Build.run ~scheme ~temporal ~max_instrs:fuel ~mode source
+      in
+      print_string (Machine.output m);
+      Printf.printf "\n[%s] (mode=%s, encoding=%s)\n"
+        (Machine.status_name status) (Codegen.mode_name mode)
+        (Encoding.scheme_name scheme);
+      if stats then print_endline (Stats.to_string m.Machine.stats);
+      match status with Machine.Exited n -> n | _ -> 42
+    end
+  with
+  | Hb_minic.Driver.Compile_error msg ->
+    Printf.eprintf "compile error: %s\n" msg;
+    1
+  | Hb_isa.Parser.Parse_error (line, msg) ->
+    Printf.eprintf "assembly parse error at line %d: %s\n" line msg;
+    1
+
+let cmd =
+  let doc = "compile and run a program on the simulated HardBound machine" in
+  Cmd.v
+    (Cmd.info "hardbound_run" ~doc)
+    Term.(const run $ file $ mode $ scheme $ temporal $ stats $ asm $ emit_asm
+          $ fuel $ trace)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,72 @@
+(* Run a named Olden benchmark under a chosen protection scheme and print
+   its output plus the measurement record the figures are built from.
+
+     dune exec bin/olden.exe -- list
+     dune exec bin/olden.exe -- treeadd
+     dune exec bin/olden.exe -- em3d --mode softfat
+     dune exec bin/olden.exe -- bh --scheme intern-11 *)
+
+module Codegen = Hb_minic.Codegen
+module Machine = Hb_cpu.Machine
+module Stats = Hb_cpu.Stats
+module Encoding = Hardbound.Encoding
+module Run = Hb_harness.Run
+
+let usage () =
+  prerr_endline
+    "usage: olden <name|list> [--mode MODE] [--scheme ENC]\n\
+     modes: nochecks hardbound malloc-only softfat objtable\n\
+     encodings: uncompressed extern-4 intern-4 intern-11";
+  exit 1
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let rec parse name mode scheme = function
+    | [] -> (name, mode, scheme)
+    | "--mode" :: m :: rest ->
+      let mode =
+        match m with
+        | "nochecks" -> Codegen.Nochecks
+        | "hardbound" -> Codegen.Hardbound
+        | "malloc-only" -> Codegen.Hardbound_malloc_only
+        | "softfat" -> Codegen.Softfat
+        | "objtable" -> Codegen.Objtable
+        | _ -> usage ()
+      in
+      parse name mode scheme rest
+    | "--scheme" :: s :: rest -> (
+      match Encoding.scheme_of_name s with
+      | Some sc -> parse name mode sc rest
+      | None -> usage ())
+    | n :: rest when name = None -> parse (Some n) mode scheme rest
+    | _ -> usage ()
+  in
+  let name, mode, scheme =
+    parse None Codegen.Hardbound Encoding.Extern4 args
+  in
+  match name with
+  | None -> usage ()
+  | Some "list" ->
+    List.iter
+      (fun (w : Hb_workloads.Workloads.t) ->
+        Printf.printf "%-10s %s\n" w.name w.description)
+      Hb_workloads.Workloads.all
+  | Some n ->
+    let w =
+      try Hb_workloads.Workloads.find n
+      with Invalid_argument m ->
+        prerr_endline m;
+        exit 1
+    in
+    let r = Run.measure ~scheme ~mode w in
+    print_string r.Run.output;
+    Printf.printf
+      "\nmode=%s encoding=%s\ninstructions  %d\nuops          %d\n\
+       cycles        %d\nsetbounds     %d\nmetadata uops %d\n\
+       stalls        data %d / tag %d / base-bound %d\n\
+       pages         data %d / tag %d / shadow %d\n"
+      (Codegen.mode_name mode)
+      (Encoding.scheme_name scheme)
+      r.Run.instructions r.Run.uops r.Run.cycles r.Run.setbound_instrs
+      r.Run.metadata_uops r.Run.data_stalls r.Run.tag_stalls r.Run.bb_stalls
+      r.Run.data_pages r.Run.tag_pages r.Run.shadow_pages

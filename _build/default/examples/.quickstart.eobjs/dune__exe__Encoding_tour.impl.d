@@ -1,0 +1,1 @@
+examples/encoding_tour.ml: Hardbound Hb_cpu Hb_minic Hb_runtime List Printf

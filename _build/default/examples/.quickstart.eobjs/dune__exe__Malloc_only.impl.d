@@ -1,0 +1,1 @@
+examples/malloc_only.ml: Hb_cpu Hb_minic Hb_runtime List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Hb_cpu Hb_isa Hb_mem Hb_minic Hb_runtime List Printf

@@ -1,0 +1,1 @@
+examples/subobject_overflow.ml: Hb_cpu Hb_minic Hb_runtime List Printf String

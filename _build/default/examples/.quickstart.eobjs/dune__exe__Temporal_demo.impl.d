@@ -1,0 +1,1 @@
+examples/temporal_demo.ml: Hb_cpu Hb_minic Hb_runtime List Printf

@@ -1,0 +1,94 @@
+(* A tour of the compressed bounded-pointer encodings (Section 4.3).
+
+   For a gallery of pointers, show how each encoding stores the metadata:
+   inline in a few tag/pointer bits (free), or spilled to the base/bound
+   shadow space (one extra micro-op and cache access per load/store).
+   Then demonstrate at machine level that compression changes *cost*, not
+   *behaviour*.
+
+   Run with: dune exec examples/encoding_tour.exe *)
+
+module Meta = Hardbound.Meta
+module Encoding = Hardbound.Encoding
+module Codegen = Hb_minic.Codegen
+module Machine = Hb_cpu.Machine
+module Stats = Hb_cpu.Stats
+
+let gallery =
+  [
+    ("non-pointer (int 42)", 42, Meta.non_pointer);
+    ("16-byte object, ptr = base", 0x1000000, Meta.make ~base:0x1000000 ~size:16);
+    ("56-byte object (last 4-bit code)", 0x1000040,
+     Meta.make ~base:0x1000040 ~size:56);
+    ("60-byte object (too big for 4-bit)", 0x1000080,
+     Meta.make ~base:0x1000080 ~size:60);
+    ("interior pointer (ptr != base)", 0x1000004,
+     Meta.make ~base:0x1000000 ~size:16);
+    ("odd-sized object (6 bytes)", 0x10000c0, Meta.make ~base:0x10000c0 ~size:6);
+    ("4KB object (intern-11 range)", 0x1001000,
+     Meta.make ~base:0x1001000 ~size:4096);
+    ("pointer above 128MB", 0x0a000000, Meta.make ~base:0x0a000000 ~size:16);
+    ("the unsafe escape hatch", 0x1000000, Meta.unsafe);
+  ]
+
+let describe scheme ~value m =
+  match Encoding.encode scheme ~value m with
+  | Encoding.Enc_non_pointer _ -> "non-ptr"
+  | Encoding.Enc_inline { tag; aux; _ } ->
+    if aux <> 0 then Printf.sprintf "inline(aux=%d)" aux
+    else Printf.sprintf "inline(tag=%d)" tag
+  | Encoding.Enc_shadow _ -> "SHADOW"
+
+let () =
+  Printf.printf "%-36s %-12s %-14s %-14s %-14s\n" "pointer" "uncompressed"
+    "extern-4" "intern-4" "intern-11";
+  List.iter
+    (fun (name, value, m) ->
+      Printf.printf "%-36s %-12s %-14s %-14s %-14s\n" name
+        (describe Encoding.Uncompressed ~value m)
+        (describe Encoding.Extern4 ~value m)
+        (describe Encoding.Intern4 ~value m)
+        (describe Encoding.Intern11 ~value m))
+    gallery;
+  (* machine-level: same program, same answer, different metadata traffic *)
+  let program = {|
+struct big { int payload[32]; };   /* 128 bytes: defeats the 4-bit codes */
+struct small { int a; int b; };
+int main() {
+  struct big *bigs[50];
+  struct small *smalls[50];
+  int i;
+  int s;
+  for (i = 0; i < 50; i++) {
+    bigs[i] = (struct big*)malloc(sizeof(struct big));
+    smalls[i] = (struct small*)malloc(sizeof(struct small));
+    bigs[i]->payload[0] = i;
+    smalls[i]->a = i;
+  }
+  s = 0;
+  for (i = 0; i < 50; i++) { s = s + bigs[i]->payload[0] + smalls[i]->a; }
+  print_int(s);
+  return 0;
+}
+|}
+  in
+  Printf.printf
+    "\nsame program under each encoding (uncompressed-pointer memory \
+     traffic):\n\n%-14s %10s %12s %10s\n" "encoding" "output"
+    "shadow-ops" "cycles";
+  List.iter
+    (fun scheme ->
+      let status, m =
+        Hb_runtime.Build.run ~scheme ~mode:Codegen.Hardbound program
+      in
+      assert (status = Machine.Exited 0);
+      let st = m.Machine.stats in
+      Printf.printf "%-14s %10s %12d %10d\n" (Encoding.scheme_name scheme)
+        (Machine.output m)
+        (st.Stats.ptr_loads_shadow + st.Stats.ptr_stores_shadow)
+        (Stats.cycles st))
+    Encoding.all_schemes;
+  print_endline
+    "\nThe 128-byte objects force shadow traffic under the 4-bit codes but\n\
+     compress under intern-11; behaviour is identical throughout — the\n\
+     encodings are invisible to software (Section 4.4)."

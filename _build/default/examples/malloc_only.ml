@@ -1,0 +1,66 @@
+(* Section 3.2's "one mode of use requires instrumenting only malloc":
+   a legacy binary — compiled with NO compiler instrumentation — still
+   gets per-allocation spatial safety for heap objects, because the
+   (instrumented) allocator seeds bounds and the hardware propagates and
+   checks them from there.  Stack and global objects are out of scope in
+   this mode: their accesses never carry bounds information and the
+   hardware leaves them unchecked.
+
+   Run with: dune exec examples/malloc_only.exe *)
+
+module Machine = Hb_cpu.Machine
+module Codegen = Hb_minic.Codegen
+
+let heap_overflow = {|
+int main() {
+  char *p;
+  int i;
+  p = malloc(16);
+  for (i = 0; i < 32; i++) { p[i] = (char)i; }  /* runs 16 past the end */
+  return 0;
+}
+|}
+
+let heap_via_struct = {|
+struct node { int a; int b; };
+int main() {
+  struct node *n;
+  int *q;
+  n = (struct node*)malloc(sizeof(struct node));
+  q = &n->b;
+  q[1] = 5;       /* one int past the allocation */
+  return 0;
+}
+|}
+
+let stack_overflow = {|
+int main() {
+  int a[4];
+  int i;
+  for (i = 0; i <= 5; i++) { a[i] = i; }
+  return 0;
+}
+|}
+
+let report title src =
+  Printf.printf "%s:\n" title;
+  List.iter
+    (fun mode ->
+      let status, _ = Hb_runtime.Build.run ~mode src in
+      Printf.printf "  %-12s -> %s\n" (Codegen.mode_name mode)
+        (Machine.status_name status))
+    [ Codegen.Hardbound_malloc_only; Codegen.Hardbound ];
+  print_newline ()
+
+let () =
+  print_endline
+    "malloc-only mode vs full compiler instrumentation\n\
+     (the malloc-only binary is what you would get from an UNMODIFIED\n\
+     legacy executable running with an instrumented allocator)\n";
+  report "heap buffer overflow" heap_overflow;
+  report "heap overflow through an interior struct pointer" heap_via_struct;
+  report "stack array overflow" stack_overflow;
+  print_endline
+    "Heap violations are caught even without recompiling; protecting the\n\
+     stack array needs the compiler to insert setbound for locals, which\n\
+     is exactly the split the paper describes."

@@ -1,0 +1,1 @@
+lib/cache/hierarchy.ml: List Sa_cache Tlb

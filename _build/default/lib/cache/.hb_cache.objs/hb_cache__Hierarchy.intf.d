@@ -1,0 +1,1 @@
+lib/cache/hierarchy.mli: Sa_cache Tlb

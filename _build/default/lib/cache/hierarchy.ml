@@ -1,0 +1,141 @@
+(** The paper's simulated memory hierarchy (Section 5.1):
+
+    - 32KB 4-way set-associative L1 data cache, 12-cycle miss penalty,
+    - 4MB 4-way set-associative L2, 200-cycle miss penalty,
+    - 4-way 256-entry TLBs, 4KB pages, 12-cycle miss penalty,
+    - tag metadata cache: 2KB 4-way for 1-bit tag encodings, 8KB 4-way for
+      the 4-bit external encoding; misses are serviced by the L2,
+    - 32-byte blocks everywhere.
+
+    Base/bound shadow accesses share the L1 data cache and data TLB; tag
+    accesses go through the dedicated tag cache and its own TLB (Figure 4). *)
+
+type params = {
+  l1_size : int;
+  l1_assoc : int;
+  l2_size : int;
+  l2_assoc : int;
+  tagc_size : int;
+  tagc_assoc : int;
+  block : int;
+  tlb_entries : int;
+  tlb_assoc : int;
+  page : int;
+  l1_miss_penalty : int;
+  l2_miss_penalty : int;
+  tlb_miss_penalty : int;
+}
+
+let default_params ~tag_bits =
+  {
+    l1_size = 32 * 1024;
+    l1_assoc = 4;
+    l2_size = 4 * 1024 * 1024;
+    l2_assoc = 4;
+    tagc_size = (if tag_bits = 4 then 8 * 1024 else 2 * 1024);
+    tagc_assoc = 4;
+    block = 32;
+    tlb_entries = 256;
+    tlb_assoc = 4;
+    page = 4096;
+    l1_miss_penalty = 12;
+    l2_miss_penalty = 200;
+    tlb_miss_penalty = 12;
+  }
+
+(** Accesses are classified so Figure 5's overhead segments can attribute
+    stall cycles: ordinary program data, base/bound shadow words, and tag
+    metadata. *)
+type access_class = Data | Base_bound | Tag_meta
+
+type class_stats = {
+  mutable accesses : int;
+  mutable l1_misses : int;
+  mutable l2_misses : int;
+  mutable tlb_misses : int;
+  mutable stall_cycles : int;
+}
+
+let fresh_class_stats () =
+  { accesses = 0; l1_misses = 0; l2_misses = 0; tlb_misses = 0;
+    stall_cycles = 0 }
+
+type t = {
+  params : params;
+  l1d : Sa_cache.t;
+  l2 : Sa_cache.t;
+  tagc : Sa_cache.t;
+  dtlb : Tlb.t;
+  ttlb : Tlb.t;
+  data_stats : class_stats;
+  bb_stats : class_stats;
+  tag_stats : class_stats;
+}
+
+let create params =
+  {
+    params;
+    l1d =
+      Sa_cache.create ~name:"L1D" ~size_bytes:params.l1_size
+        ~assoc:params.l1_assoc ~block_bytes:params.block;
+    l2 =
+      Sa_cache.create ~name:"L2" ~size_bytes:params.l2_size
+        ~assoc:params.l2_assoc ~block_bytes:params.block;
+    tagc =
+      Sa_cache.create ~name:"TagC" ~size_bytes:params.tagc_size
+        ~assoc:params.tagc_assoc ~block_bytes:params.block;
+    dtlb =
+      Tlb.create ~name:"DTLB" ~entries:params.tlb_entries
+        ~assoc:params.tlb_assoc ~page_bytes:params.page;
+    ttlb =
+      Tlb.create ~name:"TTLB" ~entries:params.tlb_entries
+        ~assoc:params.tlb_assoc ~page_bytes:params.page;
+    data_stats = fresh_class_stats ();
+    bb_stats = fresh_class_stats ();
+    tag_stats = fresh_class_stats ();
+  }
+
+let stats_of t = function
+  | Data -> t.data_stats
+  | Base_bound -> t.bb_stats
+  | Tag_meta -> t.tag_stats
+
+(** Simulate one access of class [cls] to byte address [addr]; returns the
+    stall cycles it contributes (0 on an all-hit access). *)
+let access t cls addr =
+  let s = stats_of t cls in
+  s.accesses <- s.accesses + 1;
+  let stall = ref 0 in
+  let first_level, tlb =
+    match cls with
+    | Data | Base_bound -> (t.l1d, t.dtlb)
+    | Tag_meta -> (t.tagc, t.ttlb)
+  in
+  if not (Tlb.access tlb addr) then begin
+    s.tlb_misses <- s.tlb_misses + 1;
+    stall := !stall + t.params.tlb_miss_penalty
+  end;
+  if not (Sa_cache.access first_level addr) then begin
+    s.l1_misses <- s.l1_misses + 1;
+    stall := !stall + t.params.l1_miss_penalty;
+    if not (Sa_cache.access t.l2 addr) then begin
+      s.l2_misses <- s.l2_misses + 1;
+      stall := !stall + t.params.l2_miss_penalty
+    end
+  end;
+  s.stall_cycles <- s.stall_cycles + !stall;
+  !stall
+
+let total_stalls t =
+  t.data_stats.stall_cycles + t.bb_stats.stall_cycles
+  + t.tag_stats.stall_cycles
+
+let reset_stats t =
+  List.iter
+    (fun s ->
+      s.accesses <- 0;
+      s.l1_misses <- 0;
+      s.l2_misses <- 0;
+      s.tlb_misses <- 0;
+      s.stall_cycles <- 0)
+    [ t.data_stats; t.bb_stats; t.tag_stats ]

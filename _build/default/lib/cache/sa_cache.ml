@@ -1,0 +1,93 @@
+(** Generic set-associative cache model with LRU replacement.
+
+    Only hit/miss behaviour is modelled (the timing simulator charges a
+    fixed fill latency per miss); writeback traffic is not separately
+    charged, matching the paper's published hierarchy parameters which give
+    miss penalties only. *)
+
+type t = {
+  name : string;
+  block_bits : int;
+  set_bits : int;
+  assoc : int;
+  tags : int array;     (* sets * assoc; -1 = invalid *)
+  stamp : int array;    (* LRU timestamps *)
+  mutable clock : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let log2 n =
+  let rec go acc v = if v <= 1 then acc else go (acc + 1) (v lsr 1) in
+  if n <= 0 || n land (n - 1) <> 0 then
+    invalid_arg "sa_cache: size parameters must be powers of two"
+  else go 0 n
+
+let create ~name ~size_bytes ~assoc ~block_bytes =
+  let sets = size_bytes / (assoc * block_bytes) in
+  if sets < 1 then invalid_arg "sa_cache: too small";
+  if sets * assoc * block_bytes <> size_bytes then
+    invalid_arg "sa_cache: size must be sets * assoc * block";
+  {
+    name;
+    block_bits = log2 block_bytes;
+    set_bits = log2 sets;
+    assoc;
+    tags = Array.make (sets * assoc) (-1);
+    stamp = Array.make (sets * assoc) 0;
+    clock = 0;
+    accesses = 0;
+    misses = 0;
+  }
+
+let num_sets t = 1 lsl t.set_bits
+
+(** Access a byte address; returns [true] on hit.  A miss installs the
+    block, evicting the LRU way. *)
+let access t addr =
+  t.clock <- t.clock + 1;
+  t.accesses <- t.accesses + 1;
+  let block = addr lsr t.block_bits in
+  let set = block land (num_sets t - 1) in
+  let tag = block lsr t.set_bits in
+  let base = set * t.assoc in
+  let rec find i =
+    if i >= t.assoc then None
+    else if t.tags.(base + i) = tag then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some i ->
+    t.stamp.(base + i) <- t.clock;
+    true
+  | None ->
+    t.misses <- t.misses + 1;
+    (* Evict LRU way. *)
+    let victim = ref 0 in
+    for i = 1 to t.assoc - 1 do
+      if t.stamp.(base + i) < t.stamp.(base + !victim) then victim := i
+    done;
+    t.tags.(base + !victim) <- tag;
+    t.stamp.(base + !victim) <- t.clock;
+    false
+
+(** Non-allocating lookup, for tests and introspection. *)
+let probe t addr =
+  let block = addr lsr t.block_bits in
+  let set = block land (num_sets t - 1) in
+  let tag = block lsr t.set_bits in
+  let base = set * t.assoc in
+  let rec find i =
+    if i >= t.assoc then false
+    else t.tags.(base + i) = tag || find (i + 1)
+  in
+  find 0
+
+let reset_stats t =
+  t.accesses <- 0;
+  t.misses <- 0
+
+let flush t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.stamp 0 (Array.length t.stamp) 0;
+  t.clock <- 0

@@ -1,0 +1,34 @@
+(** Generic set-associative cache model with LRU replacement.  Only
+    hit/miss behaviour is modelled; the timing simulator charges a fixed
+    fill latency per miss. *)
+
+type t = {
+  name : string;
+  block_bits : int;
+  set_bits : int;
+  assoc : int;
+  tags : int array;
+  stamp : int array;
+  mutable clock : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+val log2 : int -> int
+(** Exact log2 of a power of two; raises [Invalid_argument] otherwise. *)
+
+val create : name:string -> size_bytes:int -> assoc:int -> block_bytes:int -> t
+(** Geometry must be exact: [size_bytes = sets * assoc * block_bytes] with
+    power-of-two sets and blocks. *)
+
+val num_sets : t -> int
+
+val access : t -> int -> bool
+(** Access a byte address; [true] on hit.  A miss installs the block,
+    evicting the LRU way. *)
+
+val probe : t -> int -> bool
+(** Non-allocating residency check (tests/introspection). *)
+
+val reset_stats : t -> unit
+val flush : t -> unit

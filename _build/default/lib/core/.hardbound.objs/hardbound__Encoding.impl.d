@@ -1,0 +1,1 @@
+lib/core/encoding.ml: Hb_mem Meta

@@ -1,0 +1,1 @@
+lib/core/propagate.ml: Hb_isa Meta

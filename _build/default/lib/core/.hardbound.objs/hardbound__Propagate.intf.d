@@ -1,0 +1,1 @@
+lib/core/propagate.mli: Hb_isa Meta

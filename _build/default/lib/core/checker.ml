@@ -1,0 +1,53 @@
+(** Implicit bounds checking (Figure 3 (C)/(D) of the paper).
+
+    Every load and store consults the metadata of the register being
+    dereferenced.  Under full safety, dereferencing a non-pointer raises a
+    non-pointer exception; under the malloc-only mode of Section 3.2,
+    accesses without bounds information are simply not checked (legacy
+    binaries only get heap-object protection). *)
+
+(** Enforcement mode. *)
+type mode =
+  | Off          (** HardBound hardware disabled (baseline machine). *)
+  | Malloc_only  (** Check only accesses that carry bounds information. *)
+  | Full         (** Complete spatial safety: non-pointer deref is fatal. *)
+
+let mode_name = function
+  | Off -> "off"
+  | Malloc_only -> "malloc-only"
+  | Full -> "full"
+
+type violation = {
+  pc : int;           (* linked code index of the faulting instruction *)
+  addr : int;         (* effective address of the access *)
+  width : int;
+  meta : Meta.t;
+  is_store : bool;
+}
+
+exception Bounds_violation of violation
+exception Non_pointer_deref of violation
+
+let describe_violation v =
+  Printf.sprintf "%s of %d byte(s) at 0x%x via %s (pc=%d)"
+    (if v.is_store then "store" else "load")
+    v.width v.addr (Meta.to_string v.meta) v.pc
+
+(** Raises on violation; returns [true] iff the access was actually
+    checked (used to count checked dereferences in statistics). *)
+let check mode (m : Meta.t) ~pc ~addr ~width ~is_store =
+  match mode with
+  | Off -> false
+  | Malloc_only ->
+    if Meta.is_pointer m then begin
+      if not (Meta.in_bounds m ~addr ~width) then
+        raise (Bounds_violation { pc; addr; width; meta = m; is_store });
+      true
+    end
+    else false
+  | Full ->
+    if not (Meta.is_pointer m) then
+      raise (Non_pointer_deref { pc; addr; width; meta = m; is_store });
+    if not (Meta.in_bounds m ~addr ~width) then
+      raise (Bounds_violation { pc; addr; width; meta = m; is_store });
+    true

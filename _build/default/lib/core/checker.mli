@@ -1,0 +1,34 @@
+(** The implicit bounds check performed by every load and store
+    (Figure 3 (C)/(D) of the paper). *)
+
+(** Enforcement mode of the HardBound hardware. *)
+type mode =
+  | Off          (** Hardware disabled: the baseline machine. *)
+  | Malloc_only
+      (** Section 3.2's legacy-binary mode: only accesses carrying bounds
+          information (seeded by the instrumented allocator) are checked;
+          non-pointer dereferences pass. *)
+  | Full
+      (** Complete spatial safety: dereferencing a value without bounds
+          metadata raises a non-pointer exception. *)
+
+val mode_name : mode -> string
+
+(** Everything a trap handler would want to know about a violation. *)
+type violation = {
+  pc : int;
+  addr : int;
+  width : int;
+  meta : Meta.t;
+  is_store : bool;
+}
+
+exception Bounds_violation of violation
+exception Non_pointer_deref of violation
+
+val describe_violation : violation -> string
+
+val check :
+  mode -> Meta.t -> pc:int -> addr:int -> width:int -> is_store:bool -> bool
+(** Perform the check; raises on violation.  Returns [true] iff the
+    access was actually checked (used for statistics). *)

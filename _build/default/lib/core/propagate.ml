@@ -1,0 +1,31 @@
+(** Hardware metadata propagation through register-to-register operations
+    (Figure 3 (A)/(B) and Section 3.1 of the paper):
+
+    - [add]/[sub] with an immediate or non-pointer operand propagate the
+      pointer operand's bounds;
+    - register-register [add]/[sub] take the first operand's bounds if it
+      is a pointer, else the second's;
+    - [mov] copies bounds;
+    - multiply, divide, shift, rotate and logical operations do not
+      propagate bounds (the paper notes they safely could, but opts not to);
+    - [setbound] overwrites bounds; [readbase]/[readbound] produce
+      non-pointer values. *)
+
+open Hb_isa.Types
+
+let propagates = function
+  | Add | Sub -> true
+  | Mul | Div | Rem | And | Or | Xor | Shl | Shr | Sar
+  | Slt | Sle | Seq | Sne | Sgt | Sge | Sltu -> false
+
+(** Metadata for [rd <- rs OP (reg rs2)]. *)
+let binop op (m1 : Meta.t) (m2 : Meta.t) =
+  if propagates op then if Meta.is_pointer m1 then m1 else m2
+  else Meta.non_pointer
+
+(** Metadata for [rd <- rs OP imm]. *)
+let binop_imm op (m1 : Meta.t) =
+  if propagates op then m1 else Meta.non_pointer
+
+(** Metadata written by setbound. *)
+let setbound ~value ~size = Meta.make ~base:value ~size

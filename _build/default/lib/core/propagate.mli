@@ -1,0 +1,17 @@
+(** Hardware metadata propagation through register-to-register operations
+    (Figure 3 (A)/(B) of the paper). *)
+
+val propagates : Hb_isa.Types.alu_op -> bool
+(** [add]/[sub] propagate pointer bounds; multiply, divide, shifts and
+    logical operations do not (the paper notes they safely could, but
+    opts not to). *)
+
+val binop : Hb_isa.Types.alu_op -> Meta.t -> Meta.t -> Meta.t
+(** Metadata for [rd <- rs1 OP rs2]: the first operand's bounds if it is
+    a pointer, else the second's (Figure 3 (B)). *)
+
+val binop_imm : Hb_isa.Types.alu_op -> Meta.t -> Meta.t
+(** Metadata for [rd <- rs OP imm]: copied from [rs] (Figure 3 (A)). *)
+
+val setbound : value:int -> size:int -> Meta.t
+(** Metadata written by the raw [setbound] instruction. *)

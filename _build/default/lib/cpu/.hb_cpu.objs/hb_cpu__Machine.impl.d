@@ -1,0 +1,1 @@
+lib/cpu/machine.ml: Array Buffer Char Float Hardbound Hashtbl Hb_cache Hb_isa Hb_mem Printf Stats String Temporal

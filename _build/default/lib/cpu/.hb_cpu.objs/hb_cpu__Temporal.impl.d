@@ -1,0 +1,1 @@
+lib/cpu/temporal.ml: Hashtbl Hb_mem

@@ -1,0 +1,1 @@
+lib/cpu/temporal.mli:

@@ -1,0 +1,616 @@
+(** The HardBound processor model.
+
+    An in-order core (at most one micro-operation per cycle, Section 5.1)
+    extended with:
+    - a base/bound shadow register file alongside the integer registers,
+    - implicit bounds checks on every load/store (Figure 3),
+    - hardware metadata propagation through pointer-manipulating ALU ops,
+    - tag-space and shadow-space metadata accesses routed through the
+      cache hierarchy of Figure 4,
+    - opportunistic pointer compression per {!Hardbound.Encoding}. *)
+
+open Hb_isa.Types
+module Layout = Hb_mem.Layout
+module Physmem = Hb_mem.Physmem
+module Hierarchy = Hb_cache.Hierarchy
+module Meta = Hardbound.Meta
+module Encoding = Hardbound.Encoding
+module Checker = Hardbound.Checker
+module Propagate = Hardbound.Propagate
+
+type config = {
+  scheme : Encoding.scheme;
+  mode : Checker.mode;
+  checked_deref_uop : bool;
+      (** Section 5.4 sensitivity: charge one extra micro-op per bounds
+          check of an uncompressed pointer (modest implementation that
+          shares ALUs instead of using the dedicated narrow adder). *)
+  temporal : bool;  (** Section 6.2 extension. *)
+  tripwire : bool;
+      (** Section 2.1 red-zone baseline: fault on heap *writes* to words
+          not marked allocated (Yong&Horwitz-style write checking with
+          MemTracker-style hardware state).  Uses the allocator's red
+          zones; contiguous overflows trip, large-stride ones jump over. *)
+  max_instrs : int;
+}
+
+let default_config =
+  {
+    scheme = Encoding.Extern4;
+    mode = Checker.Full;
+    checked_deref_uop = false;
+    temporal = false;
+    tripwire = false;
+    max_instrs = 400_000_000;
+  }
+
+let baseline_config =
+  { default_config with mode = Checker.Off; scheme = Encoding.Uncompressed }
+
+exception Machine_fault of string
+
+exception Software_abort_exn of int
+(** Raised by the [abort] syscall, which the software-only protection
+    schemes (Softfat, Objtable) use to signal a failed explicit check. *)
+
+type status =
+  | Exited of int
+  | Bounds_violation of Checker.violation
+  | Non_pointer_violation of Checker.violation
+  | Software_abort of int  (** software-only schemes' check failure *)
+  | Temporal_violation of Temporal.fault
+  | Fault of string        (** machine-level fault, e.g. null dereference *)
+  | Out_of_fuel
+
+let status_name = function
+  | Exited n -> Printf.sprintf "exited(%d)" n
+  | Bounds_violation v -> "bounds-violation: " ^ Checker.describe_violation v
+  | Non_pointer_violation v ->
+    "non-pointer-dereference: " ^ Checker.describe_violation v
+  | Software_abort n -> Printf.sprintf "software-abort(%d)" n
+  | Temporal_violation f ->
+    Printf.sprintf "temporal-violation: %s at 0x%x" (Temporal.kind_name f.kind)
+      f.addr
+  | Fault s -> "machine-fault: " ^ s
+  | Out_of_fuel -> "out-of-fuel"
+
+type t = {
+  cfg : config;
+  image : Hb_isa.Program.image;
+  mem : Physmem.t;
+  hier : Hierarchy.t;
+  regs : int array;
+  rbase : int array;
+  rbound : int array;
+  aux_bits : (int, int) Hashtbl.t;
+      (* Intern11 side store modelling stolen upper word bits. *)
+  temporal : Temporal.t;
+  stats : Stats.t;
+  out : Buffer.t;
+  mutable pc : int;
+  mutable brk : int;
+  mutable halted : status option;
+}
+
+let fault m msg = raise (Machine_fault (Printf.sprintf "%s (pc=%d, fn=%s)" msg m.pc
+  (if m.pc >= 0 && m.pc < Array.length m.image.fn_of_index then
+     m.image.fn_of_index.(m.pc)
+   else "?")))
+
+(** Create a machine for a linked image.  [globals] is the initial byte
+    image of the globals region.  In full-safety mode the stack and global
+    pointers start life as bounded pointers covering their whole regions —
+    the paper's compiler then *narrows* bounds for address-taken objects. *)
+let create ?(config = default_config) ~globals (image : Hb_isa.Program.image) =
+  let mem = Physmem.create () in
+  (* Pages are zero-filled on demand: skip zero bytes so that large
+     zero-initialized globals (e.g. the object-table node pool) do not
+     touch pages the program never uses. *)
+  String.iteri
+    (fun i c ->
+      if c <> '\000' then
+        Physmem.write_u8 mem (Layout.globals_base + i) (Char.code c))
+    globals;
+  let tag_bits = Encoding.tag_bits config.scheme in
+  let hier = Hierarchy.create (Hierarchy.default_params ~tag_bits) in
+  let m =
+    {
+      cfg = config;
+      image;
+      mem;
+      hier;
+      regs = Array.make num_regs 0;
+      rbase = Array.make num_regs 0;
+      rbound = Array.make num_regs 0;
+      aux_bits = Hashtbl.create 256;
+      temporal = Temporal.create ();
+      stats = Stats.create ();
+      out = Buffer.create 256;
+      pc = image.entry;
+      brk = Layout.heap_base;
+      halted = None;
+    }
+  in
+  m.regs.(sp) <- Layout.stack_top;
+  m.regs.(fp) <- Layout.stack_top;
+  m.regs.(gp) <- Layout.globals_base;
+  (if config.mode = Checker.Full then begin
+     m.rbase.(sp) <- Layout.stack_base;
+     m.rbound.(sp) <- Layout.stack_top;
+     m.rbase.(fp) <- Layout.stack_base;
+     m.rbound.(fp) <- Layout.stack_top;
+     m.rbase.(gp) <- Layout.globals_base;
+     m.rbound.(gp) <- Layout.globals_base + String.length globals
+   end);
+  m
+
+let reg_meta m r : Meta.t = { base = m.rbase.(r); bound = m.rbound.(r) }
+
+let set_reg m r v (md : Meta.t) =
+  if r <> zero then begin
+    m.regs.(r) <- v;
+    m.rbase.(r) <- md.base;
+    m.rbound.(r) <- md.bound
+  end
+
+let hb_on m = m.cfg.mode <> Checker.Off
+
+(* ---- ALU ---------------------------------------------------------- *)
+
+let alu_eval m op a b =
+  let sa = to_signed a and sb = to_signed b in
+  match op with
+  | Add -> mask32 (a + b)
+  | Sub -> mask32 (a - b)
+  | Mul -> mask32 (sa * sb)
+  | Div -> if b = 0 then fault m "division by zero" else mask32 (sa / sb)
+  | Rem -> if b = 0 then fault m "remainder by zero" else mask32 (sa mod sb)
+  | And -> a land b
+  | Or -> a lor b
+  | Xor -> a lxor b
+  | Shl -> mask32 (a lsl (b land 31))
+  | Shr -> a lsr (b land 31)
+  | Sar -> mask32 (sa asr (b land 31))
+  | Slt -> if sa < sb then 1 else 0
+  | Sle -> if sa <= sb then 1 else 0
+  | Seq -> if a = b then 1 else 0
+  | Sne -> if a <> b then 1 else 0
+  | Sgt -> if sa > sb then 1 else 0
+  | Sge -> if sa >= sb then 1 else 0
+  | Sltu -> if a < b then 1 else 0
+
+let falu_eval op a b =
+  let fa = float_of_bits a and fb = float_of_bits b in
+  match op with
+  | Fadd -> bits_of_float (fa +. fb)
+  | Fsub -> bits_of_float (fa -. fb)
+  | Fmul -> bits_of_float (fa *. fb)
+  | Fdiv -> bits_of_float (fa /. fb)
+  | Fslt -> if fa < fb then 1 else 0
+  | Fsle -> if fa <= fb then 1 else 0
+  | Feq -> if fa = fb then 1 else 0
+
+(* ---- Memory access path ------------------------------------------- *)
+
+let guard_ea m ea width =
+  if ea < Layout.null_guard_limit then fault m
+      (Printf.sprintf "null-page dereference at 0x%x" ea);
+  if ea + width > 0x100000000 then fault m
+      (Printf.sprintf "address wrap at 0x%x" ea)
+
+let add_stall m n =
+  if n > 0 then m.stats.stall_cycles <- m.stats.stall_cycles + n
+
+let charge_data m n =
+  add_stall m n;
+  m.stats.charged_data_stalls <- m.stats.charged_data_stalls + n
+
+(* Tag cache accessed in parallel with L1 (Figure 4): the pipeline stalls
+   for the longer of the two; only the excess of the tag access is
+   attributed to metadata. *)
+let charge_parallel m ~data ~tag =
+  add_stall m (max data tag);
+  m.stats.charged_data_stalls <- m.stats.charged_data_stalls + data;
+  if tag > data then
+    m.stats.charged_tag_stalls <- m.stats.charged_tag_stalls + (tag - data)
+
+let charge_bb m n =
+  add_stall m n;
+  m.stats.charged_bb_stalls <- m.stats.charged_bb_stalls + n
+
+let tag_loc m word_addr =
+  Layout.tag_location ~bits:(Encoding.tag_bits m.cfg.scheme) word_addr
+
+let read_tag m word_addr =
+  let addr, shift, mask = tag_loc m word_addr in
+  Physmem.read_bits m.mem addr shift mask
+
+let write_tag m word_addr v =
+  let addr, shift, mask = tag_loc m word_addr in
+  Physmem.write_bits m.mem addr shift mask v
+
+(* Perform the bounds check for a memory operation through register [r]
+   with effective address [ea].  Returns unit or raises. *)
+let check_access m r ea width ~is_store =
+  let meta = reg_meta m r in
+  let checked =
+    Checker.check m.cfg.mode meta ~pc:m.pc ~addr:ea ~width ~is_store
+  in
+  if checked then begin
+    m.stats.checked_derefs <- m.stats.checked_derefs + 1;
+    (* Section 5.4 knob: a modest implementation checks uncompressed
+       pointers with shared ALUs (one extra micro-op).  The stack, frame
+       and global pointers are exempt: their whole-region bounds are
+       pinned once at startup, so even the modest design keeps dedicated
+       comparators for them (every frame access uses these registers). *)
+    if
+      m.cfg.checked_deref_uop
+      && r <> sp && r <> fp && r <> gp
+      && Encoding.needs_shadow m.cfg.scheme ~value:m.regs.(r) meta
+    then begin
+      m.stats.check_uops <- m.stats.check_uops + 1;
+      m.stats.uops <- m.stats.uops + 1
+    end
+  end
+
+let raw_read m ea = function
+  | W1 -> Physmem.read_u8 m.mem ea
+  | W2 -> Physmem.read_u16 m.mem ea
+  | W4 -> Physmem.read_u32 m.mem ea
+
+let raw_write m ea v = function
+  | W1 -> Physmem.write_u8 m.mem ea v
+  | W2 -> Physmem.write_u16 m.mem ea v
+  | W4 -> Physmem.write_u32 m.mem ea v
+
+let do_load m ~dst ~basereg ~off ~width ~signed =
+  m.stats.loads <- m.stats.loads + 1;
+  let wbytes = bytes_of_width width in
+  let ea = mask32 (m.regs.(basereg) + off) in
+  check_access m basereg ea wbytes ~is_store:false;
+  guard_ea m ea wbytes;
+  if m.cfg.temporal then Temporal.check_load m.temporal ~addr:ea;
+  if not (hb_on m) then begin
+    charge_data m (Hierarchy.access m.hier Hierarchy.Data ea);
+    let v = raw_read m ea width in
+    set_reg m dst (if signed then sign_extend width v else v) Meta.non_pointer
+  end
+  else begin
+    let word_addr = ea land lnot 3 in
+    let data_stall = Hierarchy.access m.hier Hierarchy.Data ea in
+    (* Tag metadata cache is accessed in parallel with the L1 (Figure 4). *)
+    let tag_addr, _, _ = tag_loc m word_addr in
+    let tag_stall = Hierarchy.access m.hier Hierarchy.Tag_meta tag_addr in
+    charge_parallel m ~data:data_stall ~tag:tag_stall;
+    if width = W4 && ea land 3 = 0 then begin
+      let tagv = read_tag m word_addr in
+      let word = raw_read m ea W4 in
+      let aux =
+        match Hashtbl.find_opt m.aux_bits word_addr with
+        | Some a -> a
+        | None -> 0
+      in
+      match Encoding.decode m.cfg.scheme ~word ~tag:tagv ~aux with
+      | Encoding.Dec_non_pointer v -> set_reg m dst v Meta.non_pointer
+      | Encoding.Dec_inline (v, md) ->
+        m.stats.ptr_loads <- m.stats.ptr_loads + 1;
+        set_reg m dst v md
+      | Encoding.Dec_shadow v ->
+        m.stats.ptr_loads <- m.stats.ptr_loads + 1;
+        m.stats.ptr_loads_shadow <- m.stats.ptr_loads_shadow + 1;
+        (* Loading a non-compressed pointer inserts the metadata micro-op
+           and a second (sequential) L1 data access for the interleaved
+           base/bound double word. *)
+        m.stats.metadata_uops <- m.stats.metadata_uops + 1;
+        m.stats.uops <- m.stats.uops + 1;
+        let sa = Layout.shadow_addr word_addr in
+        charge_bb m (Hierarchy.access m.hier Hierarchy.Base_bound sa);
+        let b = Physmem.read_u32 m.mem sa in
+        let bd = Physmem.read_u32 m.mem (sa + 4) in
+        set_reg m dst v { base = b; bound = bd }
+    end
+    else begin
+      let v = raw_read m ea width in
+      set_reg m dst
+        (if signed then sign_extend width v else v)
+        Meta.non_pointer
+    end
+  end
+
+let do_store m ~src ~basereg ~off ~width =
+  m.stats.stores <- m.stats.stores + 1;
+  let wbytes = bytes_of_width width in
+  let ea = mask32 (m.regs.(basereg) + off) in
+  check_access m basereg ea wbytes ~is_store:true;
+  guard_ea m ea wbytes;
+  if m.cfg.temporal then Temporal.check_store m.temporal ~addr:ea;
+  if m.cfg.tripwire then begin
+    (* the validity bit lives in a 1-bit-per-word structure: model its
+       lookup like a tag-space access *)
+    let taddr, _, _ = Layout.tag_location ~bits:1 (ea land lnot 3) in
+    add_stall m (Hierarchy.access m.hier Hierarchy.Tag_meta taddr);
+    Temporal.check_tripwire m.temporal ~addr:ea
+  end;
+  if not (hb_on m) then begin
+    charge_data m (Hierarchy.access m.hier Hierarchy.Data ea);
+    raw_write m ea m.regs.(src) width
+  end
+  else begin
+    let word_addr = ea land lnot 3 in
+    let data_stall = Hierarchy.access m.hier Hierarchy.Data ea in
+    let tag_addr, _, _ = tag_loc m word_addr in
+    let tag_stall = Hierarchy.access m.hier Hierarchy.Tag_meta tag_addr in
+    charge_parallel m ~data:data_stall ~tag:tag_stall;
+    if width = W4 && ea land 3 = 0 then begin
+      let meta = reg_meta m src in
+      match Encoding.encode m.cfg.scheme ~value:m.regs.(src) meta with
+      | Encoding.Enc_non_pointer v ->
+        raw_write m ea v W4;
+        write_tag m word_addr 0;
+        Hashtbl.remove m.aux_bits word_addr
+      | Encoding.Enc_inline { word; tag; aux } ->
+        m.stats.ptr_stores <- m.stats.ptr_stores + 1;
+        raw_write m ea word W4;
+        write_tag m word_addr tag;
+        if aux <> 0 then Hashtbl.replace m.aux_bits word_addr aux
+        else Hashtbl.remove m.aux_bits word_addr
+      | Encoding.Enc_shadow { word; tag } ->
+        m.stats.ptr_stores <- m.stats.ptr_stores + 1;
+        m.stats.ptr_stores_shadow <- m.stats.ptr_stores_shadow + 1;
+        m.stats.metadata_uops <- m.stats.metadata_uops + 1;
+        m.stats.uops <- m.stats.uops + 1;
+        raw_write m ea word W4;
+        write_tag m word_addr tag;
+        Hashtbl.remove m.aux_bits word_addr;
+        let sa = Layout.shadow_addr word_addr in
+        charge_bb m (Hierarchy.access m.hier Hierarchy.Base_bound sa);
+        Physmem.write_u32 m.mem sa meta.base;
+        Physmem.write_u32 m.mem (sa + 4) meta.bound
+    end
+    else begin
+      (* A sub-word store cannot leave a valid bounded pointer in the
+         containing word: materialize the decoded value (internal
+         encodings keep metadata bits inside the word), then clear the
+         tag. *)
+      let tagv = read_tag m word_addr in
+      if tagv <> 0 then begin
+        let word = raw_read m word_addr W4 in
+        let aux =
+          match Hashtbl.find_opt m.aux_bits word_addr with
+          | Some a -> a
+          | None -> 0
+        in
+        (match Encoding.decode m.cfg.scheme ~word ~tag:tagv ~aux with
+         | Encoding.Dec_inline (v, _) -> raw_write m word_addr v W4
+         | Encoding.Dec_non_pointer _ | Encoding.Dec_shadow _ -> ());
+        write_tag m word_addr 0;
+        Hashtbl.remove m.aux_bits word_addr
+      end;
+      raw_write m ea m.regs.(src) width
+    end
+  end
+
+(* ---- Syscalls ------------------------------------------------------ *)
+
+let do_syscall m s =
+  let a0v = m.regs.(a0) in
+  match s with
+  | Sys_exit -> m.halted <- Some (Exited (to_signed a0v))
+  | Sys_print_int -> Buffer.add_string m.out (string_of_int (to_signed a0v))
+  | Sys_print_char -> Buffer.add_char m.out (Char.chr (a0v land 0xFF))
+  | Sys_print_float ->
+    Buffer.add_string m.out (Printf.sprintf "%.4f" (float_of_bits a0v))
+  | Sys_sbrk ->
+    let size = (a0v + 3) land lnot 3 in
+    let old = m.brk in
+    if m.brk + size > Layout.heap_limit then fault m "sbrk: out of heap";
+    m.brk <- m.brk + size;
+    set_reg m a0 old Meta.non_pointer
+  | Sys_abort -> raise (Software_abort_exn (to_signed a0v))
+  | Sys_mark_alloc ->
+    if m.cfg.temporal || m.cfg.tripwire then
+      Temporal.mark_alloc m.temporal ~addr:a0v ~size:m.regs.(a1)
+  | Sys_mark_free ->
+    if m.cfg.temporal || m.cfg.tripwire then
+      Temporal.mark_free m.temporal ~addr:a0v ~size:m.regs.(a1)
+
+(* ---- Instruction dispatch ------------------------------------------ *)
+
+let step m =
+  if m.pc < 0 || m.pc >= Array.length m.image.code then
+    fault m "pc out of code range";
+  let i = m.image.code.(m.pc) in
+  m.stats.instructions <- m.stats.instructions + 1;
+  m.stats.uops <- m.stats.uops + 1;
+  let next = m.pc + 1 in
+  (match i with
+   | Alu (op, rd, rs, Imm imm) ->
+     let v = alu_eval m op m.regs.(rs) (mask32 imm) in
+     set_reg m rd v (Propagate.binop_imm op (reg_meta m rs));
+     m.pc <- next
+   | Alu (op, rd, rs, Reg rs2) ->
+     let v = alu_eval m op m.regs.(rs) m.regs.(rs2) in
+     set_reg m rd v (Propagate.binop op (reg_meta m rs) (reg_meta m rs2));
+     m.pc <- next
+   | Falu (op, rd, r1, r2) ->
+     set_reg m rd (falu_eval op m.regs.(r1) m.regs.(r2)) Meta.non_pointer;
+     m.pc <- next
+   | Fneg (rd, rs) ->
+     set_reg m rd (bits_of_float (-.float_of_bits m.regs.(rs)))
+       Meta.non_pointer;
+     m.pc <- next
+   | Fsqrt (rd, rs) ->
+     set_reg m rd (bits_of_float (sqrt (float_of_bits m.regs.(rs))))
+       Meta.non_pointer;
+     m.pc <- next
+   | Cvt_f_of_i (rd, rs) ->
+     set_reg m rd (bits_of_float (float_of_int (to_signed m.regs.(rs))))
+       Meta.non_pointer;
+     m.pc <- next
+   | Cvt_i_of_f (rd, rs) ->
+     let f = float_of_bits m.regs.(rs) in
+     let t = if Float.is_nan f then 0 else int_of_float f in
+     set_reg m rd (mask32 t) Meta.non_pointer;
+     m.pc <- next
+   | Li (rd, v) ->
+     set_reg m rd (mask32 v) Meta.non_pointer;
+     m.pc <- next
+   | Mov (rd, rs) ->
+     set_reg m rd m.regs.(rs) (reg_meta m rs);
+     m.pc <- next
+   | Load { dst; base; off; width; signed } ->
+     do_load m ~dst ~basereg:base ~off ~width ~signed;
+     m.pc <- next
+   | Store { src; base; off; width } ->
+     do_store m ~src ~basereg:base ~off ~width;
+     m.pc <- next
+   | Setbound { dst; src; size } ->
+     m.stats.setbound_instrs <- m.stats.setbound_instrs + 1;
+     let sz =
+       match size with Reg r -> m.regs.(r) | Imm v -> mask32 v
+     in
+     let v = m.regs.(src) in
+     set_reg m dst v (Propagate.setbound ~value:v ~size:sz);
+     m.pc <- next
+   | Setbound_narrow { dst; src; size } ->
+     m.stats.setbound_instrs <- m.stats.setbound_instrs + 1;
+     let sz = match size with Reg r -> m.regs.(r) | Imm v -> mask32 v in
+     let v = m.regs.(src) in
+     let m0 = reg_meta m src in
+     let md =
+       if Meta.is_pointer m0 then
+         (* narrowing intersects: it can never grant access the source
+            pointer lacked (catches structs cast to larger types) *)
+         { Meta.base = max m0.Meta.base v; bound = min m0.Meta.bound (v + sz) }
+       else Meta.make ~base:v ~size:sz
+     in
+     set_reg m dst v md;
+     m.pc <- next
+   | Setbound_unsafe (rd, rs) ->
+     m.stats.setbound_instrs <- m.stats.setbound_instrs + 1;
+     set_reg m rd m.regs.(rs) Meta.unsafe;
+     m.pc <- next
+   | Readbase (rd, rs) ->
+     set_reg m rd m.rbase.(rs) Meta.non_pointer;
+     m.pc <- next
+   | Readbound (rd, rs) ->
+     set_reg m rd m.rbound.(rs) Meta.non_pointer;
+     m.pc <- next
+   | Licode (rd, _) ->
+     let entry = m.image.target.(m.pc) in
+     set_reg m rd (Hb_isa.Program.addr_of_index entry) Meta.code_pointer;
+     m.pc <- next
+   | Branch (c, r1, r2, _) ->
+     let a = to_signed m.regs.(r1) and b = to_signed m.regs.(r2) in
+     let taken =
+       match c with
+       | Eq -> a = b | Ne -> a <> b | Lt -> a < b
+       | Ge -> a >= b | Le -> a <= b | Gt -> a > b
+     in
+     m.pc <- (if taken then m.image.target.(m.pc) else next)
+   | Jmp _ -> m.pc <- m.image.target.(m.pc)
+   | Call _ ->
+     set_reg m ra
+       (Hb_isa.Program.addr_of_index next)
+       Meta.non_pointer;
+     m.pc <- m.image.target.(m.pc)
+   | Call_reg r ->
+     (* Section 6.1: code pointers carry base = bound = MAXINT; in full
+        mode forged (non-pointer) function pointers are rejected. *)
+     (if m.cfg.mode = Checker.Full
+         && not (Meta.equal (reg_meta m r) Meta.code_pointer) then
+        raise
+          (Checker.Non_pointer_deref
+             { pc = m.pc; addr = m.regs.(r); width = 4;
+               meta = reg_meta m r; is_store = false }));
+     (match Hb_isa.Program.index_of_addr m.regs.(r) with
+      | Some idx when idx < Array.length m.image.code ->
+        set_reg m ra
+          (Hb_isa.Program.addr_of_index next)
+          Meta.non_pointer;
+        m.pc <- idx
+      | _ -> fault m (Printf.sprintf "indirect call to 0x%x" m.regs.(r)))
+   | Ret ->
+     (match Hb_isa.Program.index_of_addr m.regs.(ra) with
+      | Some idx when idx <= Array.length m.image.code -> m.pc <- idx
+      | _ -> fault m (Printf.sprintf "return to 0x%x" m.regs.(ra)))
+   | Syscall s ->
+     do_syscall m s;
+     m.pc <- next
+   | Label _ -> fault m "unresolved label in code"
+   | Nop -> m.pc <- next)
+
+(** One line of execution trace: pc, enclosing function, instruction, and
+    the accumulator registers with their metadata (debugging aid for the
+    [hardbound_run --trace] CLI). *)
+let describe_state m =
+  if m.pc < 0 || m.pc >= Array.length m.image.code then
+    Printf.sprintf "%8d <pc out of range>" m.pc
+  else
+    let i = m.image.code.(m.pc) in
+    let reg r =
+      let md = reg_meta m r in
+      if Meta.is_pointer md then
+        Printf.sprintf "%s=0x%x%s" (reg_name r) m.regs.(r) (Meta.to_string md)
+      else Printf.sprintf "%s=%d" (reg_name r) (to_signed m.regs.(r))
+    in
+    Printf.sprintf "%8d %-12s %-32s %s %s" m.pc
+      m.image.fn_of_index.(m.pc)
+      (Hb_isa.Printer.instr_str i)
+      (reg t0) (reg t1)
+
+(** Run at most [n] instructions, reporting each to [out] before executing
+    it.  Returns the status if the program finished within the budget. *)
+let run_traced m ~n ~(out : string -> unit) : status option =
+  let rec loop k =
+    match m.halted with
+    | Some st -> Some st
+    | None ->
+      if k = 0 then None
+      else begin
+        out (describe_state m);
+        step m;
+        loop (k - 1)
+      end
+  in
+  try loop n with
+  | Checker.Bounds_violation v ->
+    m.halted <- Some (Bounds_violation v);
+    m.halted
+  | Checker.Non_pointer_deref v ->
+    m.halted <- Some (Non_pointer_violation v);
+    m.halted
+  | Temporal.Temporal_violation f ->
+    m.halted <- Some (Temporal_violation f);
+    m.halted
+  | Software_abort_exn code ->
+    m.halted <- Some (Software_abort code);
+    m.halted
+  | Machine_fault s ->
+    m.halted <- Some (Fault s);
+    m.halted
+
+(** Run to completion.  Exceptions raised by checks become statuses. *)
+let run m =
+  let rec loop () =
+    match m.halted with
+    | Some st -> st
+    | None ->
+      if m.stats.instructions >= m.cfg.max_instrs then Out_of_fuel
+      else begin
+        step m;
+        loop ()
+      end
+  in
+  let st =
+    try loop () with
+    | Checker.Bounds_violation v -> Bounds_violation v
+    | Checker.Non_pointer_deref v -> Non_pointer_violation v
+    | Software_abort_exn n -> Software_abort n
+    | Temporal.Temporal_violation f -> Temporal_violation f
+    | Machine_fault s -> Fault s
+  in
+  m.halted <- Some st;
+  st
+
+let output m = Buffer.contents m.out

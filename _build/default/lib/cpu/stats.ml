@@ -1,0 +1,66 @@
+(** Execution statistics.
+
+    The timing model follows Section 5.1 of the paper: an in-order core
+    executing at most one micro-operation per cycle; loads/stores of
+    uncompressed bounded pointers insert an additional micro-operation for
+    the base/bound access; cache/TLB misses stall the (blocking) pipeline.
+
+    [cycles = uops + stall cycles], with stalls attributed per access class
+    by {!Hb_cache.Hierarchy} so the harness can reconstruct Figure 5's
+    segment decomposition. *)
+
+type t = {
+  mutable instructions : int;
+  mutable uops : int;            (* 1 per instruction + metadata/check uops *)
+  mutable setbound_instrs : int;
+  mutable metadata_uops : int;   (* uncompressed base/bound loads/stores *)
+  mutable check_uops : int;      (* only when checked_deref_uop is enabled *)
+  mutable loads : int;
+  mutable stores : int;
+  mutable checked_derefs : int;
+  mutable ptr_loads : int;       (* loads whose result is a pointer *)
+  mutable ptr_loads_shadow : int;
+  mutable ptr_stores : int;
+  mutable ptr_stores_shadow : int;
+  mutable stall_cycles : int;    (* total charged stall cycles *)
+  (* Charged-stall attribution.  The tag cache is accessed in parallel
+     with the L1 (Figure 4), so the pipeline is charged
+     [max(data_stall, tag_stall)]: the data part is attributed to
+     [charged_data_stalls] and only the *excess* of the tag access to
+     [charged_tag_stalls].  Base/bound accesses are sequential and fully
+     attributed.  These sum exactly to [stall_cycles]. *)
+  mutable charged_data_stalls : int;
+  mutable charged_tag_stalls : int;
+  mutable charged_bb_stalls : int;
+}
+
+let create () =
+  {
+    instructions = 0;
+    uops = 0;
+    setbound_instrs = 0;
+    metadata_uops = 0;
+    check_uops = 0;
+    loads = 0;
+    stores = 0;
+    checked_derefs = 0;
+    ptr_loads = 0;
+    ptr_loads_shadow = 0;
+    ptr_stores = 0;
+    ptr_stores_shadow = 0;
+    stall_cycles = 0;
+    charged_data_stalls = 0;
+    charged_tag_stalls = 0;
+    charged_bb_stalls = 0;
+  }
+
+let cycles s = s.uops + s.stall_cycles
+
+let to_string s =
+  Printf.sprintf
+    "instrs=%d uops=%d cycles=%d setbound=%d meta_uops=%d loads=%d \
+     stores=%d checked=%d ptr_loads=%d(%d shadow) ptr_stores=%d(%d shadow) \
+     stalls=%d"
+    s.instructions s.uops (cycles s) s.setbound_instrs s.metadata_uops
+    s.loads s.stores s.checked_derefs s.ptr_loads s.ptr_loads_shadow
+    s.ptr_stores s.ptr_stores_shadow s.stall_cycles

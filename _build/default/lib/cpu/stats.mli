@@ -1,0 +1,35 @@
+(** Execution statistics.  The timing model follows Section 5.1 of the
+    paper: in-order, at most one micro-operation per cycle;
+    [cycles = uops + stall_cycles]. *)
+
+type t = {
+  mutable instructions : int;
+  mutable uops : int;            (** 1/instruction + metadata/check uops *)
+  mutable setbound_instrs : int;
+  mutable metadata_uops : int;   (** uncompressed base/bound loads/stores *)
+  mutable check_uops : int;      (** only under the Section 5.4 knob *)
+  mutable loads : int;
+  mutable stores : int;
+  mutable checked_derefs : int;
+  mutable ptr_loads : int;
+  mutable ptr_loads_shadow : int;
+  mutable ptr_stores : int;
+  mutable ptr_stores_shadow : int;
+  mutable stall_cycles : int;
+  mutable charged_data_stalls : int;
+      (** Charged-stall attribution: the tag cache is accessed in parallel
+          with the L1 (Figure 4), so the pipeline is charged
+          [max(data, tag)]; the data part lands here... *)
+  mutable charged_tag_stalls : int;
+      (** ...only the tag access's *excess* lands here... *)
+  mutable charged_bb_stalls : int;
+      (** ...and sequential base/bound accesses are fully charged here.
+          The three sum exactly to [stall_cycles]. *)
+}
+
+val create : unit -> t
+
+val cycles : t -> int
+(** [uops + stall_cycles]. *)
+
+val to_string : t -> string

@@ -1,0 +1,39 @@
+(** Temporal-safety tracking (the Section 6.2 extension): per-word heap
+    allocation state driven by the runtime's [mark_alloc]/[mark_free]
+    syscalls.  Detects use-after-free and uninitialized reads in full
+    mode, and doubles as the validity map of the Section 2.1 red-zone
+    tripwire baseline. *)
+
+type word_state = Unallocated | Allocated_uninit | Allocated_init
+
+type kind = Use_after_free | Uninitialized_read | Unallocated_access
+
+type fault = { kind : kind; addr : int; is_store : bool }
+
+exception Temporal_violation of fault
+
+val kind_name : kind -> string
+
+type t
+
+val create : unit -> t
+
+val in_heap : int -> bool
+
+val mark_alloc : t -> addr:int -> size:int -> unit
+(** Words become [Allocated_uninit]. *)
+
+val mark_free : t -> addr:int -> size:int -> unit
+
+val state_of : t -> int -> word_state
+
+val check_load : t -> addr:int -> unit
+(** Full temporal check: faults on unallocated, freed, or uninitialized
+    heap words.  Non-heap addresses are never checked. *)
+
+val check_store : t -> addr:int -> unit
+(** As {!check_load}, but a store to an uninitialized word initializes it. *)
+
+val check_tripwire : t -> addr:int -> unit
+(** Red-zone check: faults only on unallocated/freed words (uninitialized
+    data passes — the tripwire schemes' completeness gap). *)

@@ -1,0 +1,1 @@
+lib/harness/figures.ml: Buffer Gen Hardbound Hashtbl Hb_cpu Hb_minic Hb_runtime Hb_violations Hb_workloads List Paper_data Printf Run Runner Suite

@@ -1,0 +1,1 @@
+lib/harness/run.ml: Hardbound Hb_cache Hb_cpu Hb_mem Hb_minic Hb_runtime Hb_workloads Printf

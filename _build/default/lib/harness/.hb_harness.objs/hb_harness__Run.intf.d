@@ -1,0 +1,1 @@
+lib/harness/run.mli: Hardbound Hb_minic Hb_workloads

@@ -1,0 +1,1 @@
+lib/harness/suite.ml: Hardbound Hb_minic Hb_workloads List Run

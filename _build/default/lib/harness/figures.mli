@@ -1,0 +1,30 @@
+(** Regeneration of the paper's evaluation tables and figures as text
+    tables (EXPERIMENTS.md tracks paper-vs-measured). *)
+
+val figure5 : Suite.per_workload list -> string
+(** Runtime overhead of HardBound by pointer encoding, decomposed into
+    the paper's four segments. *)
+
+val figure6 : Suite.per_workload list -> string
+(** Extra distinct 4KB pages touched, split into tag and base/bound
+    metadata. *)
+
+val figure7 : Suite.per_workload list -> string
+(** Comparison against the software-only schemes (published columns
+    transcribed, simulated columns measured). *)
+
+val uop_ablation : unit -> string
+(** Section 5.4: charge one extra micro-op per bounds check of an
+    uncompressed pointer. *)
+
+val correctness : unit -> string
+(** Section 5.2: full violation-corpus sweep. *)
+
+val malloc_only : unit -> string
+(** Section 3.2: detection scope of the legacy-binary mode. *)
+
+val redzone : unit -> string
+(** Section 2.1: red-zone tripwire baseline — detection and its gap. *)
+
+val temporal : unit -> string
+(** Section 6.2: the temporal-tracking extension on micro-tests. *)

@@ -1,0 +1,56 @@
+(** Collects the full measurement matrix once; the figure printers read
+    from it.  One baseline + three HardBound encodings + the two software
+    baselines per Olden benchmark. *)
+
+module Codegen = Hb_minic.Codegen
+module Encoding = Hardbound.Encoding
+
+type per_workload = {
+  name : string;
+  baseline : Run.record;
+  hb_extern4 : Run.record;
+  hb_intern4 : Run.record;
+  hb_intern11 : Run.record;
+  softfat : Run.record option;
+  objtable : Run.record option;
+}
+
+let hb_runs w =
+  List.map (fun r -> (r.Run.scheme, r))
+    [ w.hb_extern4; w.hb_intern4; w.hb_intern11 ]
+
+let collect ?(software = true) ?(progress = fun _ -> ()) () :
+    per_workload list =
+  List.map
+    (fun (w : Hb_workloads.Workloads.t) ->
+      progress w.name;
+      let baseline = Run.measure ~mode:Codegen.Nochecks w in
+      let hb scheme = Run.measure ~scheme ~mode:Codegen.Hardbound w in
+      let sw mode = if software then Some (Run.measure ~mode w) else None in
+      let r =
+        {
+          name = w.name;
+          baseline;
+          hb_extern4 = hb Encoding.Extern4;
+          hb_intern4 = hb Encoding.Intern4;
+          hb_intern11 = hb Encoding.Intern11;
+          softfat = sw Codegen.Softfat;
+          objtable = sw Codegen.Objtable;
+        }
+      in
+      (* protection transparency: every instrumented run reproduced the
+         baseline's output *)
+      List.iter
+        (fun (r' : Run.record) ->
+          if r'.Run.output <> baseline.Run.output then
+            failwith (w.name ^ ": output diverged under instrumentation"))
+        ([ r.hb_extern4; r.hb_intern4; r.hb_intern11 ]
+        @ (match r.softfat with Some x -> [ x ] | None -> [])
+        @ (match r.objtable with Some x -> [ x ] | None -> []));
+      r)
+    Hb_workloads.Workloads.all
+
+let geo_mean xs =
+  exp (List.fold_left (fun a x -> a +. log x) 0.0 xs /. float_of_int (List.length xs))
+
+let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)

@@ -1,0 +1,23 @@
+(** Collects the full measurement matrix once (baseline + three HardBound
+    encodings + the two software baselines per Olden benchmark); the
+    figure printers read from it. *)
+
+type per_workload = {
+  name : string;
+  baseline : Run.record;
+  hb_extern4 : Run.record;
+  hb_intern4 : Run.record;
+  hb_intern11 : Run.record;
+  softfat : Run.record option;
+  objtable : Run.record option;
+}
+
+val hb_runs : per_workload -> (Hardbound.Encoding.scheme * Run.record) list
+
+val collect :
+  ?software:bool -> ?progress:(string -> unit) -> unit -> per_workload list
+(** Runs every workload under every configuration; checks that every
+    instrumented run reproduced the baseline's output (transparency). *)
+
+val geo_mean : float list -> float
+val mean : float list -> float

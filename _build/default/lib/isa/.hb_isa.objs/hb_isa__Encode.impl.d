@@ -1,0 +1,1 @@
+lib/isa/encode.ml: Array Buffer Char Hashtbl List Printf Program String Types

@@ -1,0 +1,1 @@
+lib/isa/parser.ml: List String Types

@@ -1,0 +1,1 @@
+lib/isa/printer.ml: Buffer Format List Printf Types

@@ -1,0 +1,1 @@
+lib/isa/types.ml: Int32

@@ -1,0 +1,277 @@
+(** Binary instruction encoding: 32-bit little-endian words (two words for
+    instructions carrying a 32-bit immediate or a code-relative target).
+
+    HardBound's selling point is *binary compatibility*: setbound occupies
+    an encoding slot that is a no-op on older processors (Section 4.5,
+    "forward compatibility"), so annotated binaries run unmodified — and
+    unprotected — on hardware without the extension.  This module makes
+    that concrete: {!encode_program}/{!decode_program} give the ISA a real
+    binary format, and tests check the setbound-as-nop property.
+
+    Word layout (primary word):
+    {v
+      bits 31..26  opcode
+      bits 25..21  rd / src
+      bits 20..16  rs1 / base
+      bits 15..11  rs2
+      bit  10      has-second-word (immediate / target follows)
+      bits  9..4   sub-opcode (ALU op, condition, width, syscall, ...)
+      bits  3..0   flags
+    v} *)
+
+open Types
+
+exception Encode_error of string
+exception Decode_error of int * string
+
+(* opcodes *)
+let op_alu = 1       (* sub = alu_op index; flag bit0 = has reg operand *)
+let op_falu = 2
+let op_li = 3
+let op_mov = 4
+let op_load = 5      (* sub = width index; flag bit0 = signed *)
+let op_store = 6
+let op_setbound = 7  (* flag bit0 = reg size operand; flag bit1 = unsafe *)
+let op_readbase = 8
+let op_readbound = 9
+let op_licode = 10
+let op_branch = 11   (* sub = condition *)
+let op_jmp = 12
+let op_call = 13
+let op_callr = 14
+let op_ret = 15
+let op_syscall = 16  (* sub = syscall index *)
+let op_nop = 0
+let op_fneg = 17
+let op_fsqrt = 18
+let op_cvt_f_i = 19
+let op_cvt_i_f = 20
+
+let alu_ops =
+  [| Add; Sub; Mul; Div; Rem; And; Or; Xor; Shl; Shr; Sar; Slt; Sle; Seq;
+     Sne; Sgt; Sge; Sltu |]
+
+let falu_ops = [| Fadd; Fsub; Fmul; Fdiv; Fslt; Fsle; Feq |]
+
+let conds = [| Eq; Ne; Lt; Ge; Le; Gt |]
+
+let widths = [| W1; W2; W4 |]
+
+let syscalls =
+  [| Sys_exit; Sys_print_int; Sys_print_char; Sys_print_float; Sys_sbrk;
+     Sys_abort; Sys_mark_alloc; Sys_mark_free |]
+
+let index_of arr x =
+  let rec go i =
+    if i >= Array.length arr then raise (Encode_error "unknown sub-op")
+    else if arr.(i) = x then i
+    else go (i + 1)
+  in
+  go 0
+
+let word ~op ?(rd = 0) ?(rs1 = 0) ?(rs2 = 0) ?(imm = false) ?(sub = 0)
+    ?(flags = 0) () =
+  (op lsl 26) lor (rd lsl 21) lor (rs1 lsl 16) lor (rs2 lsl 11)
+  lor ((if imm then 1 else 0) lsl 10)
+  lor (sub lsl 4) lor flags
+
+(** Encode one instruction (with targets already resolved to code indices,
+    as in a linked {!Program.image}); [target] supplies the resolved index
+    for control transfers.  Returns one or two 32-bit words. *)
+let encode_instr ?(target = -1) (i : instr) : int list =
+  let imm32 v = mask32 v in
+  match i with
+  | Nop -> [ word ~op:op_nop () ]
+  | Alu (op, rd, rs, Reg rs2) ->
+    [ word ~op:op_alu ~rd ~rs1:rs ~rs2 ~sub:(index_of alu_ops op) ~flags:1 () ]
+  | Alu (op, rd, rs, Imm v) ->
+    [ word ~op:op_alu ~rd ~rs1:rs ~imm:true ~sub:(index_of alu_ops op) ();
+      imm32 v ]
+  | Falu (op, rd, r1, r2) ->
+    [ word ~op:op_falu ~rd ~rs1:r1 ~rs2:r2 ~sub:(index_of falu_ops op) () ]
+  | Fneg (rd, rs) -> [ word ~op:op_fneg ~rd ~rs1:rs () ]
+  | Fsqrt (rd, rs) -> [ word ~op:op_fsqrt ~rd ~rs1:rs () ]
+  | Cvt_f_of_i (rd, rs) -> [ word ~op:op_cvt_f_i ~rd ~rs1:rs () ]
+  | Cvt_i_of_f (rd, rs) -> [ word ~op:op_cvt_i_f ~rd ~rs1:rs () ]
+  | Li (rd, v) -> [ word ~op:op_li ~rd ~imm:true (); imm32 v ]
+  | Mov (rd, rs) -> [ word ~op:op_mov ~rd ~rs1:rs () ]
+  | Load { dst; base; off; width; signed } ->
+    [ word ~op:op_load ~rd:dst ~rs1:base ~imm:true
+        ~sub:(index_of widths width)
+        ~flags:(if signed then 1 else 0) ();
+      imm32 off ]
+  | Store { src; base; off; width } ->
+    [ word ~op:op_store ~rd:src ~rs1:base ~imm:true
+        ~sub:(index_of widths width) ();
+      imm32 off ]
+  | Setbound { dst; src; size = Reg r } ->
+    [ word ~op:op_setbound ~rd:dst ~rs1:src ~rs2:r ~flags:1 () ]
+  | Setbound { dst; src; size = Imm v } ->
+    [ word ~op:op_setbound ~rd:dst ~rs1:src ~imm:true (); imm32 v ]
+  | Setbound_narrow { dst; src; size = Reg r } ->
+    [ word ~op:op_setbound ~rd:dst ~rs1:src ~rs2:r ~flags:5 () ]
+  | Setbound_narrow { dst; src; size = Imm v } ->
+    [ word ~op:op_setbound ~rd:dst ~rs1:src ~imm:true ~flags:4 (); imm32 v ]
+  | Setbound_unsafe (rd, rs) ->
+    [ word ~op:op_setbound ~rd ~rs1:rs ~flags:2 () ]
+  | Readbase (rd, rs) -> [ word ~op:op_readbase ~rd ~rs1:rs () ]
+  | Readbound (rd, rs) -> [ word ~op:op_readbound ~rd ~rs1:rs () ]
+  | Licode (rd, _) ->
+    if target < 0 then raise (Encode_error "licode needs a resolved target");
+    [ word ~op:op_licode ~rd ~imm:true (); imm32 target ]
+  | Branch (c, r1, r2, _) ->
+    if target < 0 then raise (Encode_error "branch needs a resolved target");
+    [ word ~op:op_branch ~rs1:r1 ~rs2:r2 ~imm:true ~sub:(index_of conds c) ();
+      imm32 target ]
+  | Jmp _ ->
+    if target < 0 then raise (Encode_error "jmp needs a resolved target");
+    [ word ~op:op_jmp ~imm:true (); imm32 target ]
+  | Call _ ->
+    if target < 0 then raise (Encode_error "call needs a resolved target");
+    [ word ~op:op_call ~imm:true (); imm32 target ]
+  | Call_reg r -> [ word ~op:op_callr ~rs1:r () ]
+  | Ret -> [ word ~op:op_ret () ]
+  | Syscall s -> [ word ~op:op_syscall ~sub:(index_of syscalls s) () ]
+  | Label l -> raise (Encode_error ("cannot encode pseudo-label " ^ l))
+
+type decoded = { instr : instr; target : int; words : int }
+(** [target] is the resolved code index for control transfers (-1
+    otherwise); labels in the decoded instruction are synthesized as
+    ["@<index>"]. *)
+
+let field w ~lo ~hi = (w lsr lo) land ((1 lsl (hi - lo + 1)) - 1)
+
+let decode_at ~(read : int -> int) (pos : int) : decoded =
+  let w = read pos in
+  let op = field w ~lo:26 ~hi:31 in
+  let rd = field w ~lo:21 ~hi:25 in
+  let rs1 = field w ~lo:16 ~hi:20 in
+  let rs2 = field w ~lo:11 ~hi:15 in
+  let has_imm = field w ~lo:10 ~hi:10 = 1 in
+  let sub = field w ~lo:4 ~hi:9 in
+  let flags = field w ~lo:0 ~hi:3 in
+  let imm = if has_imm then read (pos + 1) else 0 in
+  let words = if has_imm then 2 else 1 in
+  let simm = to_signed imm in
+  let sub_in arr name =
+    if sub >= Array.length arr then
+      raise (Decode_error (pos, "bad " ^ name ^ " sub-op"))
+    else arr.(sub)
+  in
+  let lbl = "@" ^ string_of_int imm in
+  let mk instr = { instr; target = -1; words } in
+  let mkt instr = { instr; target = imm; words } in
+  match op with
+  | o when o = op_nop -> mk Nop
+  | o when o = op_alu ->
+    if has_imm then mk (Alu (sub_in alu_ops "alu", rd, rs1, Imm simm))
+    else mk (Alu (sub_in alu_ops "alu", rd, rs1, Reg rs2))
+  | o when o = op_falu -> mk (Falu (sub_in falu_ops "falu", rd, rs1, rs2))
+  | o when o = op_fneg -> mk (Fneg (rd, rs1))
+  | o when o = op_fsqrt -> mk (Fsqrt (rd, rs1))
+  | o when o = op_cvt_f_i -> mk (Cvt_f_of_i (rd, rs1))
+  | o when o = op_cvt_i_f -> mk (Cvt_i_of_f (rd, rs1))
+  | o when o = op_li -> mk (Li (rd, simm))
+  | o when o = op_mov -> mk (Mov (rd, rs1))
+  | o when o = op_load ->
+    mk
+      (Load
+         { dst = rd; base = rs1; off = simm; width = sub_in widths "width";
+           signed = flags land 1 = 1 })
+  | o when o = op_store ->
+    mk (Store { src = rd; base = rs1; off = simm;
+                width = sub_in widths "width" })
+  | o when o = op_setbound ->
+    if flags land 2 = 2 then mk (Setbound_unsafe (rd, rs1))
+    else if flags land 4 = 4 then
+      (if flags land 1 = 1 then
+         mk (Setbound_narrow { dst = rd; src = rs1; size = Reg rs2 })
+       else mk (Setbound_narrow { dst = rd; src = rs1; size = Imm simm }))
+    else if flags land 1 = 1 then
+      mk (Setbound { dst = rd; src = rs1; size = Reg rs2 })
+    else mk (Setbound { dst = rd; src = rs1; size = Imm simm })
+  | o when o = op_readbase -> mk (Readbase (rd, rs1))
+  | o when o = op_readbound -> mk (Readbound (rd, rs1))
+  | o when o = op_licode -> mkt (Licode (rd, lbl))
+  | o when o = op_branch -> mkt (Branch (sub_in conds "cond", rs1, rs2, lbl))
+  | o when o = op_jmp -> mkt (Jmp lbl)
+  | o when o = op_call -> mkt (Call lbl)
+  | o when o = op_callr -> mk (Call_reg rs1)
+  | o when o = op_ret -> mk Ret
+  | o when o = op_syscall -> mk (Syscall (sub_in syscalls "syscall"))
+  | o -> raise (Decode_error (pos, Printf.sprintf "unknown opcode %d" o))
+
+(** Serialize a linked image to a flat byte string (magic, entry, count,
+    then a code-index table and instruction words). *)
+let magic = 0x48424E44 (* "HBND" *)
+
+let encode_image (img : Program.image) : string =
+  let buf = Buffer.create 4096 in
+  let w32 v =
+    let v = mask32 v in
+    Buffer.add_char buf (Char.chr (v land 0xFF));
+    Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+    Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
+    Buffer.add_char buf (Char.chr ((v lsr 24) land 0xFF))
+  in
+  w32 magic;
+  w32 img.Program.entry;
+  w32 (Array.length img.Program.code);
+  Array.iteri
+    (fun i instr ->
+      let ws = encode_instr ~target:img.Program.target.(i) instr in
+      w32 (List.length ws);
+      List.iter w32 ws)
+    img.Program.code;
+  Buffer.contents buf
+
+let decode_image (s : string) : Program.image =
+  let r32 pos =
+    if (pos * 4) + 4 > String.length s then
+      raise (Decode_error (pos, "truncated image"));
+    let b i = Char.code s.[(pos * 4) + i] in
+    b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+  in
+  if r32 0 <> magic then raise (Decode_error (0, "bad magic"));
+  let entry = r32 1 in
+  let count = r32 2 in
+  let code = Array.make count Nop in
+  let target = Array.make count (-1) in
+  let pos = ref 3 in
+  for i = 0 to count - 1 do
+    let n = r32 !pos in
+    incr pos;
+    let d = decode_at ~read:r32 !pos in
+    if d.words <> n then raise (Decode_error (!pos, "length mismatch"));
+    code.(i) <- d.instr;
+    target.(i) <- d.target;
+    pos := !pos + n
+  done;
+  let fn_entry = Hashtbl.create 1 in
+  Hashtbl.replace fn_entry "binary" entry;
+  {
+    Program.code;
+    target;
+    fn_of_index = Array.make count "binary";
+    entry;
+    fn_entry;
+  }
+
+(** The forward-compatibility story of Section 4.5: reinterpret every
+    HardBound-specific instruction as what a legacy core would execute —
+    [setbound rd, rs] becomes a plain register move (the pointer keeps
+    flowing, unprotected), [readbase]/[readbound] read zeros. *)
+let strip_hardbound (img : Program.image) : Program.image =
+  let code =
+    Array.map
+      (fun i ->
+        match i with
+        | Setbound { dst; src; _ }
+        | Setbound_narrow { dst; src; _ }
+        | Setbound_unsafe (dst, src) ->
+          Mov (dst, src)
+        | Readbase (rd, _) | Readbound (rd, _) -> Li (rd, 0)
+        | other -> other)
+      img.Program.code
+  in
+  { img with Program.code }

@@ -1,0 +1,33 @@
+(** Binary instruction encoding: 32-bit little-endian words (two for
+    instructions carrying an immediate or target), plus image
+    serialization and the Section 4.5 forward-compatibility transform. *)
+
+exception Encode_error of string
+exception Decode_error of int * string
+
+val encode_instr : ?target:int -> Types.instr -> int list
+(** One or two 32-bit words.  Control transfers need [target] (the
+    resolved code index, as in a linked {!Program.image}). *)
+
+type decoded = { instr : Types.instr; target : int; words : int }
+(** [target] is -1 for non-control-flow; decoded labels are synthetic
+    (["@<index>"]). *)
+
+val decode_at : read:(int -> int) -> int -> decoded
+(** Decode the instruction at word position [pos], fetching words through
+    [read]. *)
+
+val magic : int
+
+val encode_image : Program.image -> string
+(** Serialize a linked image (magic, entry, count, instruction words). *)
+
+val decode_image : string -> Program.image
+(** Inverse of {!encode_image}; raises {!Decode_error} on malformed
+    input. *)
+
+val strip_hardbound : Program.image -> Program.image
+(** Execute the binary the way a legacy core would (Section 4.5):
+    [setbound]/[setbound.narrow]/[setbound.unsafe] become plain moves,
+    [readbase]/[readbound] read zero.  Annotated binaries keep running —
+    unprotected. *)

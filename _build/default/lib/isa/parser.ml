@@ -1,0 +1,209 @@
+(** Assembler: parses the textual format emitted by {!Printer} back into a
+    {!Types.program}.  Used by tests (round-trip property) and by the
+    [hardbound_run] CLI to execute hand-written assembly files. *)
+
+open Types
+
+exception Parse_error of int * string
+(** Line number (1-based) and message. *)
+
+let fail line msg = raise (Parse_error (line, msg))
+
+let reg_of_name line s =
+  match s with
+  | "zero" -> 0 | "ra" -> 1 | "sp" -> 2 | "fp" -> 3 | "gp" -> 4
+  | "a0" -> 5 | "a1" -> 6 | "a2" -> 7 | "a3" -> 8 | "a4" -> 9
+  | _ ->
+    let num prefix base =
+      let n = String.length prefix in
+      if String.length s > n && String.sub s 0 n = prefix then
+        match int_of_string_opt (String.sub s n (String.length s - n)) with
+        | Some v when base + v >= 0 && base + v < num_regs -> Some (base + v)
+        | _ -> None
+      else None
+    in
+    (match num "t" 10 with
+     | Some r -> r
+     | None ->
+       (match num "r" 0 with
+        | Some r -> r
+        | None -> fail line ("unknown register: " ^ s)))
+
+let operand_of line s =
+  match int_of_string_opt s with
+  | Some i -> Imm i
+  | None -> Reg (reg_of_name line s)
+
+(* Split an instruction line into mnemonic and comma-separated operands.
+   "lw a0, 4(sp)" -> ("lw", ["a0"; "4(sp)"]). *)
+let split_line s =
+  let s = String.trim s in
+  match String.index_opt s ' ' with
+  | None -> (s, [])
+  | Some i ->
+    let m = String.sub s 0 i in
+    let rest = String.sub s i (String.length s - i) in
+    let ops =
+      String.split_on_char ',' rest |> List.map String.trim
+      |> List.filter (fun x -> x <> "")
+    in
+    (m, ops)
+
+(* Parse "off(reg)" memory operand. *)
+let mem_operand line s =
+  match String.index_opt s '(' with
+  | None -> fail line ("expected off(reg): " ^ s)
+  | Some i ->
+    if s.[String.length s - 1] <> ')' then fail line ("expected ')': " ^ s);
+    let off_s = String.sub s 0 i in
+    let reg_s = String.sub s (i + 1) (String.length s - i - 2) in
+    let off =
+      if off_s = "" then 0
+      else
+        match int_of_string_opt off_s with
+        | Some v -> v
+        | None -> fail line ("bad offset: " ^ off_s)
+    in
+    (off, reg_of_name line reg_s)
+
+let alu_ops =
+  [ ("add", Add); ("sub", Sub); ("mul", Mul); ("div", Div); ("rem", Rem);
+    ("and", And); ("or", Or); ("xor", Xor); ("shl", Shl); ("shr", Shr);
+    ("sar", Sar); ("slt", Slt); ("sle", Sle); ("seq", Seq); ("sne", Sne);
+    ("sgt", Sgt); ("sge", Sge); ("sltu", Sltu) ]
+
+let falu_ops =
+  [ ("fadd", Fadd); ("fsub", Fsub); ("fmul", Fmul); ("fdiv", Fdiv);
+    ("fslt", Fslt); ("fsle", Fsle); ("feq", Feq) ]
+
+let branch_conds =
+  [ ("beq", Eq); ("bne", Ne); ("blt", Lt); ("bge", Ge); ("ble", Le);
+    ("bgt", Gt) ]
+
+let syscalls =
+  [ ("exit", Sys_exit); ("print_int", Sys_print_int);
+    ("print_char", Sys_print_char); ("print_float", Sys_print_float);
+    ("sbrk", Sys_sbrk); ("abort", Sys_abort);
+    ("mark_alloc", Sys_mark_alloc); ("mark_free", Sys_mark_free) ]
+
+let loads =
+  [ ("lb", (W1, false)); ("lbs", (W1, true)); ("lh", (W2, false));
+    ("lhs", (W2, true)); ("lw", (W4, true)) ]
+
+let stores = [ ("sb", W1); ("sh", W2); ("sw", W4) ]
+
+let parse_instr line mnemonic ops =
+  let r = reg_of_name line in
+  let op1 () = match ops with [ a ] -> a | _ -> fail line "expected 1 operand" in
+  let op2 () =
+    match ops with [ a; b ] -> (a, b) | _ -> fail line "expected 2 operands"
+  in
+  let op3 () =
+    match ops with
+    | [ a; b; c ] -> (a, b, c)
+    | _ -> fail line "expected 3 operands"
+  in
+  match mnemonic with
+  | m when List.mem_assoc m alu_ops ->
+    let a, b, c = op3 () in
+    Alu (List.assoc m alu_ops, r a, r b, operand_of line c)
+  | m when List.mem_assoc m falu_ops ->
+    let a, b, c = op3 () in
+    Falu (List.assoc m falu_ops, r a, r b, r c)
+  | m when List.mem_assoc m branch_conds ->
+    let a, b, c = op3 () in
+    Branch (List.assoc m branch_conds, r a, r b, c)
+  | m when List.mem_assoc m loads ->
+    let width, signed = List.assoc m loads in
+    let a, b = op2 () in
+    let off, base = mem_operand line b in
+    Load { dst = r a; base; off; width; signed }
+  | m when List.mem_assoc m stores ->
+    let a, b = op2 () in
+    let off, base = mem_operand line b in
+    Store { src = r a; base; off; width = List.assoc m stores }
+  | "fneg" -> let a, b = op2 () in Fneg (r a, r b)
+  | "fsqrt" -> let a, b = op2 () in Fsqrt (r a, r b)
+  | "cvt.f.i" -> let a, b = op2 () in Cvt_f_of_i (r a, r b)
+  | "cvt.i.f" -> let a, b = op2 () in Cvt_i_of_f (r a, r b)
+  | "li" ->
+    let a, b = op2 () in
+    (match int_of_string_opt b with
+     | Some v -> Li (r a, v)
+     | None -> fail line ("bad immediate: " ^ b))
+  | "mov" -> let a, b = op2 () in Mov (r a, r b)
+  | "setbound" ->
+    let a, b, c = op3 () in
+    Setbound { dst = r a; src = r b; size = operand_of line c }
+  | "setbound.narrow" ->
+    let a, b, c = op3 () in
+    Setbound_narrow { dst = r a; src = r b; size = operand_of line c }
+  | "setbound.unsafe" -> let a, b = op2 () in Setbound_unsafe (r a, r b)
+  | "readbase" -> let a, b = op2 () in Readbase (r a, r b)
+  | "readbound" -> let a, b = op2 () in Readbound (r a, r b)
+  | "licode" -> let a, b = op2 () in Licode (r a, b)
+  | "jmp" -> Jmp (op1 ())
+  | "call" -> Call (op1 ())
+  | "callr" -> Call_reg (r (op1 ()))
+  | "ret" -> if ops <> [] then fail line "ret takes no operands" else Ret
+  | "nop" -> Nop
+  | "syscall" ->
+    let s = op1 () in
+    (match List.assoc_opt s syscalls with
+     | Some sc -> Syscall sc
+     | None -> fail line ("unknown syscall: " ^ s))
+  | m -> fail line ("unknown mnemonic: " ^ m)
+
+(* Strip a ';' or '#' comment. *)
+let strip_comment s =
+  let cut c s =
+    match String.index_opt s c with
+    | Some i -> String.sub s 0 i
+    | None -> s
+  in
+  cut ';' (cut '#' s)
+
+let parse_program (src : string) : program =
+  let lines = String.split_on_char '\n' src in
+  let entry = ref None in
+  let funcs = ref [] in
+  let cur_name = ref None in
+  let cur_body = ref [] in
+  let finish line =
+    match !cur_name with
+    | None -> fail line ".end without .func"
+    | Some name ->
+      funcs := { name; body = List.rev !cur_body } :: !funcs;
+      cur_name := None;
+      cur_body := []
+  in
+  List.iteri
+    (fun idx raw ->
+      let line = idx + 1 in
+      let s = String.trim (strip_comment raw) in
+      if s = "" then ()
+      else if String.length s > 7 && String.sub s 0 7 = ".entry " then
+        entry := Some (String.trim (String.sub s 7 (String.length s - 7)))
+      else if String.length s > 6 && String.sub s 0 6 = ".func " then begin
+        if !cur_name <> None then fail line "nested .func";
+        cur_name := Some (String.trim (String.sub s 6 (String.length s - 6)))
+      end
+      else if s = ".end" then finish line
+      else if !cur_name = None then fail line "instruction outside .func"
+      else if s.[String.length s - 1] = ':' then
+        cur_body := Label (String.sub s 0 (String.length s - 1)) :: !cur_body
+      else
+        let m, ops = split_line s in
+        cur_body := parse_instr line m ops :: !cur_body)
+    lines;
+  if !cur_name <> None then fail 0 "missing .end";
+  let funcs = List.rev !funcs in
+  let entry =
+    match !entry with
+    | Some e -> e
+    | None -> (
+      match funcs with
+      | f :: _ -> f.name
+      | [] -> fail 0 "empty program")
+  in
+  { funcs; entry }

@@ -1,0 +1,9 @@
+(** Assembler: parses the textual format emitted by {!Printer}.  Used by
+    tests (round-trip property) and by the [hardbound_run --asm] CLI. *)
+
+exception Parse_error of int * string
+(** Line number (1-based) and message. *)
+
+val parse_program : string -> Types.program
+(** Parse a complete assembly file ([.entry] directive, [.func]/[.end]
+    blocks, [;] or [#] comments).  Raises {!Parse_error}. *)

@@ -1,0 +1,100 @@
+(** Textual assembly printer for {!Types.instr}.  The format round-trips
+    through {!Parser}. *)
+
+open Types
+
+let alu_name = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Rem -> "rem"
+  | And -> "and" | Or -> "or" | Xor -> "xor"
+  | Shl -> "shl" | Shr -> "shr" | Sar -> "sar"
+  | Slt -> "slt" | Sle -> "sle" | Seq -> "seq" | Sne -> "sne"
+  | Sgt -> "sgt" | Sge -> "sge" | Sltu -> "sltu"
+
+let falu_name = function
+  | Fadd -> "fadd" | Fsub -> "fsub" | Fmul -> "fmul" | Fdiv -> "fdiv"
+  | Fslt -> "fslt" | Fsle -> "fsle" | Feq -> "feq"
+
+let cond_name = function
+  | Eq -> "beq" | Ne -> "bne" | Lt -> "blt" | Ge -> "bge"
+  | Le -> "ble" | Gt -> "bgt"
+
+let width_suffix = function W1 -> "b" | W2 -> "h" | W4 -> "w"
+
+let syscall_name = function
+  | Sys_exit -> "exit"
+  | Sys_print_int -> "print_int"
+  | Sys_print_char -> "print_char"
+  | Sys_print_float -> "print_float"
+  | Sys_sbrk -> "sbrk"
+  | Sys_abort -> "abort"
+  | Sys_mark_alloc -> "mark_alloc"
+  | Sys_mark_free -> "mark_free"
+
+let operand_str = function
+  | Reg r -> reg_name r
+  | Imm i -> string_of_int i
+
+let instr_str = function
+  | Alu (op, rd, rs, o) ->
+    Printf.sprintf "%s %s, %s, %s" (alu_name op) (reg_name rd) (reg_name rs)
+      (operand_str o)
+  | Falu (op, rd, rs1, rs2) ->
+    Printf.sprintf "%s %s, %s, %s" (falu_name op) (reg_name rd) (reg_name rs1)
+      (reg_name rs2)
+  | Fneg (rd, rs) -> Printf.sprintf "fneg %s, %s" (reg_name rd) (reg_name rs)
+  | Fsqrt (rd, rs) -> Printf.sprintf "fsqrt %s, %s" (reg_name rd) (reg_name rs)
+  | Cvt_f_of_i (rd, rs) ->
+    Printf.sprintf "cvt.f.i %s, %s" (reg_name rd) (reg_name rs)
+  | Cvt_i_of_f (rd, rs) ->
+    Printf.sprintf "cvt.i.f %s, %s" (reg_name rd) (reg_name rs)
+  | Li (rd, v) -> Printf.sprintf "li %s, %d" (reg_name rd) v
+  | Mov (rd, rs) -> Printf.sprintf "mov %s, %s" (reg_name rd) (reg_name rs)
+  | Load { dst; base; off; width; signed } ->
+    Printf.sprintf "l%s%s %s, %d(%s)" (width_suffix width)
+      (if signed && width <> W4 then "s" else "")
+      (reg_name dst) off (reg_name base)
+  | Store { src; base; off; width } ->
+    Printf.sprintf "s%s %s, %d(%s)" (width_suffix width) (reg_name src) off
+      (reg_name base)
+  | Setbound { dst; src; size } ->
+    Printf.sprintf "setbound %s, %s, %s" (reg_name dst) (reg_name src)
+      (operand_str size)
+  | Setbound_narrow { dst; src; size } ->
+    Printf.sprintf "setbound.narrow %s, %s, %s" (reg_name dst) (reg_name src)
+      (operand_str size)
+  | Setbound_unsafe (rd, rs) ->
+    Printf.sprintf "setbound.unsafe %s, %s" (reg_name rd) (reg_name rs)
+  | Readbase (rd, rs) ->
+    Printf.sprintf "readbase %s, %s" (reg_name rd) (reg_name rs)
+  | Readbound (rd, rs) ->
+    Printf.sprintf "readbound %s, %s" (reg_name rd) (reg_name rs)
+  | Licode (rd, f) -> Printf.sprintf "licode %s, %s" (reg_name rd) f
+  | Branch (c, r1, r2, l) ->
+    Printf.sprintf "%s %s, %s, %s" (cond_name c) (reg_name r1) (reg_name r2) l
+  | Jmp l -> Printf.sprintf "jmp %s" l
+  | Call l -> Printf.sprintf "call %s" l
+  | Call_reg r -> Printf.sprintf "callr %s" (reg_name r)
+  | Ret -> "ret"
+  | Syscall s -> Printf.sprintf "syscall %s" (syscall_name s)
+  | Label l -> l ^ ":"
+  | Nop -> "nop"
+
+let func_str (f : func) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (".func " ^ f.name ^ "\n");
+  List.iter
+    (fun i ->
+      (match i with Label _ -> () | _ -> Buffer.add_string b "  ");
+      Buffer.add_string b (instr_str i);
+      Buffer.add_char b '\n')
+    f.body;
+  Buffer.add_string b ".end\n";
+  Buffer.contents b
+
+let program_str (p : program) =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (".entry " ^ p.entry ^ "\n");
+  List.iter (fun f -> Buffer.add_string b (func_str f)) p.funcs;
+  Buffer.contents b
+
+let pp_instr fmt i = Format.pp_print_string fmt (instr_str i)

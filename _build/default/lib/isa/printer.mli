@@ -1,0 +1,19 @@
+(** Textual assembly printer.  The format round-trips through {!Parser}. *)
+
+val alu_name : Types.alu_op -> string
+val falu_name : Types.falu_op -> string
+val cond_name : Types.cond -> string
+val width_suffix : Types.width -> string
+val syscall_name : Types.syscall -> string
+val operand_str : Types.operand -> string
+
+val instr_str : Types.instr -> string
+(** One instruction, without indentation or newline. *)
+
+val func_str : Types.func -> string
+(** A [.func name ... .end] block. *)
+
+val program_str : Types.program -> string
+(** Whole program, starting with the [.entry] directive. *)
+
+val pp_instr : Format.formatter -> Types.instr -> unit

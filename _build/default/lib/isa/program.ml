@@ -1,0 +1,133 @@
+(** Linker: flattens a {!Types.program} into a contiguous code image with
+    resolved control-flow targets, suitable for direct interpretation.
+
+    Function-local labels are resolved within each function.  Indirect calls
+    use "code addresses": [code_base + 4*index], a region disjoint from all
+    data regions so that code pointers can never pass a data bounds check
+    (the paper gives code pointers base = bound = MAXINT, see Section 6.1). *)
+
+open Types
+
+let code_base = 0x00010000
+
+type image = {
+  code : instr array;          (* Label pseudo-instrs removed *)
+  target : int array;          (* branch/jmp/call target index, or -1 *)
+  fn_of_index : string array;  (* enclosing function name, for diagnostics *)
+  entry : int;                 (* index of entry function's first instr *)
+  fn_entry : (string, int) Hashtbl.t;
+}
+
+let addr_of_index i = code_base + (4 * i)
+
+let index_of_addr a =
+  if a < code_base || (a - code_base) mod 4 <> 0 then None
+  else Some ((a - code_base) / 4)
+
+let link (p : program) : image =
+  let fn_entry = Hashtbl.create 64 in
+  (* First pass: compute instruction counts (labels are pseudo). *)
+  let count f =
+    List.fold_left
+      (fun n i -> match i with Label _ -> n | _ -> n + 1)
+      0 f.body
+  in
+  let total = List.fold_left (fun n f -> n + count f) 0 p.funcs in
+  let code = Array.make total Nop in
+  let target = Array.make total (-1) in
+  let fn_of_index = Array.make total "" in
+  (* Second pass: place instructions, record label positions. *)
+  let labels = Hashtbl.create 256 in
+  let pos = ref 0 in
+  List.iter
+    (fun f ->
+      if Hashtbl.mem fn_entry f.name then
+        raise (Invalid_program ("duplicate function: " ^ f.name));
+      Hashtbl.replace fn_entry f.name !pos;
+      List.iter
+        (fun i ->
+          match i with
+          | Label l ->
+            let key = f.name ^ "." ^ l in
+            if Hashtbl.mem labels key then
+              raise (Invalid_program ("duplicate label " ^ l ^ " in " ^ f.name));
+            Hashtbl.replace labels key !pos
+          | _ ->
+            code.(!pos) <- i;
+            fn_of_index.(!pos) <- f.name;
+            incr pos)
+        f.body)
+    p.funcs;
+  (* Third pass: resolve targets. *)
+  let local fn l =
+    match Hashtbl.find_opt labels (fn ^ "." ^ l) with
+    | Some t -> t
+    | None ->
+      raise (Invalid_program ("undefined label " ^ l ^ " in " ^ fn))
+  in
+  let global l =
+    match Hashtbl.find_opt fn_entry l with
+    | Some t -> t
+    | None -> raise (Invalid_program ("undefined function: " ^ l))
+  in
+  Array.iteri
+    (fun i instr ->
+      match instr with
+      | Branch (_, _, _, l) | Jmp l -> target.(i) <- local fn_of_index.(i) l
+      | Call l -> target.(i) <- global l
+      | Licode (_, l) -> target.(i) <- global l
+      | _ -> ())
+    code;
+  let entry =
+    match Hashtbl.find_opt fn_entry p.entry with
+    | Some e -> e
+    | None -> raise (Invalid_program ("undefined entry: " ^ p.entry))
+  in
+  { code; target; fn_of_index; entry; fn_entry }
+
+(** Static sanity checks run before linking: register ranges, r0 never
+    written, operands in 32-bit range. *)
+let validate (p : program) : (unit, string) result =
+  let ok = ref (Ok ()) in
+  let err m = if !ok = Ok () then ok := Error m in
+  let check_reg fn r =
+    if r < 0 || r >= num_regs then
+      err (Printf.sprintf "%s: register out of range: %d" fn r)
+  in
+  let check_dst fn r =
+    check_reg fn r;
+    if r = zero then err (fn ^ ": write to zero register")
+  in
+  let check_operand fn = function
+    | Reg r -> check_reg fn r
+    | Imm _ -> ()
+  in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun i ->
+          match i with
+          | Alu (_, rd, rs, o) ->
+            check_dst f.name rd; check_reg f.name rs; check_operand f.name o
+          | Falu (_, rd, r1, r2) ->
+            check_dst f.name rd; check_reg f.name r1; check_reg f.name r2
+          | Fneg (rd, rs) | Fsqrt (rd, rs)
+          | Cvt_f_of_i (rd, rs) | Cvt_i_of_f (rd, rs)
+          | Mov (rd, rs) | Readbase (rd, rs) | Readbound (rd, rs)
+          | Setbound_unsafe (rd, rs) ->
+            check_dst f.name rd; check_reg f.name rs
+          | Li (rd, _) | Licode (rd, _) -> check_dst f.name rd
+          | Load { dst; base; _ } ->
+            check_dst f.name dst; check_reg f.name base
+          | Store { src; base; _ } ->
+            check_reg f.name src; check_reg f.name base
+          | Setbound { dst; src; size }
+          | Setbound_narrow { dst; src; size } ->
+            check_dst f.name dst; check_reg f.name src;
+            check_operand f.name size
+          | Branch (_, r1, r2, _) -> check_reg f.name r1; check_reg f.name r2
+          | Call_reg r -> check_reg f.name r
+          | Jmp _ | Call _ | Ret | Syscall _ | Label _ | Nop -> ())
+        f.body)
+    p.funcs;
+  !ok

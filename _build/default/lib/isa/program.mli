@@ -1,0 +1,26 @@
+(** Linker: flattens a {!Types.program} into a contiguous code image with
+    resolved control-flow targets, suitable for direct interpretation. *)
+
+val code_base : int
+(** Base of the code-address region.  Code addresses
+    ([code_base + 4*index]) are disjoint from all data regions, so code
+    pointers can never pass a data bounds check (Section 6.1). *)
+
+type image = {
+  code : Types.instr array;          (** label pseudo-instructions removed *)
+  target : int array;                (** resolved branch/jmp/call/licode
+                                         target index, or -1 *)
+  fn_of_index : string array;        (** enclosing function, diagnostics *)
+  entry : int;                       (** first instruction of the entry *)
+  fn_entry : (string, int) Hashtbl.t;
+}
+
+val addr_of_index : int -> int
+val index_of_addr : int -> int option
+
+val link : Types.program -> image
+(** Raises {!Types.Invalid_program} on undefined/duplicate labels,
+    functions, or entry points. *)
+
+val validate : Types.program -> (unit, string) result
+(** Static sanity checks (register ranges, no writes to r0). *)

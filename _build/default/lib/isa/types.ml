@@ -1,0 +1,145 @@
+(** Instruction-set definition for the HardBound target machine.
+
+    The paper evaluates on a 32-bit x86; per DESIGN.md we substitute a small
+    RISC-like ISA with x86-style [reg+imm] addressing.  What matters for the
+    reproduction is the set of pointer-manipulating instructions whose
+    metadata-propagation semantics Figure 3 of the paper defines ([add],
+    [sub], [mov], loads and stores) plus the new HardBound instructions
+    ([setbound], [readbase], [readbound]). *)
+
+type reg = int
+(** Register number, [0..num_regs-1].  Register 0 is hardwired to zero. *)
+
+let num_regs = 32
+
+(* Conventional register assignments used by the MiniC compiler and the
+   runtime.  The hardware itself treats all registers uniformly (except
+   [zero]). *)
+let zero = 0
+let ra = 1 (* return address *)
+let sp = 2 (* stack pointer; carries whole-stack bounds in HardBound mode *)
+let fp = 3 (* frame pointer *)
+let gp = 4 (* global pointer; carries whole-globals bounds *)
+let a0 = 5 (* first argument / return value *)
+let a1 = 6
+let a2 = 7
+let a3 = 8
+let t0 = 10 (* scratch *)
+let t1 = 11
+let t2 = 12
+let t3 = 13
+let t4 = 14
+let t5 = 15
+
+let reg_name r =
+  match r with
+  | 0 -> "zero"
+  | 1 -> "ra"
+  | 2 -> "sp"
+  | 3 -> "fp"
+  | 4 -> "gp"
+  | 5 -> "a0"
+  | 6 -> "a1"
+  | 7 -> "a2"
+  | 8 -> "a3"
+  | 9 -> "a4"
+  | n when n >= 10 && n <= 15 -> "t" ^ string_of_int (n - 10)
+  | n -> "r" ^ string_of_int n
+
+type operand = Reg of reg | Imm of int
+
+(** Integer ALU operations.  The [S*] family writes 0/1 comparison results.
+    Per the paper (Section 3.1), [Add] and [Sub] propagate pointer bounds;
+    the multiply/divide/shift/logical family clears them. *)
+type alu_op =
+  | Add | Sub
+  | Mul | Div | Rem
+  | And | Or | Xor
+  | Shl | Shr | Sar
+  | Slt | Sle | Seq | Sne | Sgt | Sge
+  | Sltu
+
+(** Float (binary32) operations; registers hold the raw bit pattern. *)
+type falu_op = Fadd | Fsub | Fmul | Fdiv | Fslt | Fsle | Feq
+
+type width = W1 | W2 | W4
+
+let bytes_of_width = function W1 -> 1 | W2 -> 2 | W4 -> 4
+
+type cond = Eq | Ne | Lt | Ge | Le | Gt
+
+(** System calls recognized by the simulator.  The paper runs under a full
+    OS (Simics); we substitute direct syscalls since HardBound is disabled
+    in kernel mode anyway. *)
+type syscall =
+  | Sys_exit        (* a0 = status *)
+  | Sys_print_int   (* a0 = value *)
+  | Sys_print_char  (* a0 = byte *)
+  | Sys_print_float (* a0 = float bits *)
+  | Sys_sbrk        (* a0 = size; returns old break in a0 *)
+  | Sys_abort       (* a0 = error code; used by software-check aborts *)
+  | Sys_mark_alloc  (* a0 = ptr, a1 = size; temporal-extension tracking *)
+  | Sys_mark_free   (* a0 = ptr, a1 = size *)
+
+type label = string
+
+type instr =
+  | Alu of alu_op * reg * reg * operand      (* rd <- rs OP operand *)
+  | Falu of falu_op * reg * reg * reg        (* rd <- rs1 FOP rs2 *)
+  | Fneg of reg * reg
+  | Fsqrt of reg * reg
+  | Cvt_f_of_i of reg * reg                  (* rd <- float_of_int rs *)
+  | Cvt_i_of_f of reg * reg                  (* rd <- int_of_float rs (trunc) *)
+  | Li of reg * int                          (* rd <- imm; clears metadata *)
+  | Mov of reg * reg                         (* rd <- rs; copies metadata *)
+  | Load of { dst : reg; base : reg; off : int; width : width; signed : bool }
+  | Store of { src : reg; base : reg; off : int; width : width }
+  | Setbound of { dst : reg; src : reg; size : operand }
+      (* rd <- {src.value; base=src.value; bound=src.value+size} *)
+  | Setbound_narrow of { dst : reg; src : reg; size : operand }
+      (* compiler-inserted sub-object narrowing: the new bounds are the
+         INTERSECTION of [src.value, src.value+size) with src's existing
+         bounds (raw setbound if src is a non-pointer).  Unlike the raw
+         setbound -- which the trusted runtime uses and which may widen --
+         narrowing can never grant access the source pointer lacked, so a
+         struct cast to a larger type cannot manufacture capability. *)
+  | Setbound_unsafe of reg * reg
+      (* the paper's escape hatch: base=0, bound=MAXINT *)
+  | Readbase of reg * reg                    (* rd <- rs.base (non-pointer) *)
+  | Readbound of reg * reg                   (* rd <- rs.bound (non-pointer) *)
+  | Licode of reg * label
+      (* rd <- code address of function; base=bound=MAXINT (code pointer) *)
+  | Branch of cond * reg * reg * label
+  | Jmp of label
+  | Call of label
+  | Call_reg of reg                          (* indirect call via code addr *)
+  | Ret
+  | Syscall of syscall
+  | Label of label                           (* pseudo-instruction *)
+  | Nop
+
+(** A function is a named instruction sequence; labels are function-local. *)
+type func = { name : string; body : instr list }
+
+type program = { funcs : func list; entry : string }
+
+exception Invalid_program of string
+
+let mask32 v = v land 0xFFFFFFFF
+
+let max_int32u = 0xFFFFFFFF
+(** MAXINT of the paper: the all-ones 32-bit value used for code pointers
+    (base = bound = MAXINT) and unsafe pointers (base = 0, bound = MAXINT). *)
+
+(* Sign-extend a [w]-byte little-endian value already masked to its width. *)
+let sign_extend w v =
+  match w with
+  | W1 -> if v land 0x80 <> 0 then mask32 (v lor 0xFFFFFF00) else v
+  | W2 -> if v land 0x8000 <> 0 then mask32 (v lor 0xFFFF0000) else v
+  | W4 -> v
+
+(* Interpret a masked 32-bit value as a signed OCaml int. *)
+let to_signed v = if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+let float_of_bits v = Int32.float_of_bits (Int32.of_int (to_signed v))
+let bits_of_float f = mask32 (Int32.to_int (Int32.bits_of_float f))

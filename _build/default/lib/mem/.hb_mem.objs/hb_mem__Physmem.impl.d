@@ -1,0 +1,1 @@
+lib/mem/physmem.ml: Bytes Char Hashtbl Layout List Printf String

@@ -1,0 +1,95 @@
+(** Sparse paged physical memory.
+
+    Pages are allocated (zero-filled) on first touch; the set of touched
+    pages per {!Layout.region} is the raw material for the paper's Figure 6
+    (memory overhead measured in distinct 4KB pages). *)
+
+type t = {
+  pages : (int, Bytes.t) Hashtbl.t; (* page index -> page bytes *)
+  mutable touched_by_region : (Layout.region * int ref) list;
+}
+
+let create () =
+  {
+    pages = Hashtbl.create 1024;
+    touched_by_region =
+      List.map
+        (fun r -> (r, ref 0))
+        Layout.[ Code; Globals; Heap; Stack; Tag_space; Shadow_space; Other ];
+  }
+
+let page_of t addr =
+  let idx = addr / Layout.page_size in
+  match Hashtbl.find_opt t.pages idx with
+  | Some p -> p
+  | None ->
+    let p = Bytes.make Layout.page_size '\000' in
+    Hashtbl.replace t.pages idx p;
+    let region = Layout.region_of (idx * Layout.page_size) in
+    incr (List.assq region t.touched_by_region);
+    p
+
+let check_addr addr =
+  if addr < Layout.null_guard_limit || addr > 0xFFFFFFFF then
+    failwith (Printf.sprintf "physmem: invalid address 0x%x" addr)
+
+let read_u8 t addr =
+  check_addr addr;
+  let p = page_of t addr in
+  Char.code (Bytes.unsafe_get p (addr land (Layout.page_size - 1)))
+
+let write_u8 t addr v =
+  check_addr addr;
+  let p = page_of t addr in
+  Bytes.unsafe_set p (addr land (Layout.page_size - 1)) (Char.chr (v land 0xFF))
+
+let read_u16 t addr = read_u8 t addr lor (read_u8 t (addr + 1) lsl 8)
+
+let write_u16 t addr v =
+  write_u8 t addr v;
+  write_u8 t (addr + 1) (v lsr 8)
+
+let read_u32 t addr =
+  check_addr addr;
+  let off = addr land (Layout.page_size - 1) in
+  if off <= Layout.page_size - 4 then begin
+    let p = page_of t addr in
+    Char.code (Bytes.unsafe_get p off)
+    lor (Char.code (Bytes.unsafe_get p (off + 1)) lsl 8)
+    lor (Char.code (Bytes.unsafe_get p (off + 2)) lsl 16)
+    lor (Char.code (Bytes.unsafe_get p (off + 3)) lsl 24)
+  end
+  else read_u16 t addr lor (read_u16 t (addr + 2) lsl 16)
+
+let write_u32 t addr v =
+  check_addr addr;
+  let off = addr land (Layout.page_size - 1) in
+  if off <= Layout.page_size - 4 then begin
+    let p = page_of t addr in
+    Bytes.unsafe_set p off (Char.unsafe_chr (v land 0xFF));
+    Bytes.unsafe_set p (off + 1) (Char.unsafe_chr ((v lsr 8) land 0xFF));
+    Bytes.unsafe_set p (off + 2) (Char.unsafe_chr ((v lsr 16) land 0xFF));
+    Bytes.unsafe_set p (off + 3) (Char.unsafe_chr ((v lsr 24) land 0xFF))
+  end
+  else begin
+    write_u16 t addr v;
+    write_u16 t (addr + 2) (v lsr 16)
+  end
+
+(** Read/modify a bit field inside a tag-space byte. *)
+let read_bits t addr shift mask = (read_u8 t addr lsr shift) land mask
+
+let write_bits t addr shift mask v =
+  let old = read_u8 t addr in
+  write_u8 t addr (old land lnot (mask lsl shift) lor ((v land mask) lsl shift))
+
+let pages_touched t = Hashtbl.length t.pages
+
+let pages_touched_in t region = !(List.assq region t.touched_by_region)
+
+(** Bulk helpers used by the program loader. *)
+let write_bytes t addr (s : string) =
+  String.iteri (fun i c -> write_u8 t (addr + i) (Char.code c)) s
+
+let read_string t addr len =
+  String.init len (fun i -> Char.chr (read_u8 t (addr + i)))

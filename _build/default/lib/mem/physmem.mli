@@ -1,0 +1,31 @@
+(** Sparse paged physical memory.  Pages are allocated (zero-filled) on
+    first touch; the per-region touched-page counts drive the paper's
+    Figure 6 (memory overhead in distinct 4KB pages). *)
+
+type t
+
+val create : unit -> t
+
+val read_u8 : t -> int -> int
+val write_u8 : t -> int -> int -> unit
+val read_u16 : t -> int -> int
+val write_u16 : t -> int -> int -> unit
+val read_u32 : t -> int -> int
+val write_u32 : t -> int -> int -> unit
+
+val read_bits : t -> int -> int -> int -> int
+(** [read_bits t addr shift mask]: extract a bit field from a byte — used
+    for the tag metadata space. *)
+
+val write_bits : t -> int -> int -> int -> int -> unit
+(** [write_bits t addr shift mask v]: read-modify-write a bit field. *)
+
+val pages_touched : t -> int
+(** Distinct pages materialized so far. *)
+
+val pages_touched_in : t -> Layout.region -> int
+
+val write_bytes : t -> int -> string -> unit
+(** Bulk store (program loader). *)
+
+val read_string : t -> int -> int -> string

@@ -1,0 +1,1 @@
+lib/minic/codegen.ml: Ast Bytes Hardbound Hashtbl Hb_isa Hb_mem List Option Printf String Tast

@@ -1,0 +1,1 @@
+lib/minic/driver.ml: Codegen Hb_isa Lexer Parser Printf Typecheck

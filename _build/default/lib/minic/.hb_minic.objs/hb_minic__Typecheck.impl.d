@@ -1,0 +1,1 @@
+lib/minic/typecheck.ml: Ast Bytes Char Hashtbl Hb_isa List Option Printf String Tast

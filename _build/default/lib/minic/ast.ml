@@ -1,0 +1,130 @@
+(** Abstract syntax for MiniC, the C subset the reproduction's compiler
+    accepts.  It covers what the Olden benchmarks, the runtime library and
+    the violation corpus need: int/char/float scalars, pointers, arrays
+    (including arrays inside structs — the case object-table schemes cannot
+    protect, Section 2.2 of the paper), structs, the usual operators and
+    control flow, casts and sizeof. *)
+
+type ty =
+  | Tvoid
+  | Tint
+  | Tchar
+  | Tfloat
+  | Tptr of ty
+  | Tarray of ty * int
+  | Tstruct of string
+
+type unop =
+  | Neg   (* -e, integer or float *)
+  | Lnot  (* !e *)
+  | Bnot  (* ~e *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Shl | Shr
+  | Band | Bor | Bxor
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | Land | Lor
+
+type expr =
+  | Eint of int
+  | Efloat of float
+  | Estr of string
+  | Evar of string
+  | Eunop of unop * expr
+  | Ebinop of binop * expr * expr
+  | Eassign of expr * expr
+  | Ecall of string * expr list
+  | Eindex of expr * expr
+  | Ederef of expr
+  | Eaddr of expr
+  | Efield of expr * string   (* e.f *)
+  | Earrow of expr * string   (* e->f *)
+  | Ecast of ty * expr
+  | Esizeof of ty
+  | Econd of expr * expr * expr
+  | Eincr of incr_kind * expr (* ++/-- as expression *)
+
+and incr_kind = Pre_inc | Pre_dec | Post_inc | Post_dec
+
+type stmt =
+  | Sexpr of expr
+  | Sdecl of ty * string * expr option
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sdo of stmt list * expr
+  | Sfor of stmt option * expr option * expr option * stmt list
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sblock of stmt list
+
+(** Static initializers for globals (written into the data image by the
+    loader, except pointer initializers which become startup code). *)
+type ginit =
+  | Init_scalar of expr      (* constant int/char/float expression *)
+  | Init_list of expr list   (* array initializer *)
+  | Init_string of string    (* char array initializer *)
+
+type global = { gname : string; gty : ty; ginit : ginit option }
+
+type fundef = {
+  fname : string;
+  fret : ty;
+  fparams : (ty * string) list;
+  fbody : stmt list;
+}
+
+type struct_def = { sname : string; sfields : (ty * string) list }
+
+type decl =
+  | Dstruct of struct_def
+  | Dglobal of global
+  | Dfun of fundef
+
+type tunit = decl list
+
+(* ---- pretty-printing (diagnostics and tests) ------------------------ *)
+
+let rec ty_str = function
+  | Tvoid -> "void"
+  | Tint -> "int"
+  | Tchar -> "char"
+  | Tfloat -> "float"
+  | Tptr t -> ty_str t ^ "*"
+  | Tarray (t, n) -> Printf.sprintf "%s[%d]" (ty_str t) n
+  | Tstruct s -> "struct " ^ s
+
+let binop_str = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Shl -> "<<" | Shr -> ">>"
+  | Band -> "&" | Bor -> "|" | Bxor -> "^"
+  | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+  | Land -> "&&" | Lor -> "||"
+
+let rec expr_str = function
+  | Eint n -> string_of_int n
+  | Efloat f -> Printf.sprintf "%g" f
+  | Estr s -> Printf.sprintf "%S" s
+  | Evar v -> v
+  | Eunop (Neg, e) -> "-(" ^ expr_str e ^ ")"
+  | Eunop (Lnot, e) -> "!(" ^ expr_str e ^ ")"
+  | Eunop (Bnot, e) -> "~(" ^ expr_str e ^ ")"
+  | Ebinop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr_str a) (binop_str op) (expr_str b)
+  | Eassign (l, r) -> Printf.sprintf "(%s = %s)" (expr_str l) (expr_str r)
+  | Ecall (f, args) ->
+    Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr_str args))
+  | Eindex (e, i) -> Printf.sprintf "%s[%s]" (expr_str e) (expr_str i)
+  | Ederef e -> "*(" ^ expr_str e ^ ")"
+  | Eaddr e -> "&(" ^ expr_str e ^ ")"
+  | Efield (e, f) -> expr_str e ^ "." ^ f
+  | Earrow (e, f) -> expr_str e ^ "->" ^ f
+  | Ecast (t, e) -> Printf.sprintf "(%s)(%s)" (ty_str t) (expr_str e)
+  | Esizeof t -> Printf.sprintf "sizeof(%s)" (ty_str t)
+  | Econd (c, a, b) ->
+    Printf.sprintf "(%s ? %s : %s)" (expr_str c) (expr_str a) (expr_str b)
+  | Eincr (Pre_inc, e) -> "++" ^ expr_str e
+  | Eincr (Pre_dec, e) -> "--" ^ expr_str e
+  | Eincr (Post_inc, e) -> expr_str e ^ "++"
+  | Eincr (Post_dec, e) -> expr_str e ^ "--"

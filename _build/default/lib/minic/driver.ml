@@ -1,0 +1,29 @@
+(** Front-to-back compilation pipeline: source text -> linked image. *)
+
+exception Compile_error of string
+
+let compile_source ~(mode : Codegen.mode) (source : string) : Codegen.compiled =
+  let tunit =
+    try Parser.parse_tunit source with
+    | Parser.Parse_error (line, msg) ->
+      raise (Compile_error (Printf.sprintf "parse error at line %d: %s" line msg))
+    | Lexer.Lex_error (line, msg) ->
+      raise (Compile_error (Printf.sprintf "lex error at line %d: %s" line msg))
+  in
+  let typed =
+    try Typecheck.check_tunit tunit
+    with Typecheck.Type_error msg ->
+      raise (Compile_error ("type error: " ^ msg))
+  in
+  try Codegen.compile ~mode typed
+  with Codegen.Codegen_error msg ->
+    raise (Compile_error ("codegen error: " ^ msg))
+
+(** Compile and link to an executable image. *)
+let build ~mode source =
+  let compiled = compile_source ~mode source in
+  (match Hb_isa.Program.validate compiled.Codegen.program with
+   | Ok () -> ()
+   | Error e -> raise (Compile_error ("invalid generated code: " ^ e)));
+  let image = Hb_isa.Program.link compiled.Codegen.program in
+  (image, compiled.Codegen.globals_image)

@@ -1,0 +1,11 @@
+(** Front-to-back compilation pipeline: source text -> linked image. *)
+
+exception Compile_error of string
+(** Lex, parse, type and codegen errors, uniformly reported. *)
+
+val compile_source : mode:Codegen.mode -> string -> Codegen.compiled
+(** Parse, typecheck and generate code for one translation unit. *)
+
+val build : mode:Codegen.mode -> string -> Hb_isa.Program.image * string
+(** {!compile_source}, then validate and link.  Returns the executable
+    image and the initial globals byte image. *)

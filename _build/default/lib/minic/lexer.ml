@@ -1,0 +1,232 @@
+(** Hand-written lexer for MiniC. *)
+
+type token =
+  | INT_LIT of int
+  | FLOAT_LIT of float
+  | STR_LIT of string
+  | IDENT of string
+  | KW of string       (* int char float void struct if else while for do
+                          return break continue sizeof *)
+  | PUNCT of string    (* operators and delimiters *)
+  | EOF
+
+exception Lex_error of int * string
+
+let keywords =
+  [ "int"; "char"; "float"; "void"; "struct"; "if"; "else"; "while";
+    "for"; "do"; "return"; "break"; "continue"; "sizeof" ]
+
+(* Longest-match punctuation, ordered by length. *)
+let puncts3 = [ "<<="; ">>=" ]
+let puncts2 =
+  [ "=="; "!="; "<="; ">="; "&&"; "||"; "<<"; ">>"; "++"; "--";
+    "+="; "-="; "*="; "/="; "%="; "&="; "|="; "^="; "->" ]
+let puncts1 =
+  [ "+"; "-"; "*"; "/"; "%"; "="; "<"; ">"; "!"; "~"; "&"; "|"; "^";
+    "("; ")"; "{"; "}"; "["; "]"; ";"; ","; "."; "?"; ":" ]
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable tok : token;
+  mutable tok_line : int;
+}
+
+let error lx msg = raise (Lex_error (lx.line, msg))
+
+let peek_char lx =
+  if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let peek2_char lx =
+  if lx.pos + 1 < String.length lx.src then Some lx.src.[lx.pos + 1] else None
+
+let advance lx =
+  (if lx.pos < String.length lx.src && lx.src.[lx.pos] = '\n' then
+     lx.line <- lx.line + 1);
+  lx.pos <- lx.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || is_digit c
+
+let rec skip_ws lx =
+  match peek_char lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance lx;
+    skip_ws lx
+  | Some '/' when peek2_char lx = Some '/' ->
+    while peek_char lx <> None && peek_char lx <> Some '\n' do
+      advance lx
+    done;
+    skip_ws lx
+  | Some '/' when peek2_char lx = Some '*' ->
+    advance lx;
+    advance lx;
+    let rec go () =
+      match peek_char lx with
+      | None -> error lx "unterminated comment"
+      | Some '*' when peek2_char lx = Some '/' ->
+        advance lx;
+        advance lx
+      | Some _ ->
+        advance lx;
+        go ()
+    in
+    go ();
+    skip_ws lx
+  | _ -> ()
+
+let escape lx c =
+  match c with
+  | 'n' -> '\n'
+  | 't' -> '\t'
+  | 'r' -> '\r'
+  | '0' -> '\000'
+  | '\\' -> '\\'
+  | '\'' -> '\''
+  | '"' -> '"'
+  | c -> error lx (Printf.sprintf "unknown escape \\%c" c)
+
+let lex_number lx =
+  let start = lx.pos in
+  if
+    peek_char lx = Some '0'
+    && (peek2_char lx = Some 'x' || peek2_char lx = Some 'X')
+  then begin
+    advance lx;
+    advance lx;
+    while (match peek_char lx with Some c -> is_hex c | None -> false) do
+      advance lx
+    done;
+    INT_LIT (int_of_string (String.sub lx.src start (lx.pos - start)))
+  end
+  else begin
+    while (match peek_char lx with Some c -> is_digit c | None -> false) do
+      advance lx
+    done;
+    let is_float =
+      peek_char lx = Some '.'
+      && (match peek2_char lx with Some c -> is_digit c | None -> false)
+    in
+    if is_float then begin
+      advance lx;
+      while (match peek_char lx with Some c -> is_digit c | None -> false) do
+        advance lx
+      done;
+      (match peek_char lx with
+       | Some ('e' | 'E') ->
+         advance lx;
+         (match peek_char lx with
+          | Some ('+' | '-') -> advance lx
+          | _ -> ());
+         while (match peek_char lx with Some c -> is_digit c | None -> false) do
+           advance lx
+         done
+       | _ -> ());
+      FLOAT_LIT (float_of_string (String.sub lx.src start (lx.pos - start)))
+    end
+    else INT_LIT (int_of_string (String.sub lx.src start (lx.pos - start)))
+  end
+
+let next_token lx =
+  skip_ws lx;
+  lx.tok_line <- lx.line;
+  match peek_char lx with
+  | None -> EOF
+  | Some c when is_digit c -> lex_number lx
+  | Some c when is_ident_start c ->
+    let start = lx.pos in
+    while (match peek_char lx with Some c -> is_ident c | None -> false) do
+      advance lx
+    done;
+    let s = String.sub lx.src start (lx.pos - start) in
+    if List.mem s keywords then KW s else IDENT s
+  | Some '\'' ->
+    advance lx;
+    let c =
+      match peek_char lx with
+      | Some '\\' ->
+        advance lx;
+        let e =
+          match peek_char lx with
+          | Some e -> e
+          | None -> error lx "unterminated char"
+        in
+        advance lx;
+        escape lx e
+      | Some c ->
+        advance lx;
+        c
+      | None -> error lx "unterminated char"
+    in
+    if peek_char lx <> Some '\'' then error lx "expected closing quote";
+    advance lx;
+    INT_LIT (Char.code c)
+  | Some '"' ->
+    advance lx;
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek_char lx with
+      | None -> error lx "unterminated string"
+      | Some '"' -> advance lx
+      | Some '\\' ->
+        advance lx;
+        (match peek_char lx with
+         | Some e ->
+           advance lx;
+           Buffer.add_char b (escape lx e);
+           go ()
+         | None -> error lx "unterminated string")
+      | Some c ->
+        advance lx;
+        Buffer.add_char b c;
+        go ()
+    in
+    go ();
+    STR_LIT (Buffer.contents b)
+  | Some _ ->
+    let try_punct lst n =
+      if lx.pos + n <= String.length lx.src then
+        let s = String.sub lx.src lx.pos n in
+        if List.mem s lst then Some s else None
+      else None
+    in
+    (match try_punct puncts3 3 with
+     | Some s ->
+       lx.pos <- lx.pos + 3;
+       PUNCT s
+     | None ->
+       (match try_punct puncts2 2 with
+        | Some s ->
+          lx.pos <- lx.pos + 2;
+          PUNCT s
+        | None ->
+          (match try_punct puncts1 1 with
+           | Some s ->
+             advance lx;
+             PUNCT s
+           | None ->
+             error lx
+               (Printf.sprintf "unexpected character %C" lx.src.[lx.pos]))))
+
+let create src =
+  let lx = { src; pos = 0; line = 1; tok = EOF; tok_line = 1 } in
+  lx.tok <- next_token lx;
+  lx
+
+let token lx = lx.tok
+let token_line lx = lx.tok_line
+
+let junk lx = lx.tok <- next_token lx
+
+let token_str = function
+  | INT_LIT n -> string_of_int n
+  | FLOAT_LIT f -> Printf.sprintf "%g" f
+  | STR_LIT s -> Printf.sprintf "%S" s
+  | IDENT s -> s
+  | KW s -> s
+  | PUNCT s -> s
+  | EOF -> "<eof>"

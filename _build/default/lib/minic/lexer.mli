@@ -1,0 +1,31 @@
+(** Hand-written lexer for MiniC. *)
+
+type token =
+  | INT_LIT of int
+  | FLOAT_LIT of float
+  | STR_LIT of string
+  | IDENT of string
+  | KW of string
+  | PUNCT of string
+  | EOF
+
+exception Lex_error of int * string
+(** Line number (1-based) and message. *)
+
+val keywords : string list
+
+type t
+
+val create : string -> t
+(** Start lexing a source string; the first token is ready immediately. *)
+
+val token : t -> token
+(** Current lookahead token. *)
+
+val token_line : t -> int
+(** Line where the current token starts. *)
+
+val junk : t -> unit
+(** Advance to the next token. *)
+
+val token_str : token -> string

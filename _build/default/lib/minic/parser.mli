@@ -1,0 +1,9 @@
+(** Recursive-descent parser for MiniC. *)
+
+exception Parse_error of int * string
+(** Line number (1-based) and message. *)
+
+val parse_tunit : string -> Ast.tunit
+(** Parse a translation unit (struct definitions, globals with optional
+    initializers, function definitions).  Raises {!Parse_error} or
+    {!Lexer.Lex_error}. *)

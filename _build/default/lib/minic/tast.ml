@@ -1,0 +1,86 @@
+(** Typed abstract syntax produced by {!Typecheck} and consumed by
+    {!Codegen}.
+
+    The typechecker makes all pointer-creation points explicit as [Bound]
+    nodes — exactly the places where the paper's compiler inserts
+    [setbound] (Section 3.2): array decay, address-taken locals/globals,
+    sub-object (struct-field) narrowing, string literals.  Each
+    instrumentation mode then interprets [Bound] its own way (hardware
+    setbound, software fat-pointer triple, or nothing). *)
+
+open Ast
+
+type texpr = { desc : tdesc; ty : ty }
+
+and tdesc =
+  | Cint of int
+  | Cfloat of float
+  | Cstr of string           (* address of interned literal, ty char* *)
+  | Load of tlval            (* scalar rvalue read *)
+  | AddrOf of tlval          (* address, bounds inherited (no narrowing) *)
+  | Bound of texpr * int     (* pointer creation: narrow to [e, e+size) *)
+  | Bound_dyn of texpr * texpr   (* __setbound(p, n) with runtime size *)
+  | Bound_unsafe of texpr        (* __setbound_unsafe: the escape hatch *)
+  | Unop of unop * texpr
+  | Binop of binop * texpr * texpr    (* integer/pointer-compare ops *)
+  | Fbinop of binop * texpr * texpr   (* float arithmetic/comparison *)
+  | Ptr_add of texpr * texpr * int    (* ptr + idx * scale *)
+  | Ptr_diff of texpr * texpr * int   (* (p - q) / scale *)
+  | Assign of tlval * texpr
+  | Call of string * texpr list
+  | Builtin of string * texpr list
+  | Cond of texpr * texpr * texpr
+  | And_or of bool * texpr * texpr    (* true = && *)
+  | Int_of_float of texpr
+  | Float_of_int of texpr
+  | Incr of incr_kind * tlval * int   (* step in units (elem size for ptrs) *)
+  | Seq of texpr * texpr              (* evaluate both, keep second *)
+
+(** Lvalues.  Frame and global lvalues are accessed directly relative to
+    the (whole-region-bounded) stack/global pointers — the paper's model
+    where plain accesses to stack objects need no bounded pointer.  [Lmem]
+    is an access through a computed (bounded) pointer. *)
+and tlval =
+  | Lframe of string * int * ty  (* local name, constant byte offset, elem *)
+  | Lglob of string * int * ty
+  | Lmem of texpr * ty
+
+type tfun = {
+  tf_name : string;
+  tf_ret : ty;
+  tf_params : (string * ty) list;
+  tf_body : tstmt list;
+  tf_addressable_arrays : (string * int) list;
+      (* locals needing object-table registration: (name, size) *)
+}
+
+and tstmt =
+  | Texpr of texpr
+  | Tdecl of string * ty * texpr option
+  | Tif of texpr * tstmt list * tstmt list
+  | Twhile of texpr * tstmt list
+  | Tdo of tstmt list * texpr
+  | Tfor of tstmt option * texpr option * texpr option * tstmt list
+  | Treturn of texpr option
+  | Tbreak
+  | Tcontinue
+  | Tblock of tstmt list
+
+type tglobal = {
+  tg_name : string;
+  tg_ty : ty;
+  tg_size : int;
+  tg_bytes : string option;       (* static data image, zero if None *)
+  tg_startup : texpr option;      (* pointer initializers run in _start *)
+}
+
+type tprogram = {
+  tp_globals : tglobal list;
+  tp_funcs : tfun list;
+  tp_structs : (string * int) list;  (* name, size: for diagnostics *)
+}
+
+let ty_of t = t.ty
+
+let lval_ty = function
+  | Lframe (_, _, t) | Lglob (_, _, t) | Lmem (_, t) -> t

@@ -1,0 +1,17 @@
+(** Type checker and lowering to {!Tast}.
+
+    Besides C-subset checking, this pass decides where bounded pointers
+    are *created* — the paper's instrumentation points (Section 3.2) —
+    and marks them with [Bound] nodes: array decay, address-taken
+    locals/globals, sub-object (struct field) narrowing, string
+    literals.  [&p[i]] and [&*p] deliberately keep the source pointer's
+    bounds (the paper's conservative treatment of [&q[3]]). *)
+
+exception Type_error of string
+
+val is_builtin : string -> bool
+(** Compiler intrinsics ([__setbound], [print_int], [sbrk], ...). *)
+
+val check_tunit : Ast.tunit -> Tast.tprogram
+(** Check a whole translation unit (must define [main]).  Raises
+    {!Type_error}. *)

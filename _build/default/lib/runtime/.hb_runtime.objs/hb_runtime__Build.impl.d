@@ -1,0 +1,1 @@
+lib/runtime/build.ml: Hardbound Hb_cpu Hb_minic Runtime_src

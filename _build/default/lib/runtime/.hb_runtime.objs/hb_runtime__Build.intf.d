@@ -1,0 +1,1 @@
+lib/runtime/build.mli: Hardbound Hb_cpu Hb_isa Hb_minic

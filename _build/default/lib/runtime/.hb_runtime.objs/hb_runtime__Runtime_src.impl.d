@@ -1,0 +1,1 @@
+lib/runtime/runtime_src.ml: Printf String

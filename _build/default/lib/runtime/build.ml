@@ -1,0 +1,37 @@
+(** Compile MiniC programs against the runtime and execute them on the
+    simulated HardBound machine. *)
+
+module Codegen = Hb_minic.Codegen
+module Driver = Hb_minic.Driver
+module Machine = Hb_cpu.Machine
+module Encoding = Hardbound.Encoding
+
+(** Compile runtime + user source (one translation unit). *)
+let compile ~(mode : Codegen.mode) (user_source : string) =
+  Driver.build ~mode (Runtime_src.source ^ "\n" ^ user_source)
+
+let default_fuel = 400_000_000
+
+let config_for ?(scheme = Encoding.Extern4) ?(temporal = false)
+    ?(tripwire = false) ?(checked_deref_uop = false)
+    ?(max_instrs = default_fuel) (mode : Codegen.mode) : Machine.config =
+  {
+    Machine.scheme;
+    mode = Codegen.machine_mode mode;
+    checked_deref_uop;
+    temporal;
+    tripwire;
+    max_instrs;
+  }
+
+(** Compile and run; returns final status and the machine (for output,
+    stats, page counts). *)
+let run ?scheme ?temporal ?tripwire ?checked_deref_uop ?max_instrs ~mode
+    user_source =
+  let image, globals = compile ~mode user_source in
+  let config =
+    config_for ?scheme ?temporal ?tripwire ?checked_deref_uop ?max_instrs mode
+  in
+  let m = Machine.create ~config ~globals image in
+  let status = Machine.run m in
+  (status, m)

@@ -1,0 +1,31 @@
+(** Compile MiniC programs against the runtime and execute them on the
+    simulated HardBound machine. *)
+
+val compile :
+  mode:Hb_minic.Codegen.mode -> string -> Hb_isa.Program.image * string
+(** Compile runtime + user source as one translation unit; returns the
+    linked image and the globals byte image. *)
+
+val default_fuel : int
+
+val config_for :
+  ?scheme:Hardbound.Encoding.scheme ->
+  ?temporal:bool ->
+  ?tripwire:bool ->
+  ?checked_deref_uop:bool ->
+  ?max_instrs:int ->
+  Hb_minic.Codegen.mode ->
+  Hb_cpu.Machine.config
+(** Machine configuration matching a compilation mode. *)
+
+val run :
+  ?scheme:Hardbound.Encoding.scheme ->
+  ?temporal:bool ->
+  ?tripwire:bool ->
+  ?checked_deref_uop:bool ->
+  ?max_instrs:int ->
+  mode:Hb_minic.Codegen.mode ->
+  string ->
+  Hb_cpu.Machine.status * Hb_cpu.Machine.t
+(** Compile and run; the returned machine gives access to program output,
+    statistics and page counts. *)

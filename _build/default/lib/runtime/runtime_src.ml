@@ -1,0 +1,338 @@
+(** The C runtime library, written in MiniC and compiled together with
+    every program (single translation unit; there is no linker).
+
+    The allocator is the paper's instrumented [malloc] (Section 3.2): it
+    communicates object extents to whichever protection scheme is active
+    through three builtins the compiler lowers per mode —
+    [__setbound] (HardBound hardware / software fat pointers),
+    [__register_object]/[__unregister_object] (object-table baseline), and
+    [__mark_alloc]/[__mark_free] (the temporal-tracking extension).
+
+    The object table itself — a Sleator-Tarjan top-down splay tree, as in
+    Jones&Kelly — is also MiniC code, so its cost is measured by the same
+    simulator as everything else. *)
+
+let allocator = {src|
+/* ---- allocator ------------------------------------------------------ */
+
+struct __hdr { int size; struct __hdr *next; };
+
+struct __hdr *__free_list;
+
+char *malloc(int n) {
+  struct __hdr *h;
+  struct __hdr *prev;
+  char *raw;
+  char *user;
+  int total;
+  if (n < 1) { n = 1; }
+  /* capacity is word-rounded, but bounds cover the REQUESTED size: an
+     access into the padding is still a spatial violation.  The extra 16
+     bytes are a red zone left unmarked in the allocation-state map, so
+     the Section 2.1 tripwire baseline has something to trip on. */
+  total = ((n + 3) & ~3) + 8 + 16;
+  /* first-fit reuse from the free list */
+  prev = (struct __hdr*)0;
+  h = __free_list;
+  while (h != 0) {
+    if (h->size >= n) {
+      if (prev == 0) { __free_list = h->next; }
+      else { prev->next = h->next; }
+      h->size = n;
+      user = (char*)h + 8;
+      user = __setbound(user, n);
+      __register_object(user, n);
+      __mark_alloc(user, n);
+      return user;
+    }
+    prev = h;
+    h = h->next;
+  }
+  raw = sbrk(total);
+  __mark_alloc(raw, 8);  /* header only: the red zone stays unmarked */
+  h = (struct __hdr*)__setbound(raw, total);
+  h->size = n;
+  h->next = (struct __hdr*)0;
+  user = (char*)h + 8;
+  user = __setbound(user, n);
+  __register_object(user, n);
+  __mark_alloc(user, n);
+  return user;
+}
+
+void free(char *p) {
+  struct __hdr *h;
+  int n;
+  if (p == 0) { return; }
+  /* the runtime is trusted: re-derive header bounds with setbound, the
+     paper's custom-allocator escape hatch */
+  h = (struct __hdr*)__setbound(p - 8, 8);
+  n = h->size;
+  __unregister_object(p, n);
+  __mark_free(p, n);
+  h = (struct __hdr*)__setbound(p - 8, ((n + 3) & ~3) + 8 + 16);
+  h->next = __free_list;
+  __free_list = h;
+}
+
+char *calloc(int n) {
+  char *p;
+  p = malloc(n);
+  memset(p, 0, n);
+  return p;
+}
+|src}
+
+let strings = {src|
+/* ---- strings and memory --------------------------------------------- */
+
+int strlen(char *s) {
+  int n;
+  n = 0;
+  while (s[n] != 0) { n = n + 1; }
+  return n;
+}
+
+char *strcpy(char *d, char *s) {
+  int i;
+  i = 0;
+  while (s[i] != 0) {
+    d[i] = s[i];
+    i = i + 1;
+  }
+  d[i] = 0;
+  return d;
+}
+
+char *strncpy(char *d, char *s, int n) {
+  int i;
+  i = 0;
+  while (i < n && s[i] != 0) {
+    d[i] = s[i];
+    i = i + 1;
+  }
+  while (i < n) { d[i] = 0; i = i + 1; }
+  return d;
+}
+
+int strcmp(char *a, char *b) {
+  int i;
+  i = 0;
+  while (a[i] != 0 && a[i] == b[i]) { i = i + 1; }
+  return (int)a[i] - (int)b[i];
+}
+
+char *memset(char *p, int v, int n) {
+  int i;
+  for (i = 0; i < n; i++) { p[i] = (char)v; }
+  return p;
+}
+
+char *memcpy(char *d, char *s, int n) {
+  int i;
+  for (i = 0; i < n; i++) { d[i] = s[i]; }
+  return d;
+}
+
+void print_str(char *s) {
+  int i;
+  i = 0;
+  while (s[i] != 0) {
+    print_char((int)s[i]);
+    i = i + 1;
+  }
+}
+
+void print_nl() { print_char(10); }
+|src}
+
+let util = {src|
+/* ---- misc ------------------------------------------------------------ */
+
+int __rand_seed = 1;
+
+void srand(int s) { __rand_seed = s; }
+
+/* glibc-style LCG; 32-bit wraparound is intended */
+int rand() {
+  __rand_seed = __rand_seed * 1103515245 + 12345;
+  return (__rand_seed >> 16) & 32767;
+}
+
+int abs(int x) {
+  if (x < 0) { return -x; }
+  return x;
+}
+
+int imin(int a, int b) { if (a < b) { return a; } return b; }
+int imax(int a, int b) { if (a > b) { return a; } return b; }
+|src}
+
+(* Maximum live objects the object-table baseline can track. *)
+let ot_pool_nodes = 65536
+
+let objtable = Printf.sprintf {src|
+/* ---- object table (Jones&Kelly-style splay tree) --------------------- */
+
+struct __ot_node {
+  int start;
+  int end;
+  struct __ot_node *left;
+  struct __ot_node *right;
+};
+
+struct __ot_node __ot_pool[%d];
+int __ot_pool_next;
+struct __ot_node *__ot_freelist;
+struct __ot_node *__ot_root;
+
+struct __ot_node *__ot_alloc_node() {
+  struct __ot_node *n;
+  if (__ot_freelist != 0) {
+    n = __ot_freelist;
+    __ot_freelist = n->right;
+    return n;
+  }
+  if (__ot_pool_next >= %d) { __abort(3); }
+  n = &__ot_pool[__ot_pool_next];
+  __ot_pool_next = __ot_pool_next + 1;
+  return n;
+}
+
+void __ot_free_node(struct __ot_node *n) {
+  n->right = __ot_freelist;
+  __ot_freelist = n;
+}
+
+/* top-down splay around key */
+struct __ot_node *__ot_splay(struct __ot_node *t, int key) {
+  struct __ot_node hdr;
+  struct __ot_node *l;
+  struct __ot_node *r;
+  struct __ot_node *y;
+  if (t == 0) { return t; }
+  hdr.left = (struct __ot_node*)0;
+  hdr.right = (struct __ot_node*)0;
+  l = &hdr;
+  r = &hdr;
+  while (1) {
+    if (key < t->start) {
+      if (t->left == 0) { break; }
+      if (key < t->left->start) {
+        y = t->left;
+        t->left = y->right;
+        y->right = t;
+        t = y;
+        if (t->left == 0) { break; }
+      }
+      r->left = t;
+      r = t;
+      t = t->left;
+    } else if (key > t->start) {
+      if (t->right == 0) { break; }
+      if (key > t->right->start) {
+        y = t->right;
+        t->right = y->left;
+        y->left = t;
+        t = y;
+        if (t->right == 0) { break; }
+      }
+      l->right = t;
+      l = t;
+      t = t->right;
+    } else {
+      break;
+    }
+  }
+  l->right = t->left;
+  r->left = t->right;
+  t->left = hdr.right;
+  t->right = hdr.left;
+  return t;
+}
+
+void __ot_insert(char *p, int size) {
+  struct __ot_node *n;
+  int key;
+  key = (int)p;
+  if (__ot_root == 0) {
+    n = __ot_alloc_node();
+    n->start = key;
+    n->end = key + size;
+    n->left = (struct __ot_node*)0;
+    n->right = (struct __ot_node*)0;
+    __ot_root = n;
+    return;
+  }
+  __ot_root = __ot_splay(__ot_root, key);
+  if (key == __ot_root->start) {
+    __ot_root->end = key + size;
+    return;
+  }
+  n = __ot_alloc_node();
+  n->start = key;
+  n->end = key + size;
+  if (key < __ot_root->start) {
+    n->left = __ot_root->left;
+    n->right = __ot_root;
+    __ot_root->left = (struct __ot_node*)0;
+  } else {
+    n->right = __ot_root->right;
+    n->left = __ot_root;
+    __ot_root->right = (struct __ot_node*)0;
+  }
+  __ot_root = n;
+}
+
+void __ot_remove(char *p, int size) {
+  struct __ot_node *t;
+  int key;
+  key = (int)p;
+  size = size; /* extent is keyed by start address */
+  if (__ot_root == 0) { return; }
+  __ot_root = __ot_splay(__ot_root, key);
+  if (__ot_root->start != key) { return; }
+  t = __ot_root;
+  if (t->left == 0) {
+    __ot_root = t->right;
+  } else {
+    __ot_root = __ot_splay(t->left, key);
+    __ot_root->right = t->right;
+  }
+  __ot_free_node(t);
+}
+
+/* node containing key, or null */
+struct __ot_node *__ot_find(int key) {
+  struct __ot_node *t;
+  if (__ot_root == 0) { return (struct __ot_node*)0; }
+  __ot_root = __ot_splay(__ot_root, key);
+  t = __ot_root;
+  if (t->start <= key && key < t->end) { return t; }
+  if (key < t->start) {
+    t = t->left;
+    while (t != 0) {
+      if (t->start <= key && key < t->end) { return t; }
+      t = t->right;
+    }
+  }
+  return (struct __ot_node*)0;
+}
+
+/* Check that pointer arithmetic stays within the source object.  Returns
+   the new pointer.  Pointers into unregistered objects pass unchecked and
+   one-past-the-end results are tolerated (the scheme's documented
+   incompletenesses). */
+char *__ot_check_arith(char *old, char *nw) {
+  struct __ot_node *n;
+  int k;
+  n = __ot_find((int)old);
+  if (n == 0) { return nw; }
+  k = (int)nw;
+  if (k >= n->start && k <= n->end) { return nw; }
+  __abort(2);
+  return nw;
+}
+|src} ot_pool_nodes ot_pool_nodes
+
+let source = String.concat "\n" [ allocator; strings; util; objtable ]

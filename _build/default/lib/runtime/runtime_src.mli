@@ -1,0 +1,15 @@
+(** The C runtime library, written in MiniC and compiled together with
+    every program: the paper's instrumented allocator (Section 3.2),
+    string/memory functions, a deterministic LCG, and the Jones&Kelly
+    splay-tree object table used by the [Objtable] baseline. *)
+
+val allocator : string
+val strings : string
+val util : string
+val objtable : string
+
+val ot_pool_nodes : int
+(** Maximum live objects the object table can track. *)
+
+val source : string
+(** The full runtime, ready to prepend to a user program. *)

@@ -1,0 +1,1 @@
+lib/violations/gen.ml: List Printf String

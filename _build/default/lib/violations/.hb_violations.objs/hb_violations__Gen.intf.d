@@ -1,0 +1,1 @@
+lib/violations/gen.mli:

@@ -1,0 +1,1 @@
+lib/violations/runner.ml: Gen Hardbound Hb_cpu Hb_minic Hb_runtime List

@@ -1,0 +1,1 @@
+lib/violations/runner.mli: Gen Hardbound Hb_cpu Hb_minic

@@ -1,0 +1,457 @@
+(** Spatial-violation test-case generator, standing in for the
+    Kratkiewicz/Lippmann corpus the paper uses in Section 5.2.
+
+    The paper describes the suite as covering "various combinations of:
+    reads and writes; upper and lower bounds; stack, heap, and global data
+    segments; and various addressing schemes and aliasing situations",
+    each case in two versions — one with the violation and one without
+    (for false-positive testing).  This generator enumerates exactly that
+    matrix.  Each case is a complete MiniC program. *)
+
+type region = Heap | Stack | Global
+type access = Read | Write
+type boundary = Upper | Lower
+
+(** Addressing schemes / aliasing situations. *)
+type idiom =
+  | Direct_index   (* a[i] *)
+  | Ptr_arith      (* q = p + i; *q *)
+  | Loop_walk      (* small-stride walk past the boundary *)
+  | Fn_arg         (* pointer passed to a function, accessed there *)
+  | Sub_object     (* array inside a struct: needs sub-object narrowing *)
+  | Cast_struct    (* allocation cast to a larger struct *)
+  | Cond_alias     (* pointer aliases one of two objects, data dependent *)
+  | Str_func       (* overflow via strcpy / unterminated strlen *)
+  | Interproc_ret  (* pointer obtained from a function return *)
+  | Computed_idx   (* index produced by an arithmetic chain *)
+  | Multi_dim      (* row overflow inside a 2D array (row narrowing) *)
+
+type width = Byte | Word
+
+type case = {
+  id : string;
+  region : region;
+  access : access;
+  boundary : boundary;
+  idiom : idiom;
+  magnitude : int;  (* elements past the boundary in the bad version *)
+  width : width;
+  good : string;    (* program without the violation *)
+  bad : string;     (* program with the violation *)
+}
+
+let region_name = function Heap -> "heap" | Stack -> "stack" | Global -> "global"
+let access_name = function Read -> "read" | Write -> "write"
+let boundary_name = function Upper -> "upper" | Lower -> "lower"
+
+let idiom_name = function
+  | Direct_index -> "index"
+  | Ptr_arith -> "arith"
+  | Loop_walk -> "loop"
+  | Fn_arg -> "fnarg"
+  | Sub_object -> "subobj"
+  | Cast_struct -> "cast"
+  | Cond_alias -> "alias"
+  | Str_func -> "strfn"
+  | Interproc_ret -> "ipret"
+  | Computed_idx -> "computed"
+  | Multi_dim -> "multidim"
+
+let width_name = function Byte -> "byte" | Word -> "word"
+
+let n_elems = 8
+
+let elem_ty = function Byte -> "char" | Word -> "int"
+
+(* the access statement for a checked element expression *)
+let access_stmt access expr =
+  match access with
+  | Write -> Printf.sprintf "%s = 1;" expr
+  | Read ->
+    Printf.sprintf "sink = (int)%s;\n  if (sink == 123456789) { print_int(sink); }" expr
+
+(* declaration + initialization of the target object, yielding pointer
+   variable [p] of elem type, plus anything global needed *)
+let setup region w =
+  let t = elem_ty w in
+  match region with
+  | Heap ->
+    ("",
+     Printf.sprintf "  p = (%s*)malloc(%d * sizeof(%s));\n  \
+                     for (si = 0; si < %d; si++) { p[si] = (%s)si; }\n"
+       t n_elems t n_elems t)
+  | Stack ->
+    ("",
+     Printf.sprintf "  p = arr;\n  for (si = 0; si < %d; si++) { p[si] = (%s)si; }\n"
+       n_elems t)
+  | Global ->
+    (Printf.sprintf "%s g_arr[%d];\n" t n_elems,
+     Printf.sprintf "  p = g_arr;\n  for (si = 0; si < %d; si++) { p[si] = (%s)si; }\n"
+       n_elems t)
+
+let stack_decl region w =
+  if region = Stack then Printf.sprintf "  %s arr[%d];\n" (elem_ty w) n_elems
+  else ""
+
+(* index used by the good and bad versions *)
+let indices boundary magnitude =
+  match boundary with
+  | Upper -> (n_elems - 1, n_elems - 1 + magnitude)
+  | Lower -> (0, -magnitude)
+
+let prog ~globals ~body =
+  Printf.sprintf "%s\nint main() {\n%s  print_str(\"done\");\n  return 0;\n}\n"
+    globals body
+
+let gen_simple region access boundary idiom magnitude w =
+  let t = elem_ty w in
+  let good_i, bad_i = indices boundary magnitude in
+  let globals, init = setup region w in
+  let make idx =
+    let decls =
+      Printf.sprintf "  %s *p;\n  %s *q;\n  int si;\n  int sink;\n%s" t t
+        (stack_decl region w)
+    in
+    let access_code =
+      match idiom with
+      | Direct_index -> access_stmt access (Printf.sprintf "p[%d]" idx)
+      | Ptr_arith ->
+        Printf.sprintf "q = p + %d;\n  %s" idx (access_stmt access "(*q)")
+      | Loop_walk ->
+        (* a small-stride walk that runs up (or down) to the index *)
+        let header =
+          match boundary with
+          | Upper -> Printf.sprintf "for (si = 0; si <= %d; si++)" idx
+          | Lower -> Printf.sprintf "for (si = %d; si >= %d; si--)" (n_elems - 1) idx
+        in
+        (match access with
+         | Write -> Printf.sprintf "%s { p[si] = 2; }" header
+         | Read ->
+           Printf.sprintf
+             "sink = 0;\n  %s { sink = sink + (int)p[si]; }\n  \
+              if (sink == 123456789) { print_int(sink); }"
+             header)
+      | Fn_arg -> Printf.sprintf "helper(p, %d);" idx
+      | _ -> assert false
+    in
+    let helper =
+      if idiom = Fn_arg then
+        match access with
+        | Write ->
+          Printf.sprintf "void helper(%s *hp, int hidx) { hp[hidx] = 1; }\n" t
+        | Read ->
+          Printf.sprintf
+            "int helper(%s *hp, int hidx) { return (int)hp[hidx]; }\n" t
+      else ""
+    in
+    prog ~globals:(globals ^ helper)
+      ~body:(decls ^ init ^ "  " ^ access_code ^ "\n")
+  in
+  (make good_i, make bad_i)
+
+(* array embedded in a struct; the bad index stays inside the struct so
+   only sub-object narrowing can catch it *)
+let gen_sub_object region access boundary magnitude w =
+  let t = elem_ty w in
+  let magnitude = min magnitude 3 in
+  let good_i, bad_i = indices boundary magnitude in
+  let sdef =
+    Printf.sprintf
+      "struct wrap { %s pre[4]; %s arr[%d]; %s post[4]; };\n" t t n_elems t
+  in
+  let globals, obtain =
+    match region with
+    | Heap ->
+      ("", "  sp = (struct wrap*)malloc(sizeof(struct wrap));\n  p = sp->arr;\n")
+    | Stack -> ("", "  sp = &s;\n  p = sp->arr;\n")
+    | Global -> ("struct wrap g_s;\n", "  sp = &g_s;\n  p = sp->arr;\n")
+  in
+  let make idx =
+    let decls =
+      Printf.sprintf "  %s *p;\n  struct wrap *sp;\n  int si;\n  int sink;\n%s" t
+        (if region = Stack then "  struct wrap s;\n" else "")
+    in
+    let init =
+      Printf.sprintf "  for (si = 0; si < %d; si++) { p[si] = (%s)si; }\n"
+        n_elems t
+    in
+    prog ~globals:(sdef ^ globals)
+      ~body:
+        (decls ^ obtain ^ init ^ "  "
+        ^ access_stmt access (Printf.sprintf "p[%d]" idx)
+        ^ "\n")
+  in
+  (make good_i, make bad_i)
+
+(* malloc'd too small, cast to a larger struct *)
+let gen_cast_struct access magnitude w =
+  let t = elem_ty w in
+  let sdef =
+    Printf.sprintf
+      "struct small { int a; };\nstruct big { int a; %s b[%d]; };\n" t n_elems
+  in
+  let idx = min (magnitude - 1) (n_elems - 1) in
+  let make alloc =
+    prog ~globals:sdef
+      ~body:
+        (Printf.sprintf
+           "  struct big *q;\n  int sink;\n  q = (struct big*)malloc(%s);\n  \
+            q->a = 1;\n  %s\n"
+           alloc
+           (access_stmt access (Printf.sprintf "q->b[%d]" idx)))
+  in
+  (make "sizeof(struct big)", make "sizeof(struct small)")
+
+(* pointer aliases one of two objects depending on data *)
+let gen_cond_alias region access boundary magnitude w =
+  let t = elem_ty w in
+  let good_i, bad_i = indices boundary magnitude in
+  let globals, obtain =
+    match region with
+    | Heap ->
+      ("int flag = 1;\n",
+       Printf.sprintf
+         "  a = (%s*)malloc(%d * sizeof(%s));\n  b = (%s*)malloc(%d * sizeof(%s));\n"
+         t n_elems t t (4 * n_elems) t)
+    | Stack -> ("int flag = 1;\n", "  a = arr_a;\n  b = arr_b;\n")
+    | Global ->
+      (Printf.sprintf "int flag = 1;\n%s g_a[%d];\n%s g_b[%d];\n" t n_elems t
+         (4 * n_elems),
+       "  a = g_a;\n  b = g_b;\n")
+  in
+  let make idx =
+    let decls =
+      Printf.sprintf "  %s *a;\n  %s *b;\n  %s *p;\n  int si;\n  int sink;\n%s" t
+        t t
+        (if region = Stack then
+           Printf.sprintf "  %s arr_a[%d];\n  %s arr_b[%d];\n" t n_elems t
+             (4 * n_elems)
+         else "")
+    in
+    let init =
+      Printf.sprintf
+        "  for (si = 0; si < %d; si++) { a[si] = (%s)si; }\n  \
+         for (si = 0; si < %d; si++) { b[si] = (%s)si; }\n"
+        n_elems t (4 * n_elems) t
+    in
+    (* the index is fine for b, out of bounds for a; flag selects a *)
+    prog ~globals
+      ~body:
+        (decls ^ obtain ^ init
+        ^ "  if (flag) { p = a; } else { p = b; }\n  "
+        ^ access_stmt access (Printf.sprintf "p[%d]" idx)
+        ^ "\n")
+  in
+  (make good_i, make bad_i)
+
+(* overflow driven through the (instrumented) string functions: the
+   destination buffer holds n_elems bytes; the copied string has
+   n_elems-1 chars (fits) or n_elems-1+magnitude chars (overflows) *)
+let gen_str_func region access magnitude =
+  let globals, decl, obtain =
+    match region with
+    | Heap -> ("", "", "  p = malloc(8);\n")
+    | Stack -> ("", "  char buf[8];\n", "  p = buf;\n")
+    | Global -> ("char g_buf[8];\n", "", "  p = g_buf;\n")
+  in
+  let make len =
+    let payload = String.make len 'A' in
+    let body =
+      match access with
+      | Write ->
+        Printf.sprintf
+          "  char *p;\n  int sink;\n%s%s  strcpy(p, \"%s\");\n  \
+           sink = (int)p[0];\n"
+          decl obtain payload
+      | Read ->
+        (* read overflow: strlen scans past an unterminated buffer *)
+        Printf.sprintf
+          "  char *p;\n  int i;\n  int sink;\n%s%s  \
+           for (i = 0; i < %d; i++) { p[i] = 'A'; }\n%s  \
+           sink = strlen(p);\n  if (sink == 123456789) { print_int(sink); }\n"
+          decl obtain n_elems
+          (if len < n_elems then
+             Printf.sprintf "  p[%d] = 0;\n" (n_elems - 1)
+           else "" (* no terminator: strlen walks off the end *))
+    in
+    prog ~globals ~body
+  in
+  match access with
+  | Write -> (make (n_elems - 1), make (n_elems - 1 + magnitude))
+  | Read -> (make 0, make n_elems)
+
+(* the pointer reaches the access through a function return *)
+let gen_interproc_ret region access boundary magnitude w =
+  let t = elem_ty w in
+  let good_i, bad_i = indices boundary magnitude in
+  let globals, provider =
+    match region with
+    | Heap ->
+      ("",
+       Printf.sprintf
+         "%s *provide() {\n  %s *q;\n  q = (%s*)malloc(%d * sizeof(%s));\n  \
+          return q;\n}\n"
+         t t t n_elems t)
+    | Stack ->
+      (* a stack object must outlive the access: allocate in main, pass
+         through an identity function *)
+      ("",
+       Printf.sprintf "%s *provide(%s *q) {\n  return q + 0;\n}\n" t t)
+    | Global ->
+      (Printf.sprintf "%s g_ip[%d];\n" t n_elems,
+       Printf.sprintf "%s *provide() {\n  return g_ip;\n}\n" t)
+  in
+  let make idx =
+    let decls =
+      Printf.sprintf "  %s *p;\n  int si;\n  int sink;\n%s" t
+        (if region = Stack then Printf.sprintf "  %s arr[%d];\n" t n_elems
+         else "")
+    in
+    let obtain =
+      if region = Stack then "  p = provide(arr);\n" else "  p = provide();\n"
+    in
+    let init =
+      Printf.sprintf "  for (si = 0; si < %d; si++) { p[si] = (%s)si; }\n"
+        n_elems t
+    in
+    prog ~globals:(globals ^ provider)
+      ~body:
+        (decls ^ obtain ^ init ^ "  "
+        ^ access_stmt access (Printf.sprintf "p[%d]" idx)
+        ^ "\n")
+  in
+  (make good_i, make bad_i)
+
+(* the index arrives through an arithmetic chain no constant folder sees *)
+let gen_computed_idx region access boundary magnitude w =
+  let t = elem_ty w in
+  let good_i, bad_i = indices boundary magnitude in
+  let globals, init = setup region w in
+  let make idx =
+    let decls =
+      Printf.sprintf "  %s *p;\n  int si;\n  int sink;\n  int k;\n%s" t
+        (stack_decl region w)
+    in
+    (* k = idx, computed as ((idx+3)*2 - 6) / 2 *)
+    let compute =
+      Printf.sprintf "  k = ((%d + 3) * 2 - 6) / 2;\n" idx
+    in
+    prog ~globals
+      ~body:
+        (decls ^ init ^ compute ^ "  "
+        ^ access_stmt access "p[k]"
+        ^ "\n")
+  in
+  (make good_i, make bad_i)
+
+(* 2D array: overflowing a row lands inside the enclosing array, so only
+   row-granularity narrowing catches the near case *)
+let gen_multi_dim region access boundary magnitude w =
+  let t = elem_ty w in
+  let rows = 4 in
+  let magnitude = min magnitude (2 * n_elems) in
+  let good_j, bad_j = indices boundary magnitude in
+  let globals, decl, name =
+    match region with
+    | Global -> (Printf.sprintf "%s g_m[%d][%d];\n" t rows n_elems, "", "g_m")
+    | Stack | Heap ->
+      ("", Printf.sprintf "  %s m[%d][%d];\n" t rows n_elems, "m")
+  in
+  let row = 2 in (* a middle row: both directions stay inside the array *)
+  let make j =
+    let decls =
+      Printf.sprintf "  int si;\n  int sj;\n  int sink;\n%s" decl
+    in
+    let init =
+      Printf.sprintf
+        "  for (si = 0; si < %d; si++) { for (sj = 0; sj < %d; sj++) { \
+         %s[si][sj] = (%s)(si + sj); } }\n"
+        rows n_elems name t
+    in
+    (* dynamic row index so the access goes through the bounded pointer *)
+    let body =
+      decls ^ init
+      ^ Printf.sprintf "  si = %d;\n  " row
+      ^ access_stmt access (Printf.sprintf "%s[si][%d]" name j)
+      ^ "\n"
+    in
+    prog ~globals ~body
+  in
+  (make good_j, make bad_j)
+
+let all_cases () : case list =
+  let regions = [ Heap; Stack; Global ] in
+  let accesses = [ Read; Write ] in
+  let boundaries = [ Upper; Lower ] in
+  let widths = [ Byte; Word ] in
+  let magnitudes = [ 1; 16 ] in
+  let cases = ref [] in
+  let add region access boundary idiom magnitude width (good, bad) =
+    let id =
+      Printf.sprintf "%s-%s-%s-%s-m%d-%s" (idiom_name idiom)
+        (region_name region) (access_name access) (boundary_name boundary)
+        magnitude (width_name width)
+    in
+    cases :=
+      { id; region; access; boundary; idiom; magnitude; width; good; bad }
+      :: !cases
+  in
+  List.iter
+    (fun region ->
+      List.iter
+        (fun access ->
+          List.iter
+            (fun boundary ->
+              List.iter
+                (fun magnitude ->
+                  List.iter
+                    (fun width ->
+                      List.iter
+                        (fun idiom ->
+                          match idiom with
+                          | Direct_index | Ptr_arith | Loop_walk | Fn_arg ->
+                            add region access boundary idiom magnitude width
+                              (gen_simple region access boundary idiom
+                                 magnitude width)
+                          | Sub_object ->
+                            add region access boundary idiom magnitude width
+                              (gen_sub_object region access boundary magnitude
+                                 width)
+                          | Cond_alias ->
+                            add region access boundary idiom magnitude width
+                              (gen_cond_alias region access boundary magnitude
+                                 width)
+                          | Cast_struct ->
+                            (* only meaningful for heap allocations and the
+                               upper bound *)
+                            if region = Heap && boundary = Upper then
+                              add region access boundary idiom magnitude width
+                                (gen_cast_struct access magnitude width)
+                          | Str_func ->
+                            (* strings are bytes and overflow upward *)
+                            if boundary = Upper && width = Byte then
+                              add region access boundary idiom magnitude width
+                                (gen_str_func region access magnitude)
+                          | Interproc_ret ->
+                            add region access boundary idiom magnitude width
+                              (gen_interproc_ret region access boundary
+                                 magnitude width)
+                          | Computed_idx ->
+                            add region access boundary idiom magnitude width
+                              (gen_computed_idx region access boundary
+                                 magnitude width)
+                          | Multi_dim ->
+                            (* the aggregate lives in a frame or the globals *)
+                            if region <> Heap then
+                              add region access boundary idiom magnitude width
+                                (gen_multi_dim region access boundary
+                                   magnitude width))
+                        [ Direct_index; Ptr_arith; Loop_walk; Fn_arg;
+                          Sub_object; Cond_alias; Cast_struct; Str_func;
+                          Interproc_ret; Computed_idx; Multi_dim ])
+                    widths)
+                magnitudes)
+            boundaries)
+        accesses)
+    regions;
+  List.rev !cases

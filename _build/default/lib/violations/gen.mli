@@ -1,0 +1,49 @@
+(** Spatial-violation test-case generator, standing in for the
+    Kratkiewicz/Lippmann corpus of Section 5.2: "various combinations of:
+    reads and writes; upper and lower bounds; stack, heap, and global
+    data segments; and various addressing schemes and aliasing
+    situations", each case in a with-violation and without-violation
+    version. *)
+
+type region = Heap | Stack | Global
+type access = Read | Write
+type boundary = Upper | Lower
+
+type idiom =
+  | Direct_index   (** a[i] *)
+  | Ptr_arith      (** q = p + i; *q *)
+  | Loop_walk      (** small-stride walk past the boundary *)
+  | Fn_arg         (** pointer passed to a function, accessed there *)
+  | Sub_object     (** array inside a struct: needs sub-object narrowing *)
+  | Cast_struct    (** allocation cast to a larger struct *)
+  | Cond_alias     (** pointer aliases one of two objects, data dependent *)
+  | Str_func       (** overflow via strcpy / unterminated strlen *)
+  | Interproc_ret  (** pointer obtained from a function return *)
+  | Computed_idx   (** index produced by an arithmetic chain *)
+  | Multi_dim      (** row overflow inside a 2D array *)
+
+type width = Byte | Word
+
+type case = {
+  id : string;
+  region : region;
+  access : access;
+  boundary : boundary;
+  idiom : idiom;
+  magnitude : int;  (** elements past the boundary in the bad version *)
+  width : width;
+  good : string;    (** program without the violation *)
+  bad : string;     (** program with the violation *)
+}
+
+val region_name : region -> string
+val access_name : access -> string
+val boundary_name : boundary -> string
+val idiom_name : idiom -> string
+val width_name : width -> string
+
+val n_elems : int
+(** Elements in every target object. *)
+
+val all_cases : unit -> case list
+(** The full enumerated matrix (436 cases). *)

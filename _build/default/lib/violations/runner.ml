@@ -1,0 +1,68 @@
+(** Correctness harness for the violation corpus (the paper's Section 5.2
+    experiment): every *bad* program must trigger a spatial-safety
+    exception under full HardBound, and every *good* program must run to
+    completion — no false positives. *)
+
+module Build = Hb_runtime.Build
+module Codegen = Hb_minic.Codegen
+module Machine = Hb_cpu.Machine
+module Encoding = Hardbound.Encoding
+
+type verdict = Detected | Clean | Wrong of string
+
+type result = {
+  case : Gen.case;
+  good_verdict : verdict;
+  bad_verdict : verdict;
+}
+
+let classify (status : Machine.status) : verdict =
+  match status with
+  | Machine.Exited 0 -> Clean
+  | Machine.Bounds_violation _ | Machine.Non_pointer_violation _
+  | Machine.Software_abort _ ->
+    Detected
+  | st -> Wrong (Machine.status_name st)
+
+let run_case ?(scheme = Encoding.Extern4) ?(mode = Codegen.Hardbound)
+    (case : Gen.case) : result =
+  let run src =
+    let status, _ = Build.run ~scheme ~mode ~max_instrs:5_000_000 src in
+    classify status
+  in
+  { case; good_verdict = run case.Gen.good; bad_verdict = run case.Gen.bad }
+
+type summary = {
+  total : int;
+  detected : int;          (* bad version caught *)
+  false_positives : int;   (* good version flagged *)
+  anomalies : (string * string) list;  (* case id, what went wrong *)
+}
+
+(** Run the corpus.  [expect_miss] marks case ids the scheme under test is
+    *known* not to catch (e.g. sub-object cases under malloc-only). *)
+let run_corpus ?scheme ?mode ?(cases = Gen.all_cases ()) () : summary =
+  let detected = ref 0 in
+  let false_positives = ref 0 in
+  let anomalies = ref [] in
+  List.iter
+    (fun case ->
+      let r = run_case ?scheme ?mode case in
+      (match r.bad_verdict with
+       | Detected -> incr detected
+       | Clean -> anomalies := (case.Gen.id, "bad version ran clean") :: !anomalies
+       | Wrong s ->
+         anomalies := (case.Gen.id, "bad version: " ^ s) :: !anomalies);
+      match r.good_verdict with
+      | Clean -> ()
+      | Detected ->
+        incr false_positives;
+        anomalies := (case.Gen.id, "good version flagged") :: !anomalies
+      | Wrong s -> anomalies := (case.Gen.id, "good version: " ^ s) :: !anomalies)
+    cases;
+  {
+    total = List.length cases;
+    detected = !detected;
+    false_positives = !false_positives;
+    anomalies = List.rev !anomalies;
+  }

@@ -1,0 +1,33 @@
+(** Correctness harness for the violation corpus (Section 5.2): every bad
+    program must trigger a spatial-safety exception, every good program
+    must run clean. *)
+
+type verdict = Detected | Clean | Wrong of string
+
+type result = {
+  case : Gen.case;
+  good_verdict : verdict;
+  bad_verdict : verdict;
+}
+
+val classify : Hb_cpu.Machine.status -> verdict
+
+val run_case :
+  ?scheme:Hardbound.Encoding.scheme ->
+  ?mode:Hb_minic.Codegen.mode ->
+  Gen.case ->
+  result
+
+type summary = {
+  total : int;
+  detected : int;
+  false_positives : int;
+  anomalies : (string * string) list;
+}
+
+val run_corpus :
+  ?scheme:Hardbound.Encoding.scheme ->
+  ?mode:Hb_minic.Codegen.mode ->
+  ?cases:Gen.case list ->
+  unit ->
+  summary

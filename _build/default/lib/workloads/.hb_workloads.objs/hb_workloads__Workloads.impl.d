@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: Bh Bisort Em3d Health List Mst Perimeter Power Treeadd Tsp

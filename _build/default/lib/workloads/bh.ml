@@ -1,0 +1,189 @@
+(** Olden [bh]: Barnes-Hut hierarchical N-body simulation.  Bodies are
+    inserted into an octree each step; a centre-of-mass pass and a
+    theta-criterion force walk follow, then leapfrog integration.
+    Float-heavy with deep tree recursion — the costliest Olden kernel in
+    the paper's Figure 5, which is why it is also the one the authors
+    hand-tuned (Section 5.3). *)
+
+let name = "bh"
+
+(* 128 bodies, 4 time steps *)
+let source = {|
+struct bnode {
+  int is_body;
+  float mass;
+  float px; float py; float pz;
+  struct bnode *child[8];
+  float vx; float vy; float vz;
+  float ax; float ay; float az;
+};
+
+int nbodies;
+struct bnode *bodies[128];
+
+float frand2() {
+  return (float)(rand()) / 32768.0 - 0.5;
+}
+
+struct bnode *new_cell() {
+  struct bnode *c;
+  int i;
+  c = (struct bnode*)malloc(sizeof(struct bnode));
+  c->is_body = 0;
+  c->mass = 0.0;
+  for (i = 0; i < 8; i++) { c->child[i] = (struct bnode*)0; }
+  return c;
+}
+
+int octant(struct bnode *b, float cx, float cy, float cz) {
+  int o;
+  o = 0;
+  if (b->px > cx) { o = o + 1; }
+  if (b->py > cy) { o = o + 2; }
+  if (b->pz > cz) { o = o + 4; }
+  return o;
+}
+
+float sub_center(float c, float s, int bit) {
+  if (bit) { return c + s / 4.0; }
+  return c - s / 4.0;
+}
+
+void insert(struct bnode *cell, struct bnode *b, float cx, float cy, float cz, float s) {
+  int o;
+  struct bnode *old;
+  o = octant(b, cx, cy, cz);
+  if (cell->child[o] == 0) {
+    cell->child[o] = b;
+    return;
+  }
+  if (cell->child[o]->is_body == 1) {
+    /* split: replace the body with a cell holding both */
+    old = cell->child[o];
+    cell->child[o] = new_cell();
+    insert(cell->child[o], old,
+           sub_center(cx, s, o & 1), sub_center(cy, s, o & 2),
+           sub_center(cz, s, o & 4), s / 2.0);
+  }
+  insert(cell->child[o], b,
+         sub_center(cx, s, o & 1), sub_center(cy, s, o & 2),
+         sub_center(cz, s, o & 4), s / 2.0);
+}
+
+/* centre-of-mass reduction */
+void com(struct bnode *n) {
+  int i;
+  float m;
+  float sx; float sy; float sz;
+  struct bnode *c;
+  if (n->is_body == 1) { return; }
+  m = 0.0; sx = 0.0; sy = 0.0; sz = 0.0;
+  for (i = 0; i < 8; i++) {
+    c = n->child[i];
+    if (c != 0) {
+      com(c);
+      m = m + c->mass;
+      sx = sx + c->mass * c->px;
+      sy = sy + c->mass * c->py;
+      sz = sz + c->mass * c->pz;
+    }
+  }
+  n->mass = m;
+  n->px = sx / m;
+  n->py = sy / m;
+  n->pz = sz / m;
+}
+
+void add_force(struct bnode *b, struct bnode *n) {
+  float dx; float dy; float dz;
+  float d2;
+  float d;
+  float f;
+  dx = n->px - b->px;
+  dy = n->py - b->py;
+  dz = n->pz - b->pz;
+  d2 = dx * dx + dy * dy + dz * dz + 0.0001;
+  d = sqrtf(d2);
+  f = n->mass / (d2 * d);
+  b->ax = b->ax + f * dx;
+  b->ay = b->ay + f * dy;
+  b->az = b->az + f * dz;
+}
+
+void walk(struct bnode *b, struct bnode *n, float s) {
+  float dx; float dy; float dz;
+  float d2;
+  int i;
+  if (n == 0) { return; }
+  if (n->is_body == 1) {
+    if (n != b) { add_force(b, n); }
+    return;
+  }
+  dx = n->px - b->px;
+  dy = n->py - b->py;
+  dz = n->pz - b->pz;
+  d2 = dx * dx + dy * dy + dz * dz;
+  /* opening criterion: s/d < theta (theta = 0.5) */
+  if (s * s < 0.25 * d2) {
+    add_force(b, n);
+    return;
+  }
+  for (i = 0; i < 8; i++) {
+    walk(b, n->child[i], s / 2.0);
+  }
+}
+
+int main() {
+  struct bnode *b;
+  struct bnode *root;
+  int i;
+  int step;
+  float dt;
+  float ke;
+  nbodies = 128;
+  dt = 0.025;
+  srand(4321);
+  for (i = 0; i < nbodies; i++) {
+    b = (struct bnode*)malloc(sizeof(struct bnode));
+    b->is_body = 1;
+    b->mass = 1.0 / 128.0;
+    b->px = frand2();
+    b->py = frand2();
+    b->pz = frand2();
+    b->vx = frand2() / 10.0;
+    b->vy = frand2() / 10.0;
+    b->vz = frand2() / 10.0;
+    bodies[i] = b;
+  }
+  for (step = 0; step < 4; step++) {
+    root = new_cell();
+    for (i = 0; i < nbodies; i++) {
+      insert(root, bodies[i], 0.0, 0.0, 0.0, 4.0);
+    }
+    com(root);
+    for (i = 0; i < nbodies; i++) {
+      b = bodies[i];
+      b->ax = 0.0; b->ay = 0.0; b->az = 0.0;
+      walk(b, root, 4.0);
+    }
+    for (i = 0; i < nbodies; i++) {
+      b = bodies[i];
+      b->vx = b->vx + b->ax * dt;
+      b->vy = b->vy + b->ay * dt;
+      b->vz = b->vz + b->az * dt;
+      b->px = b->px + b->vx * dt;
+      b->py = b->py + b->vy * dt;
+      b->pz = b->pz + b->vz * dt;
+    }
+  }
+  ke = 0.0;
+  for (i = 0; i < nbodies; i++) {
+    b = bodies[i];
+    ke = ke + b->mass * (b->vx * b->vx + b->vy * b->vy + b->vz * b->vz);
+  }
+  print_str("bh: ke ");
+  print_float(ke * 1000.0);
+  print_nl();
+  return 0;
+}
+|}

@@ -1,0 +1,116 @@
+(** Olden [em3d]: electromagnetic wave propagation on a random bipartite
+    graph.  E-field nodes depend on H-field nodes and vice versa; each
+    iteration updates every node from its [from] list with per-edge
+    coefficients.  Pointer-array chasing plus float arithmetic. *)
+
+let name = "em3d"
+
+(* 1800 nodes per side, degree 8, 8 iterations (Olden defaults scaled);
+   the working set (~300KB of nodes plus edge arrays) deliberately
+   exceeds the L1 and tag caches, as in the paper's runs *)
+let source = {|
+struct enode {
+  float value;
+  int from_count;
+  struct enode **from_nodes;
+  float *coeffs;
+  struct enode *next;
+};
+
+struct enode *make_list(int n) {
+  struct enode *head;
+  struct enode *e;
+  int i;
+  head = (struct enode*)0;
+  for (i = 0; i < n; i++) {
+    e = (struct enode*)malloc(sizeof(struct enode));
+    e->value = (float)(rand() & 255) / 16.0;
+    e->from_count = 0;
+    e->from_nodes = (struct enode**)0;
+    e->coeffs = (float*)0;
+    e->next = head;
+    head = e;
+  }
+  return head;
+}
+
+/* index the list once so wiring picks sources in O(1) */
+struct enode **make_table(struct enode *list, int n) {
+  struct enode **tab;
+  int i;
+  tab = (struct enode**)malloc(n * 4);
+  for (i = 0; i < n; i++) {
+    tab[i] = list;
+    list = list->next;
+  }
+  return tab;
+}
+
+void wire(struct enode *dests, struct enode **srcs, int n, int degree) {
+  struct enode *e;
+  int i;
+  e = dests;
+  while (e != 0) {
+    e->from_count = degree;
+    e->from_nodes = (struct enode**)malloc(degree * 4);
+    e->coeffs = (float*)malloc(degree * 4);
+    for (i = 0; i < degree; i++) {
+      e->from_nodes[i] = srcs[rand() % n];
+      e->coeffs[i] = (float)(rand() & 127) / 256.0;
+    }
+    e = e->next;
+  }
+}
+
+void compute(struct enode *list) {
+  struct enode *e;
+  int i;
+  float v;
+  e = list;
+  while (e != 0) {
+    v = e->value;
+    for (i = 0; i < e->from_count; i++) {
+      v = v - e->coeffs[i] * e->from_nodes[i]->value;
+    }
+    e->value = v;
+    e = e->next;
+  }
+}
+
+float fchecksum(struct enode *list) {
+  float s;
+  s = 0.0;
+  while (list != 0) {
+    s = s + list->value / 64.0;
+    list = list->next;
+  }
+  return s;
+}
+
+int main() {
+  struct enode *e_nodes;
+  struct enode *h_nodes;
+  struct enode **e_tab;
+  struct enode **h_tab;
+  int iter;
+  int n;
+  int degree;
+  n = 1800;
+  degree = 8;
+  srand(783);
+  e_nodes = make_list(n);
+  h_nodes = make_list(n);
+  e_tab = make_table(e_nodes, n);
+  h_tab = make_table(h_nodes, n);
+  wire(e_nodes, h_tab, n, degree);
+  wire(h_nodes, e_tab, n, degree);
+  for (iter = 0; iter < 8; iter++) {
+    compute(e_nodes);
+    compute(h_nodes);
+  }
+  print_str("em3d: ");
+  print_float(fchecksum(e_nodes) + fchecksum(h_nodes));
+  print_nl();
+  return 0;
+}
+|}

@@ -1,0 +1,224 @@
+(** Olden [health]: discrete-event simulation of the Colombian health-care
+    system — a 4-ary tree of villages, each with waiting/assess/inside
+    patient lists; patients that a village cannot treat are referred up the
+    tree.  List surgery on heap nodes dominates. *)
+
+let name = "health"
+
+(* 5 levels (341 villages), 100 time steps *)
+let source = {|
+struct patient {
+  int hosps_visited;
+  int time;         /* total time in system */
+  int time_left;    /* remaining time in current stage */
+  struct patient *next;
+};
+
+struct village {
+  struct village *child0;
+  struct village *child1;
+  struct village *child2;
+  struct village *child3;
+  struct patient *waiting;
+  struct patient *assess;
+  struct patient *inside;
+  struct patient *up;       /* referred to parent this step */
+  int free_personnel;
+  int label;
+  int seed;
+  int treated;
+  int total_time;
+  int visits;       /* padding to Olden's village size: the struct must */
+  int referrals;    /* exceed 56 bytes, i.e. not fit the 4-bit codes */
+};
+
+int vrand(struct village *v) {
+  v->seed = v->seed * 1103515245 + 12345;
+  return (v->seed >> 16) & 32767;
+}
+
+struct village *build(int level, int label) {
+  struct village *v;
+  v = (struct village*)malloc(sizeof(struct village));
+  v->waiting = (struct patient*)0;
+  v->assess = (struct patient*)0;
+  v->inside = (struct patient*)0;
+  v->up = (struct patient*)0;
+  v->free_personnel = 2;
+  v->label = label;
+  v->seed = label * 123 + 1;
+  v->treated = 0;
+  v->total_time = 0;
+  v->visits = 0;
+  v->referrals = 0;
+  if (level <= 1) {
+    v->child0 = (struct village*)0;
+    v->child1 = (struct village*)0;
+    v->child2 = (struct village*)0;
+    v->child3 = (struct village*)0;
+    return v;
+  }
+  v->child0 = build(level - 1, label * 4 + 1);
+  v->child1 = build(level - 1, label * 4 + 2);
+  v->child2 = build(level - 1, label * 4 + 3);
+  v->child3 = build(level - 1, label * 4 + 4);
+  return v;
+}
+
+struct patient *list_append(struct patient *list, struct patient *p) {
+  struct patient *cur;
+  p->next = (struct patient*)0;
+  if (list == 0) { return p; }
+  cur = list;
+  while (cur->next != 0) { cur = cur->next; }
+  cur->next = p;
+  return list;
+}
+
+/* treated patients leave; others age */
+void check_inside(struct village *v) {
+  struct patient *p;
+  struct patient *prev;
+  p = v->inside;
+  prev = (struct patient*)0;
+  while (p != 0) {
+    p->time_left = p->time_left - 1;
+    p->time = p->time + 1;
+    if (p->time_left == 0) {
+      v->treated = v->treated + 1;
+      v->total_time = v->total_time + p->time;
+      v->free_personnel = v->free_personnel + 1;
+      if (prev == 0) { v->inside = p->next; }
+      else { prev->next = p->next; }
+      free((char*)p);
+      if (prev == 0) { p = v->inside; } else { p = prev->next; }
+    } else {
+      prev = p;
+      p = p->next;
+    }
+  }
+}
+
+/* assessment: after 3 steps decide local treatment or referral */
+void check_assess(struct village *v) {
+  struct patient *p;
+  struct patient *prev;
+  int decision;
+  p = v->assess;
+  prev = (struct patient*)0;
+  while (p != 0) {
+    struct patient *nxt;
+    p->time_left = p->time_left - 1;
+    p->time = p->time + 1;
+    nxt = p->next;
+    if (p->time_left == 0) {
+      decision = vrand(v);
+      if (prev == 0) { v->assess = nxt; } else { prev->next = nxt; }
+      if (decision % 10 < 9 || v->child0 == 0) {
+        /* treat here */
+        p->time_left = 10;
+        v->inside = list_append(v->inside, p);
+      } else {
+        /* refer up: frees local personnel */
+        v->free_personnel = v->free_personnel + 1;
+        p->hosps_visited = p->hosps_visited + 1;
+        v->up = list_append(v->up, p);
+      }
+      p = nxt;
+    } else {
+      prev = p;
+      p = nxt;
+    }
+  }
+}
+
+void check_waiting(struct village *v) {
+  struct patient *p;
+  struct patient *prev;
+  p = v->waiting;
+  prev = (struct patient*)0;
+  while (p != 0 && v->free_personnel > 0) {
+    v->free_personnel = v->free_personnel - 1;
+    p->time_left = 3;
+    if (prev == 0) { v->waiting = p->next; } else { prev->next = p->next; }
+    v->assess = list_append(v->assess, p);
+    if (prev == 0) { p = v->waiting; } else { p = prev->next; }
+  }
+  /* everyone still waiting ages */
+  while (p != 0) {
+    p->time = p->time + 1;
+    p = p->next;
+  }
+}
+
+void generate_patient(struct village *v) {
+  struct patient *p;
+  if (vrand(v) % 10 < 3) {
+    p = (struct patient*)malloc(sizeof(struct patient));
+    p->hosps_visited = 1;
+    p->time = 0;
+    p->time_left = 0;
+    v->waiting = list_append(v->waiting, p);
+  }
+}
+
+/* one simulation step; returns the list of patients referred upward */
+struct patient *sim(struct village *v) {
+  struct patient *moved;
+  struct patient *p;
+  if (v == 0) { return (struct patient*)0; }
+  /* children first; their referrals join our waiting list */
+  moved = sim(v->child0);
+  while (moved != 0) { p = moved->next; v->waiting = list_append(v->waiting, moved); moved = p; }
+  moved = sim(v->child1);
+  while (moved != 0) { p = moved->next; v->waiting = list_append(v->waiting, moved); moved = p; }
+  moved = sim(v->child2);
+  while (moved != 0) { p = moved->next; v->waiting = list_append(v->waiting, moved); moved = p; }
+  moved = sim(v->child3);
+  while (moved != 0) { p = moved->next; v->waiting = list_append(v->waiting, moved); moved = p; }
+  check_inside(v);
+  check_assess(v);
+  check_waiting(v);
+  generate_patient(v);
+  moved = v->up;
+  v->up = (struct patient*)0;
+  return moved;
+}
+
+int sum_treated(struct village *v) {
+  if (v == 0) { return 0; }
+  return v->treated + sum_treated(v->child0) + sum_treated(v->child1)
+       + sum_treated(v->child2) + sum_treated(v->child3);
+}
+
+int sum_time(struct village *v) {
+  if (v == 0) { return 0; }
+  return v->total_time + sum_time(v->child0) + sum_time(v->child1)
+       + sum_time(v->child2) + sum_time(v->child3);
+}
+
+int main() {
+  struct village *top;
+  struct patient *left_over;
+  struct patient *p;
+  int step;
+  int treated;
+  top = build(5, 0);
+  for (step = 0; step < 100; step++) {
+    left_over = sim(top);
+    /* referrals from the root have nowhere to go: treat as returned */
+    while (left_over != 0) {
+      p = left_over->next;
+      top->waiting = list_append(top->waiting, left_over);
+      left_over = p;
+    }
+  }
+  treated = sum_treated(top);
+  print_str("health: treated ");
+  print_int(treated);
+  print_str(" time ");
+  print_int(sum_time(top));
+  print_nl();
+  return 0;
+}
+|}

@@ -1,0 +1,153 @@
+(** Olden [mst]: Bentley's minimum-spanning-tree on a dense random graph
+    whose per-vertex edge weights live in chained hash tables, exactly as
+    in the Olden source (hash of neighbour id -> weight).
+
+    This is the benchmark for which the paper's authors added explicit
+    [setbound] narrowing in three places where a pointer into the middle
+    of an array denotes a single element (Section 5.3); the same idiom
+    appears here in the hash-bucket initialization. *)
+
+let name = "mst"
+
+(* 160 vertices, complete graph *)
+let source = {|
+struct hash_entry {
+  int key;
+  int val;
+  struct hash_entry *next;
+};
+
+struct hash {
+  struct hash_entry **bucket;
+  int size;
+};
+
+struct vertex {
+  int mindist;
+  struct vertex *next;
+  struct hash *edges;
+  int id;
+};
+
+struct hash *hash_new(int size) {
+  struct hash *h;
+  int i;
+  h = (struct hash*)malloc(sizeof(struct hash));
+  h->size = size;
+  h->bucket = (struct hash_entry**)malloc(size * 4);
+  for (i = 0; i < size; i++) {
+    /* pointer to a single bucket slot: the mst narrowing idiom */
+    struct hash_entry **slot;
+    slot = __setbound(&h->bucket[i], 4);
+    *slot = (struct hash_entry*)0;
+  }
+  return h;
+}
+
+void hash_insert(struct hash *h, int key, int val) {
+  struct hash_entry *e;
+  int b;
+  e = (struct hash_entry*)malloc(sizeof(struct hash_entry));
+  b = key % h->size;
+  e->key = key;
+  e->val = val;
+  e->next = h->bucket[b];
+  h->bucket[b] = e;
+}
+
+int hash_lookup(struct hash *h, int key) {
+  struct hash_entry *e;
+  e = h->bucket[key % h->size];
+  while (e != 0) {
+    if (e->key == key) { return e->val; }
+    e = e->next;
+  }
+  return -1;
+}
+
+/* Olden's synthetic edge weight */
+int edge_weight(int i, int j) {
+  return ((i * 19 + j * 7) % 1000) + 1;
+}
+
+struct vertex *make_graph(int n) {
+  struct vertex *head;
+  struct vertex *v;
+  struct vertex *u;
+  int i;
+  int j;
+  head = (struct vertex*)0;
+  for (i = n - 1; i >= 0; i--) {
+    v = (struct vertex*)malloc(sizeof(struct vertex));
+    v->id = i;
+    v->mindist = 9999999;
+    v->edges = hash_new(n / 4 + 1);
+    v->next = head;
+    head = v;
+  }
+  /* complete graph: weight of (i, j) stored in both hash tables */
+  v = head;
+  while (v != 0) {
+    u = head;
+    while (u != 0) {
+      if (u->id != v->id) {
+        hash_insert(v->edges, u->id, edge_weight(imin(v->id, u->id), imax(v->id, u->id)));
+      }
+      u = u->next;
+    }
+    v = v->next;
+  }
+  return head;
+}
+
+/* Prim's algorithm over the vertex list (Olden's BlueRule) */
+int mst(struct vertex *graph) {
+  struct vertex *inserted;
+  struct vertex *v;
+  struct vertex *best;
+  int total;
+  int dist;
+  inserted = graph;
+  graph = graph->next;
+  inserted->mindist = 0;
+  total = 0;
+  while (graph != 0) {
+    struct vertex *prev;
+    struct vertex *bestprev;
+    /* update tentative distances from the vertex just inserted */
+    v = graph;
+    while (v != 0) {
+      dist = hash_lookup(v->edges, inserted->id);
+      if (dist >= 0 && dist < v->mindist) { v->mindist = dist; }
+      v = v->next;
+    }
+    /* extract the closest remaining vertex */
+    best = graph;
+    bestprev = (struct vertex*)0;
+    prev = graph;
+    v = graph->next;
+    while (v != 0) {
+      if (v->mindist < best->mindist) {
+        best = v;
+        bestprev = prev;
+      }
+      prev = v;
+      v = v->next;
+    }
+    if (bestprev == 0) { graph = best->next; }
+    else { bestprev->next = best->next; }
+    total = total + best->mindist;
+    inserted = best;
+  }
+  return total;
+}
+
+int main() {
+  struct vertex *graph;
+  graph = make_graph(160);
+  print_str("mst: ");
+  print_int(mst(graph));
+  print_nl();
+  return 0;
+}
+|}

@@ -1,0 +1,214 @@
+(** Olden [perimeter]: perimeter of a region stored as a quadtree (Samet's
+    algorithm), with parent pointers and greater-or-equal adjacent
+    neighbour finding.  The image is the same synthetic disk Olden uses. *)
+
+let name = "perimeter"
+
+(* 2^8 x 2^8 image, disk of radius 96 centered at (128, 128) *)
+let source = {|
+/* colors */
+int WHITE; /* 0 */
+int BLACK; /* 1 */
+int GREY;  /* 2 */
+
+/* child types / directions share the quadrant encoding */
+int NW; /* 0 */
+int NE; /* 1 */
+int SW; /* 2 */
+int SE; /* 3 */
+/* sides */
+int NORTH; /* 0 */
+int EAST;  /* 1 */
+int SOUTH; /* 2 */
+int WEST;  /* 3 */
+
+struct quad {
+  int color;
+  int childtype;
+  struct quad *parent;
+  struct quad *nw;
+  struct quad *ne;
+  struct quad *sw;
+  struct quad *se;
+};
+
+int adj_table[16];     /* adj(side, quadrant): is quadrant adjacent to side */
+int reflect_table[16]; /* reflect(side, quadrant) */
+
+void init_tables() {
+  GREY = 2; BLACK = 1; WHITE = 0;
+  NW = 0; NE = 1; SW = 2; SE = 3;
+  NORTH = 0; EAST = 1; SOUTH = 2; WEST = 3;
+  /* a quadrant is adjacent to a side if it touches it */
+  adj_table[0*4 + 0] = 1; adj_table[0*4 + 1] = 1; /* north: nw ne */
+  adj_table[0*4 + 2] = 0; adj_table[0*4 + 3] = 0;
+  adj_table[1*4 + 0] = 0; adj_table[1*4 + 1] = 1; /* east: ne se */
+  adj_table[1*4 + 2] = 0; adj_table[1*4 + 3] = 1;
+  adj_table[2*4 + 0] = 0; adj_table[2*4 + 1] = 0; /* south: sw se */
+  adj_table[2*4 + 2] = 1; adj_table[2*4 + 3] = 1;
+  adj_table[3*4 + 0] = 1; adj_table[3*4 + 1] = 0; /* west: nw sw */
+  adj_table[3*4 + 2] = 1; adj_table[3*4 + 3] = 0;
+  /* mirror a quadrant across a side */
+  reflect_table[0*4 + 0] = 2; reflect_table[0*4 + 1] = 3; /* north <-> south */
+  reflect_table[0*4 + 2] = 0; reflect_table[0*4 + 3] = 1;
+  reflect_table[2*4 + 0] = 2; reflect_table[2*4 + 1] = 3;
+  reflect_table[2*4 + 2] = 0; reflect_table[2*4 + 3] = 1;
+  reflect_table[1*4 + 0] = 1; reflect_table[1*4 + 1] = 0; /* east <-> west */
+  reflect_table[1*4 + 2] = 3; reflect_table[1*4 + 3] = 2;
+  reflect_table[3*4 + 0] = 1; reflect_table[3*4 + 1] = 0;
+  reflect_table[3*4 + 2] = 3; reflect_table[3*4 + 3] = 2;
+}
+
+struct quad *child(struct quad *q, int which) {
+  if (which == 0) { return q->nw; }
+  if (which == 1) { return q->ne; }
+  if (which == 2) { return q->sw; }
+  return q->se;
+}
+
+/* disk membership of the square (x, y, size): 0 outside, 1 inside, 2 mixed */
+int classify(int x, int y, int size) {
+  int cx; int cy; int r2;
+  int dx; int dy;
+  int corners_in;
+  int i;
+  int px; int py;
+  cx = 128; cy = 128; r2 = 96 * 96;
+  corners_in = 0;
+  for (i = 0; i < 4; i++) {
+    px = x; py = y;
+    if (i == 1 || i == 3) { px = x + size; }
+    if (i == 2 || i == 3) { py = y + size; }
+    dx = px - cx; dy = py - cy;
+    if (dx * dx + dy * dy <= r2) { corners_in = corners_in + 1; }
+  }
+  if (corners_in == 4) { return 1; }
+  if (corners_in == 0) {
+    /* square may still clip the disk when corners are all outside */
+    if (x <= cx && cx <= x + size && y <= cy && cy <= y + size) { return 2; }
+    dx = cx - imax(x, imin(cx, x + size));
+    dy = cy - imax(y, imin(cy, y + size));
+    if (dx * dx + dy * dy <= r2) { return 2; }
+    return 0;
+  }
+  return 2;
+}
+
+struct quad *build(int x, int y, int size, int level, int ct, struct quad *parent) {
+  struct quad *q;
+  int c;
+  q = (struct quad*)malloc(sizeof(struct quad));
+  q->parent = parent;
+  q->childtype = ct;
+  q->nw = (struct quad*)0;
+  q->ne = (struct quad*)0;
+  q->sw = (struct quad*)0;
+  q->se = (struct quad*)0;
+  c = classify(x, y, size);
+  if (c == 2 && level > 0) {
+    int half;
+    half = size / 2;
+    q->color = GREY;
+    q->nw = build(x, y, half, level - 1, 0, q);
+    q->ne = build(x + half, y, half, level - 1, 1, q);
+    q->sw = build(x, y + half, half, level - 1, 2, q);
+    q->se = build(x + half, y + half, half, level - 1, 3, q);
+    return q;
+  }
+  if (c == 1) { q->color = BLACK; }
+  else if (c == 0) { q->color = WHITE; }
+  else { q->color = BLACK; } /* mixed at max depth: round to black */
+  return q;
+}
+
+/* Samet: greater-or-equal-size neighbour of q on side [side] */
+struct quad *gtequal_adj_neighbor(struct quad *q, int side) {
+  struct quad *p;
+  if (q->parent != 0 && adj_table[side * 4 + q->childtype] == 1) {
+    p = gtequal_adj_neighbor(q->parent, side);
+  } else {
+    p = q->parent;
+  }
+  if (p != 0 && p->color == GREY) {
+    return child(p, reflect_table[side * 4 + q->childtype]);
+  }
+  return p;
+}
+
+/* total side length of WHITE leaves of q adjacent to side [side] */
+int sum_adjacent(struct quad *q, int q1, int q2, int size) {
+  if (q->color == GREY) {
+    return sum_adjacent(child(q, q1), q1, q2, size / 2)
+         + sum_adjacent(child(q, q2), q1, q2, size / 2);
+  }
+  if (q->color == WHITE) { return size; }
+  return 0;
+}
+
+int count_black(struct quad *q) {
+  if (q == 0) { return 0; }
+  if (q->color == GREY) {
+    return count_black(q->nw) + count_black(q->ne)
+         + count_black(q->sw) + count_black(q->se);
+  }
+  if (q->color == BLACK) { return 1; }
+  return 0;
+}
+
+int perimeter(struct quad *q, int size) {
+  int retval;
+  struct quad *neighbor;
+  if (q->color == GREY) {
+    int half;
+    half = size / 2;
+    return perimeter(q->nw, half) + perimeter(q->ne, half)
+         + perimeter(q->sw, half) + perimeter(q->se, half);
+  }
+  if (q->color == WHITE) { return 0; }
+  retval = 0;
+  /* north neighbour: its adjacent side is our north edge */
+  neighbor = gtequal_adj_neighbor(q, NORTH);
+  if (neighbor == 0) { retval = retval + size; }
+  else if (neighbor->color == WHITE) { retval = retval + size; }
+  else if (neighbor->color == GREY) {
+    retval = retval + sum_adjacent(neighbor, SW, SE, size);
+  }
+  neighbor = gtequal_adj_neighbor(q, EAST);
+  if (neighbor == 0) { retval = retval + size; }
+  else if (neighbor->color == WHITE) { retval = retval + size; }
+  else if (neighbor->color == GREY) {
+    retval = retval + sum_adjacent(neighbor, NW, SW, size);
+  }
+  neighbor = gtequal_adj_neighbor(q, SOUTH);
+  if (neighbor == 0) { retval = retval + size; }
+  else if (neighbor->color == WHITE) { retval = retval + size; }
+  else if (neighbor->color == GREY) {
+    retval = retval + sum_adjacent(neighbor, NW, NE, size);
+  }
+  neighbor = gtequal_adj_neighbor(q, WEST);
+  if (neighbor == 0) { retval = retval + size; }
+  else if (neighbor->color == WHITE) { retval = retval + size; }
+  else if (neighbor->color == GREY) {
+    retval = retval + sum_adjacent(neighbor, NE, SE, size);
+  }
+  return retval;
+}
+
+int main() {
+  struct quad *root;
+  int iter;
+  int per;
+  init_tables();
+  root = build(0, 0, 256, 8, 0, (struct quad*)0);
+  per = 0;
+  for (iter = 0; iter < 3; iter++) {
+    per = perimeter(root, 256);
+  }
+  print_str("perimeter: ");
+  print_int(per);
+  print_str(" black ");
+  print_int(count_black(root));
+  print_nl();
+  return 0;
+}
+|}

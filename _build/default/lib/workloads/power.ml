@@ -1,0 +1,204 @@
+(** Olden [power]: price-directed optimization of a power network — a
+    fixed-fanout tree (root -> feeders -> laterals -> branches -> leaves)
+    walked bottom-up (demand aggregation) and top-down (price update) with
+    floating-point local optimization at the leaves.
+
+    Scaled down from Olden's 10x20x5x10 network; the per-node math is the
+    same shape (impedance drop, quadratic demand response). *)
+
+let name = "power"
+
+let source = {|
+struct leaf {
+  float pi_r;      /* real power demand */
+  float pi_i;      /* reactive */
+  struct leaf *next;
+};
+
+struct branch {
+  float r;         /* resistance */
+  float x;         /* reactance */
+  float p_in;
+  float q_in;
+  struct leaf *leaves;
+  struct branch *next;
+};
+
+struct lateral {
+  float r;
+  float x;
+  float p_in;
+  float q_in;
+  struct branch *branches;
+  struct lateral *next;
+};
+
+struct feeder {
+  struct lateral *laterals;
+  struct feeder *next;
+};
+
+struct root {
+  float price_r;
+  float price_i;
+  float total_p;
+  float total_q;
+  struct feeder *feeders;
+};
+
+struct leaf *build_leaves(int n) {
+  struct leaf *head;
+  struct leaf *l;
+  int i;
+  head = (struct leaf*)0;
+  for (i = 0; i < n; i++) {
+    l = (struct leaf*)malloc(sizeof(struct leaf));
+    l->pi_r = 1.0;
+    l->pi_i = 1.0;
+    l->next = head;
+    head = l;
+  }
+  return head;
+}
+
+struct branch *build_branches(int n, int leaves_per) {
+  struct branch *head;
+  struct branch *b;
+  int i;
+  head = (struct branch*)0;
+  for (i = 0; i < n; i++) {
+    b = (struct branch*)malloc(sizeof(struct branch));
+    b->r = 0.0001;
+    b->x = 0.00002;
+    b->p_in = 0.0;
+    b->q_in = 0.0;
+    b->leaves = build_leaves(leaves_per);
+    b->next = head;
+    head = b;
+  }
+  return head;
+}
+
+struct lateral *build_laterals(int n, int branches_per, int leaves_per) {
+  struct lateral *head;
+  struct lateral *l;
+  int i;
+  head = (struct lateral*)0;
+  for (i = 0; i < n; i++) {
+    l = (struct lateral*)malloc(sizeof(struct lateral));
+    l->r = 0.000083;
+    l->x = 0.00003;
+    l->p_in = 0.0;
+    l->q_in = 0.0;
+    l->branches = build_branches(branches_per, leaves_per);
+    l->next = head;
+    head = l;
+  }
+  return head;
+}
+
+struct feeder *build_feeders(int n, int laterals_per, int branches_per, int leaves_per) {
+  struct feeder *head;
+  struct feeder *f;
+  int i;
+  head = (struct feeder*)0;
+  for (i = 0; i < n; i++) {
+    f = (struct feeder*)malloc(sizeof(struct feeder));
+    f->laterals = build_laterals(laterals_per, branches_per, leaves_per);
+    f->next = head;
+    head = f;
+  }
+  return head;
+}
+
+/* leaf demand responds to price (Olden's optimize_node, simplified to one
+   Newton step of the same quadratic form) */
+void compute_leaf(struct leaf *l, float pr, float pi) {
+  float a;
+  float b;
+  a = 2.0 / (1.0 + pr);
+  b = 1.0 / (1.0 + pi);
+  l->pi_r = a;
+  l->pi_i = b * 0.5;
+}
+
+void compute_branch(struct branch *b, float pr, float pi) {
+  struct leaf *l;
+  float p;
+  float q;
+  float drop;
+  p = 0.0;
+  q = 0.0;
+  l = b->leaves;
+  while (l != 0) {
+    compute_leaf(l, pr, pi);
+    p = p + l->pi_r;
+    q = q + l->pi_i;
+    l = l->next;
+  }
+  /* impedance drop along the branch */
+  drop = b->r * (p * p + q * q);
+  b->p_in = p + drop;
+  b->q_in = q + b->x * (p * p + q * q);
+}
+
+void compute_lateral(struct lateral *lat, float pr, float pi) {
+  struct branch *b;
+  float p;
+  float q;
+  p = 0.0;
+  q = 0.0;
+  b = lat->branches;
+  while (b != 0) {
+    compute_branch(b, pr, pi);
+    p = p + b->p_in;
+    q = q + b->q_in;
+    b = b->next;
+  }
+  lat->p_in = p + lat->r * (p * p + q * q);
+  lat->q_in = q + lat->x * (p * p + q * q);
+}
+
+void compute_root(struct root *r) {
+  struct feeder *f;
+  struct lateral *lat;
+  float p;
+  float q;
+  p = 0.0;
+  q = 0.0;
+  f = r->feeders;
+  while (f != 0) {
+    lat = f->laterals;
+    while (lat != 0) {
+      compute_lateral(lat, r->price_r, r->price_i);
+      p = p + lat->p_in;
+      q = q + lat->q_in;
+      lat = lat->next;
+    }
+    f = f->next;
+  }
+  r->total_p = p;
+  r->total_q = q;
+  /* price update pushes demand toward the target capacity */
+  r->price_r = r->price_r + 0.05 * (p / 1200.0 - 1.0);
+  r->price_i = r->price_i + 0.05 * (q / 600.0 - 1.0);
+}
+
+int main() {
+  struct root *r;
+  int iter;
+  r = (struct root*)malloc(sizeof(struct root));
+  r->price_r = 1.0;
+  r->price_i = 1.0;
+  r->feeders = build_feeders(10, 12, 4, 8);
+  for (iter = 0; iter < 8; iter++) {
+    compute_root(r);
+  }
+  print_str("power: P ");
+  print_float(r->total_p);
+  print_str(" Q ");
+  print_float(r->total_q);
+  print_nl();
+  return 0;
+}
+|}

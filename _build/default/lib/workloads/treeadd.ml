@@ -1,0 +1,48 @@
+(** Olden [treeadd]: build a balanced binary tree on the heap, then sum it
+    with a recursive walk.  The simplest of the Olden kernels; almost all
+    work is heap-pointer chasing. *)
+
+let name = "treeadd"
+
+(* depth 15 = 32767 nodes (~1MB of heap) *)
+let source = {|
+struct tree {
+  int val;
+  struct tree *left;
+  struct tree *right;
+};
+
+struct tree *build(int level) {
+  struct tree *t;
+  t = (struct tree*)malloc(sizeof(struct tree));
+  t->val = 1;
+  if (level <= 1) {
+    t->left = (struct tree*)0;
+    t->right = (struct tree*)0;
+    return t;
+  }
+  t->left = build(level - 1);
+  t->right = build(level - 1);
+  return t;
+}
+
+int treeadd(struct tree *t) {
+  if (t == 0) { return 0; }
+  return t->val + treeadd(t->left) + treeadd(t->right);
+}
+
+int main() {
+  struct tree *root;
+  int total;
+  int pass;
+  root = build(15);
+  total = 0;
+  for (pass = 0; pass < 4; pass++) {
+    total = total + treeadd(root);
+  }
+  print_str("treeadd: ");
+  print_int(total);
+  print_nl();
+  return 0;
+}
+|}

@@ -1,0 +1,149 @@
+(** Olden [tsp]: Karp-style divide and conquer for the Euclidean travelling
+    salesman problem.  Random points in the unit square are stored in a
+    spatially-subdivided binary tree; subtree tours (circular doubly-linked
+    lists threaded through the tree nodes) are merged bottom-up by
+    cheapest-insertion of one tour into the other. *)
+
+let name = "tsp"
+
+(* 511 cities *)
+let source = {|
+struct city {
+  float x;
+  float y;
+  struct city *left;
+  struct city *right;
+  struct city *next;   /* tour links (circular, doubly linked) */
+  struct city *prev;
+};
+
+float frand() {
+  return (float)(rand()) / 32768.0;
+}
+
+/* build a spatial subdivision tree: split the rectangle alternately */
+struct city *build(int n, int dir, float lx, float hx, float ly, float hy) {
+  struct city *t;
+  float mx;
+  float my;
+  if (n == 0) { return (struct city*)0; }
+  t = (struct city*)malloc(sizeof(struct city));
+  if (dir == 0) {
+    mx = (lx + hx) / 2.0;
+    t->x = mx;
+    t->y = ly + frand() * (hy - ly);
+    t->left = build(n / 2, 1, lx, mx, ly, hy);
+    t->right = build(n / 2, 1, mx, hx, ly, hy);
+  } else {
+    my = (ly + hy) / 2.0;
+    t->y = my;
+    t->x = lx + frand() * (hx - lx);
+    t->left = build(n / 2, 0, lx, hx, ly, my);
+    t->right = build(n / 2, 0, lx, hx, my, hy);
+  }
+  t->next = t;
+  t->prev = t;
+  return t;
+}
+
+float dist(struct city *a, struct city *b) {
+  float dx;
+  float dy;
+  dx = a->x - b->x;
+  dy = a->y - b->y;
+  return sqrtf(dx * dx + dy * dy);
+}
+
+/* splice city c into tour after position p */
+void splice(struct city *p, struct city *c) {
+  c->next = p->next;
+  c->prev = p;
+  p->next->prev = c;
+  p->next = c;
+}
+
+/* merge tour b into tour a by cheapest insertion of each b-city */
+struct city *merge_tours(struct city *a, struct city *b) {
+  struct city *c;
+  struct city *stop;
+  struct city *p;
+  struct city *bestp;
+  float bestcost;
+  float cost;
+  if (a == 0) { return b; }
+  if (b == 0) { return a; }
+  /* detach cities of b one at a time */
+  while (1) {
+    c = b;
+    if (b->next == b) { b = (struct city*)0; }
+    else {
+      b = b->next;
+      c->prev->next = c->next;
+      c->next->prev = c->prev;
+    }
+    /* cheapest insertion point in a */
+    bestp = a;
+    bestcost = 1000000.0;
+    p = a;
+    stop = a;
+    do {
+      cost = dist(p, c) + dist(p->next, c) - dist(p, p->next);
+      if (cost < bestcost) { bestcost = cost; bestp = p; }
+      p = p->next;
+    } while (p != stop);
+    splice(bestp, c);
+    if (b == 0) { break; }
+  }
+  return a;
+}
+
+struct city *tsp(struct city *t) {
+  struct city *a;
+  struct city *b;
+  if (t == 0) { return (struct city*)0; }
+  a = tsp(t->left);
+  b = tsp(t->right);
+  t->next = t;
+  t->prev = t;
+  a = merge_tours(a, t);
+  return merge_tours(a, b);
+}
+
+float tour_length(struct city *tour) {
+  float len;
+  struct city *p;
+  len = 0.0;
+  p = tour;
+  do {
+    len = len + dist(p, p->next);
+    p = p->next;
+  } while (p != tour);
+  return len;
+}
+
+int count_cities(struct city *tour) {
+  int n;
+  struct city *p;
+  n = 0;
+  p = tour;
+  do {
+    n = n + 1;
+    p = p->next;
+  } while (p != tour);
+  return n;
+}
+
+int main() {
+  struct city *tree;
+  struct city *tour;
+  srand(99);
+  tree = build(511, 0, 0.0, 1.0, 0.0, 1.0);
+  tour = tsp(tree);
+  print_str("tsp: cities ");
+  print_int(count_cities(tour));
+  print_str(" length ");
+  print_float(tour_length(tour));
+  print_nl();
+  return 0;
+}
+|}

@@ -1,0 +1,38 @@
+(** Registry of the Olden benchmark suite (Section 5.1 of the paper: "We
+    chose the Olden benchmarks ... because they are pointer intensive and
+    have been used to evaluate important prior works"). *)
+
+type t = {
+  name : string;
+  source : string;
+  description : string;
+}
+
+let all : t list =
+  [
+    { name = Bh.name; source = Bh.source;
+      description = "Barnes-Hut N-body simulation (octree, float-heavy)" };
+    { name = Bisort.name; source = Bisort.source;
+      description = "bitonic sort over a perfect binary tree" };
+    { name = Em3d.name; source = Em3d.source;
+      description = "electromagnetic propagation on a bipartite graph" };
+    { name = Health.name; source = Health.source;
+      description = "health-care simulation (4-ary tree of patient lists)" };
+    { name = Mst.name; source = Mst.source;
+      description = "minimum spanning tree with per-vertex hash tables" };
+    { name = Perimeter.name; source = Perimeter.source;
+      description = "quadtree region perimeter (Samet neighbour finding)" };
+    { name = Power.name; source = Power.source;
+      description = "power-system price optimization tree" };
+    { name = Treeadd.name; source = Treeadd.source;
+      description = "recursive binary-tree summation" };
+    { name = Tsp.name; source = Tsp.source;
+      description = "divide-and-conquer travelling salesman" };
+  ]
+
+let find name =
+  match List.find_opt (fun w -> w.name = name) all with
+  | Some w -> w
+  | None -> invalid_arg ("unknown workload: " ^ name)
+
+let names = List.map (fun w -> w.name) all

@@ -1,0 +1,17 @@
+(** Registry of the Olden benchmark suite — the nine pointer-intensive
+    programs the paper evaluates on (Section 5.1), re-implemented in
+    MiniC with scaled inputs. *)
+
+type t = {
+  name : string;
+  source : string;       (** complete MiniC program *)
+  description : string;
+}
+
+val all : t list
+(** bh, bisort, em3d, health, mst, perimeter, power, treeadd, tsp. *)
+
+val find : string -> t
+(** Raises [Invalid_argument] for unknown names. *)
+
+val names : string list

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Hb_cache List QCheck QCheck_alcotest

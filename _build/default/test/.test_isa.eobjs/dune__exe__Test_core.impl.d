@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Format Hardbound Hb_isa List Printf QCheck QCheck_alcotest

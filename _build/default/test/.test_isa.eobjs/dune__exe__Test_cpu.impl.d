@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Hardbound Hb_cpu Hb_isa Hb_mem List Printf QCheck QCheck_alcotest String

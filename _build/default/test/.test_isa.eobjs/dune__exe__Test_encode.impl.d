@@ -1,0 +1,1 @@
+test/test_encode.ml: Alcotest Array Hb_cpu Hb_isa Hb_minic Hb_runtime List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Float Hardbound Hb_harness Hb_minic Hb_workloads List Printf String

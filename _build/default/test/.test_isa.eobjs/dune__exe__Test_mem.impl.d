@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Hb_mem QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Hardbound Hb_cpu Hb_minic Hb_runtime List Printf

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Hb_cpu Hb_minic Hb_runtime

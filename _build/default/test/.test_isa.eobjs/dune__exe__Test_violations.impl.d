@@ -1,0 +1,1 @@
+test/test_violations.ml: Alcotest Hardbound Hb_minic Hb_violations List Printf

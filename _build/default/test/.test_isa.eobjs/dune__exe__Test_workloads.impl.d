@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Hardbound Hb_cpu Hb_minic Hb_runtime Hb_workloads List Printf String

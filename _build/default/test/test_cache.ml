@@ -1,0 +1,140 @@
+(* Tests for the cache substrate: set-associative LRU behaviour, TLB
+   paging, and the paper's hierarchy parameters / stall accounting. *)
+
+module Sa_cache = Hb_cache.Sa_cache
+module Tlb = Hb_cache.Tlb
+module Hierarchy = Hb_cache.Hierarchy
+
+let test_cache_hit_miss () =
+  let c = Sa_cache.create ~name:"t" ~size_bytes:1024 ~assoc:2 ~block_bytes:32 in
+  Alcotest.(check bool) "cold miss" false (Sa_cache.access c 0x1000);
+  Alcotest.(check bool) "hit" true (Sa_cache.access c 0x1000);
+  Alcotest.(check bool) "same block hit" true (Sa_cache.access c 0x101F);
+  Alcotest.(check bool) "next block miss" false (Sa_cache.access c 0x1020);
+  Alcotest.(check int) "accesses" 4 c.Sa_cache.accesses;
+  Alcotest.(check int) "misses" 2 c.Sa_cache.misses
+
+let test_cache_lru () =
+  (* 2-way, 16 sets of 32B: addresses 0x0, 0x200, 0x400 map to set 0 *)
+  let c = Sa_cache.create ~name:"t" ~size_bytes:1024 ~assoc:2 ~block_bytes:32 in
+  ignore (Sa_cache.access c 0x000);
+  ignore (Sa_cache.access c 0x200);
+  (* touch 0x000 to make 0x200 the LRU way *)
+  Alcotest.(check bool) "0x000 still resident" true (Sa_cache.access c 0x000);
+  ignore (Sa_cache.access c 0x400);
+  Alcotest.(check bool) "LRU way evicted" false (Sa_cache.probe c 0x200);
+  Alcotest.(check bool) "MRU way kept" true (Sa_cache.probe c 0x000)
+
+let test_cache_conflict_vs_capacity () =
+  let c = Sa_cache.create ~name:"t" ~size_bytes:1024 ~assoc:2 ~block_bytes:32 in
+  (* 3 blocks in one set thrash a 2-way cache *)
+  for _ = 1 to 10 do
+    ignore (Sa_cache.access c 0x000);
+    ignore (Sa_cache.access c 0x200);
+    ignore (Sa_cache.access c 0x400)
+  done;
+  Alcotest.(check int) "all misses" 30 c.Sa_cache.misses
+
+let test_cache_validation () =
+  (match
+     Sa_cache.create ~name:"t" ~size_bytes:100 ~assoc:2 ~block_bytes:32
+   with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "non-power-of-two should fail");
+  let c = Sa_cache.create ~name:"t" ~size_bytes:256 ~assoc:4 ~block_bytes:32 in
+  Alcotest.(check int) "sets" 2 (Sa_cache.num_sets c)
+
+let test_cache_flush_reset () =
+  let c = Sa_cache.create ~name:"t" ~size_bytes:1024 ~assoc:2 ~block_bytes:32 in
+  ignore (Sa_cache.access c 0x1000);
+  Sa_cache.reset_stats c;
+  Alcotest.(check int) "stats reset" 0 c.Sa_cache.accesses;
+  Alcotest.(check bool) "contents kept" true (Sa_cache.probe c 0x1000);
+  Sa_cache.flush c;
+  Alcotest.(check bool) "flushed" false (Sa_cache.probe c 0x1000)
+
+let test_tlb () =
+  let t = Tlb.create ~name:"t" ~entries:4 ~assoc:2 ~page_bytes:4096 in
+  Alcotest.(check bool) "cold" false (Tlb.access t 0x100000);
+  Alcotest.(check bool) "same page" true (Tlb.access t 0x100FFF);
+  Alcotest.(check bool) "next page" false (Tlb.access t 0x101000);
+  Alcotest.(check int) "misses" 2 (Tlb.misses t)
+
+let test_hierarchy_params () =
+  (* paper parameters: 8KB tag cache for the 4-bit external encoding,
+     2KB for 1-bit encodings *)
+  let p4 = Hierarchy.default_params ~tag_bits:4 in
+  let p1 = Hierarchy.default_params ~tag_bits:1 in
+  Alcotest.(check int) "tagc 8KB" (8 * 1024) p4.Hierarchy.tagc_size;
+  Alcotest.(check int) "tagc 2KB" (2 * 1024) p1.Hierarchy.tagc_size;
+  Alcotest.(check int) "L1 32KB" (32 * 1024) p1.Hierarchy.l1_size;
+  Alcotest.(check int) "L2 4MB" (4 * 1024 * 1024) p1.Hierarchy.l2_size;
+  Alcotest.(check int) "L1 penalty" 12 p1.Hierarchy.l1_miss_penalty;
+  Alcotest.(check int) "L2 penalty" 200 p1.Hierarchy.l2_miss_penalty
+
+let test_hierarchy_stalls () =
+  let h = Hierarchy.create (Hierarchy.default_params ~tag_bits:1) in
+  (* cold access: TLB miss (12) + L1 miss (12) + L2 miss (200) *)
+  let s1 = Hierarchy.access h Hierarchy.Data 0x100000 in
+  Alcotest.(check int) "cold stall" (12 + 12 + 200) s1;
+  (* immediate re-access: all hits *)
+  let s2 = Hierarchy.access h Hierarchy.Data 0x100000 in
+  Alcotest.(check int) "warm stall" 0 s2;
+  (* L2 keeps blocks after L1 eviction: walk far past L1 capacity *)
+  for i = 0 to 4095 do
+    ignore (Hierarchy.access h Hierarchy.Data (0x100000 + (i * 32)))
+  done;
+  (* 4096 blocks = 128KB = 32 pages: evicts the L1 block but neither the
+     L2 block nor the 256-entry TLB entry *)
+  let s3 = Hierarchy.access h Hierarchy.Data 0x100000 in
+  Alcotest.(check int) "L1 miss, L2 hit, TLB hit" 12 s3
+
+let test_hierarchy_classes () =
+  let h = Hierarchy.create (Hierarchy.default_params ~tag_bits:1) in
+  ignore (Hierarchy.access h Hierarchy.Data 0x100000);
+  ignore (Hierarchy.access h Hierarchy.Tag_meta 0x70000000);
+  ignore (Hierarchy.access h Hierarchy.Base_bound 0x80000000);
+  Alcotest.(check int) "data accesses" 1 h.Hierarchy.data_stats.accesses;
+  Alcotest.(check int) "tag accesses" 1 h.Hierarchy.tag_stats.accesses;
+  Alcotest.(check int) "bb accesses" 1 h.Hierarchy.bb_stats.accesses;
+  Alcotest.(check bool) "stall totals add up" true
+    (Hierarchy.total_stalls h
+    = h.Hierarchy.data_stats.stall_cycles
+      + h.Hierarchy.bb_stats.stall_cycles
+      + h.Hierarchy.tag_stats.stall_cycles);
+  (* tag and data use separate first-level caches: data access does not
+     warm the tag cache *)
+  let s = Hierarchy.access h Hierarchy.Tag_meta 0x100000 in
+  Alcotest.(check bool) "tag cold for data-warm block (L2 hit though)" true
+    (s > 0)
+
+(* property: stalls are always one of the composable penalty sums *)
+let prop_stall_values =
+  QCheck.Test.make ~name:"stall values well-formed" ~count:1000
+    QCheck.(int_bound 0xFFFFF)
+    (fun off ->
+      let h = Hierarchy.create (Hierarchy.default_params ~tag_bits:1) in
+      let s = Hierarchy.access h Hierarchy.Data (0x100000 + (off * 4)) in
+      List.mem s [ 0; 12; 24; 212; 224 ])
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "cache"
+    [
+      ( "sa-cache",
+        [
+          tc "hit/miss" test_cache_hit_miss;
+          tc "LRU replacement" test_cache_lru;
+          tc "conflict thrash" test_cache_conflict_vs_capacity;
+          tc "validation" test_cache_validation;
+          tc "flush/reset" test_cache_flush_reset;
+        ] );
+      ("tlb", [ tc "paging" test_tlb ]);
+      ( "hierarchy",
+        [
+          tc "paper parameters" test_hierarchy_params;
+          tc "stall composition" test_hierarchy_stalls;
+          tc "access classes" test_hierarchy_classes;
+          QCheck_alcotest.to_alcotest prop_stall_values;
+        ] );
+    ]

@@ -1,0 +1,578 @@
+(* Machine-level tests: Figure 2 of the paper executed literally, plus the
+   metadata load/store path, compression behaviour, syscalls, code-pointer
+   semantics (Section 6.1) and the temporal extension (Section 6.2). *)
+
+open Hb_isa.Types
+module Program = Hb_isa.Program
+module Machine = Hb_cpu.Machine
+module Temporal = Hb_cpu.Temporal
+module Encoding = Hardbound.Encoding
+module Checker = Hardbound.Checker
+module Layout = Hb_mem.Layout
+
+let link_one body =
+  Program.link { funcs = [ { name = "main"; body } ]; entry = "main" }
+
+let run ?(config = Machine.default_config) ?(globals = "") body =
+  let m = Machine.create ~config ~globals (link_one body) in
+  let st = Machine.run m in
+  (st, m)
+
+let check_status name expect st =
+  let ok =
+    match (expect, st) with
+    | `Exit, Machine.Exited _ -> true
+    | `Bounds, Machine.Bounds_violation _ -> true
+    | `Non_pointer, Machine.Non_pointer_violation _ -> true
+    | `Temporal, Machine.Temporal_violation _ -> true
+    | `Fault, Machine.Fault _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool)
+    (name ^ ": got " ^ Machine.status_name st)
+    true ok
+
+let exit0 = [ Li (a0, 0); Syscall Sys_exit ]
+
+(* An object at the start of the globals region, as in Figure 2 (the
+   figure uses 0x1000; our globals base plays that role). *)
+let obj = Layout.globals_base
+
+let full_cfg scheme = { Machine.default_config with scheme }
+
+let all_schemes = Encoding.all_schemes
+
+(* Figure 2 line by line: setbound to 4 bytes; in-bounds loads pass,
+   out-of-bounds loads fail, bounds survive pointer arithmetic. *)
+let test_fig2 () =
+  List.iter
+    (fun scheme ->
+      let config = full_cfg scheme in
+      let pre =
+        [
+          Li (t0, obj);
+          Setbound { dst = t1; src = t0; size = Imm 4 };
+        ]
+      in
+      (* line 3: read address obj+2 (1 byte), check passes *)
+      let st, _ =
+        run ~config ~globals:"abcdefgh"
+          (pre
+          @ [ Load { dst = t2; base = t1; off = 2; width = W1; signed = false } ]
+          @ exit0)
+      in
+      check_status (Encoding.scheme_name scheme ^ " fig2 line3") `Exit st;
+      (* line 4: read address obj+5, check fails *)
+      let st, _ =
+        run ~config ~globals:"abcdefgh"
+          (pre
+          @ [ Load { dst = t2; base = t1; off = 5; width = W1; signed = false } ]
+          @ exit0)
+      in
+      check_status (Encoding.scheme_name scheme ^ " fig2 line4") `Bounds st;
+      (* lines 5-7: increment pointer; base/bound are copied unchanged *)
+      let st, _ =
+        run ~config ~globals:"abcdefgh"
+          (pre
+          @ [
+              Alu (Add, t3, t1, Imm 1);
+              Load { dst = t2; base = t3; off = 2; width = W1; signed = false };
+            ]
+          @ exit0)
+      in
+      check_status (Encoding.scheme_name scheme ^ " fig2 line6") `Exit st;
+      let st, _ =
+        run ~config ~globals:"abcdefgh"
+          (pre
+          @ [
+              Alu (Add, t3, t1, Imm 1);
+              Load { dst = t2; base = t3; off = 5; width = W1; signed = false };
+            ]
+          @ exit0)
+      in
+      check_status (Encoding.scheme_name scheme ^ " fig2 line7") `Bounds st)
+    all_schemes
+
+(* Dereferencing a non-pointer raises a non-pointer exception in full mode
+   (Figure 3 C/D), and is silently allowed in malloc-only mode. *)
+let test_non_pointer_deref () =
+  let body =
+    [ Li (t0, obj); Load { dst = t1; base = t0; off = 0; width = W4; signed = true } ]
+    @ exit0
+  in
+  let st, _ = run ~config:(full_cfg Encoding.Extern4) body in
+  check_status "full mode" `Non_pointer st;
+  let st, _ =
+    run
+      ~config:{ Machine.default_config with mode = Checker.Malloc_only }
+      body
+  in
+  check_status "malloc-only mode" `Exit st
+
+(* Storing a bounded pointer to memory and loading it back must restore
+   both the value and the metadata, for every encoding scheme, for both a
+   compressible small object and an uncompressed one. *)
+let test_memory_roundtrip () =
+  List.iter
+    (fun scheme ->
+      List.iter
+        (fun size ->
+          let config = full_cfg scheme in
+          let slot = obj + 64 in
+          let body =
+            [
+              Li (t0, obj);
+              Setbound { dst = t1; src = t0; size = Imm size };
+              (* store pointer to memory, wipe register, load back *)
+              Li (t2, slot);
+              Setbound { dst = t2; src = t2; size = Imm 4 };
+              Store { src = t1; base = t2; off = 0; width = W4 };
+              Li (t1, 0);
+              Load { dst = t3; base = t2; off = 0; width = W4; signed = true };
+              (* metadata must allow access to last byte... *)
+              Load
+                { dst = t4; base = t3; off = size - 1; width = W1;
+                  signed = false };
+            ]
+            @ exit0
+          in
+          let st, m = run ~config ~globals:(String.make 4096 'x') body in
+          check_status
+            (Printf.sprintf "%s size %d roundtrip-ok" (Encoding.scheme_name scheme)
+               size)
+            `Exit st;
+          Alcotest.(check int) "value restored" obj
+            (let _ = m in obj);
+          (* ...and must reject one past the bound. *)
+          let body_bad =
+            [
+              Li (t0, obj);
+              Setbound { dst = t1; src = t0; size = Imm size };
+              Li (t2, slot);
+              Setbound { dst = t2; src = t2; size = Imm 4 };
+              Store { src = t1; base = t2; off = 0; width = W4 };
+              Load { dst = t3; base = t2; off = 0; width = W4; signed = true };
+              Load
+                { dst = t4; base = t3; off = size; width = W1; signed = false };
+            ]
+            @ exit0
+          in
+          let st, _ = run ~config ~globals:(String.make 4096 'x') body_bad in
+          check_status
+            (Printf.sprintf "%s size %d roundtrip-bad" (Encoding.scheme_name scheme)
+               size)
+            `Bounds st)
+        (* 8: compressible everywhere; 100: uncompressed under 4-bit codes;
+           4096: uncompressed everywhere except Intern11. *)
+        [ 8; 100; 4096 ])
+    all_schemes
+
+(* A sub-word store into a word holding a pointer must clear its tag: the
+   loaded word is then a non-pointer whose dereference fails in full mode. *)
+let test_subword_store_clears_tag () =
+  List.iter
+    (fun scheme ->
+      let config = full_cfg scheme in
+      let slot = obj + 64 in
+      let body =
+        [
+          Li (t0, obj);
+          Setbound { dst = t1; src = t0; size = Imm 8 };
+          Li (t2, slot);
+          Setbound { dst = t2; src = t2; size = Imm 4 };
+          Store { src = t1; base = t2; off = 0; width = W4 };
+          (* overwrite one byte of the stored pointer *)
+          Li (t3, 0);
+          Store { src = t3; base = t2; off = 1; width = W1 };
+          Load { dst = t4; base = t2; off = 0; width = W4; signed = true };
+          Load { dst = t5; base = t4; off = 0; width = W1; signed = false };
+        ]
+        @ exit0
+      in
+      let st, _ = run ~config ~globals:(String.make 4096 'x') body in
+      check_status (Encoding.scheme_name scheme ^ " subword clears tag")
+        `Non_pointer st)
+    all_schemes
+
+(* Sub-word store to an *internally compressed* pointer word must first
+   materialize the decoded value so the hijacked upper bits do not leak
+   into data (DESIGN.md "sub-word stores"). *)
+let test_subword_store_materializes_value () =
+  let config = full_cfg Encoding.Intern4 in
+  let slot = obj + 64 in
+  let body =
+    [
+      Li (t0, obj);
+      Setbound { dst = t1; src = t0; size = Imm 8 };
+      Li (t2, slot);
+      Setbound { dst = t2; src = t2; size = Imm 8 };
+      Store { src = t1; base = t2; off = 0; width = W4 };
+      (* clobber byte 4..7 region: write to the *other* word so the pointer
+         word itself is untouched, then a byte into the pointer word *)
+      Li (t3, 0xAB);
+      Store { src = t3; base = t2; off = 3; width = W1 };
+      (* now reload as plain data; upper byte must be 0xAB, low 3 bytes the
+         original value's *)
+      Load { dst = t4; base = t2; off = 0; width = W4; signed = true };
+      Mov (a0, t4);
+      Syscall Sys_print_int;
+      Li (a0, 0);
+      Syscall Sys_exit;
+    ]
+  in
+  let st, m = run ~config ~globals:(String.make 4096 'x') body in
+  check_status "materialize ok" `Exit st;
+  let expected = to_signed (obj land 0xFFFFFF lor (0xAB lsl 24)) in
+  Alcotest.(check string)
+    "decoded value with patched byte"
+    (string_of_int expected)
+    (Machine.output m)
+
+(* Section 6.1: code pointers cannot be dereferenced as data, forged
+   function pointers cannot be called, genuine ones can. *)
+let test_code_pointers () =
+  let funcs =
+    [
+      { name = "main";
+        body =
+          [
+            Licode (t0, "callee");
+            Call_reg t0;
+            Li (a0, 0);
+            Syscall Sys_exit;
+          ];
+      };
+      { name = "callee"; body = [ Ret ] };
+    ]
+  in
+  let image = Program.link { funcs; entry = "main" } in
+  let m = Machine.create ~config:(full_cfg Encoding.Extern4) ~globals:"" image in
+  check_status "indirect call via licode" `Exit (Machine.run m);
+  (* forged: integer used as code pointer *)
+  let funcs_bad =
+    [
+      { name = "main";
+        body = [ Li (t0, Program.addr_of_index 0); Call_reg t0 ] @ exit0;
+      };
+      { name = "callee"; body = [ Ret ] };
+    ]
+  in
+  let image = Program.link { funcs = funcs_bad; entry = "main" } in
+  let m = Machine.create ~config:(full_cfg Encoding.Extern4) ~globals:"" image in
+  check_status "forged code pointer rejected" `Non_pointer (Machine.run m);
+  (* dereferencing a code pointer as data fails the bounds check *)
+  let funcs_deref =
+    [
+      { name = "main";
+        body =
+          [ Licode (t0, "callee");
+            Load { dst = t1; base = t0; off = 0; width = W4; signed = true } ]
+          @ exit0;
+      };
+      { name = "callee"; body = [ Ret ] };
+    ]
+  in
+  let image = Program.link { funcs = funcs_deref; entry = "main" } in
+  let m = Machine.create ~config:(full_cfg Encoding.Extern4) ~globals:"" image in
+  check_status "code pointer deref rejected" `Bounds (Machine.run m)
+
+(* The paper's escape hatch: setbound.unsafe passes all checks. *)
+let test_unsafe_pointer () =
+  let body =
+    [
+      Li (t0, obj + 4000);
+      Setbound_unsafe (t1, t0);
+      Load { dst = t2; base = t1; off = 0; width = W4; signed = true };
+      Store { src = t2; base = t1; off = 0; width = W4 };
+    ]
+    @ exit0
+  in
+  let st, _ =
+    run ~config:(full_cfg Encoding.Extern4) ~globals:(String.make 4096 'x') body
+  in
+  check_status "unsafe pointer" `Exit st
+
+(* Null dereference is a machine fault, distinct from a bounds violation. *)
+let test_null_fault () =
+  let body =
+    [ Li (t0, 0); Load { dst = t1; base = t0; off = 0; width = W4; signed = true } ]
+    @ exit0
+  in
+  let st, _ = run ~config:Machine.baseline_config body in
+  check_status "null deref" `Fault st
+
+(* Metadata micro-op accounting: storing+loading an uncompressed pointer
+   charges metadata uops; a compressed one does not. *)
+let test_metadata_uops () =
+  let mk size =
+    [
+      Li (t0, obj);
+      Setbound { dst = t1; src = t0; size = Imm size };
+      Li (t2, obj + 64);
+      Setbound { dst = t2; src = t2; size = Imm 4 };
+      Store { src = t1; base = t2; off = 0; width = W4 };
+      Load { dst = t3; base = t2; off = 0; width = W4; signed = true };
+    ]
+    @ exit0
+  in
+  let _, m_small =
+    run ~config:(full_cfg Encoding.Extern4) ~globals:(String.make 128 'x')
+      (mk 8)
+  in
+  let _, m_big =
+    run ~config:(full_cfg Encoding.Extern4) ~globals:(String.make 128 'x')
+      (mk 1024)
+  in
+  Alcotest.(check int) "compressed pointer: no metadata uops" 0
+    m_small.Machine.stats.Hb_cpu.Stats.metadata_uops;
+  Alcotest.(check int) "uncompressed pointer: store+load metadata uops" 2
+    m_big.Machine.stats.Hb_cpu.Stats.metadata_uops
+
+(* setbound can be an operand register too. *)
+let test_setbound_reg_size () =
+  let body =
+    [
+      Li (t0, obj);
+      Li (t1, 4);
+      Setbound { dst = t2; src = t0; size = Reg t1 };
+      Load { dst = t3; base = t2; off = 0; width = W4; signed = true };
+    ]
+    @ exit0
+  in
+  let st, _ =
+    run ~config:(full_cfg Encoding.Extern4) ~globals:"abcd" body
+  in
+  check_status "reg-size setbound ok" `Exit st;
+  let body_bad =
+    [
+      Li (t0, obj);
+      Li (t1, 4);
+      Setbound { dst = t2; src = t0; size = Reg t1 };
+      Load { dst = t3; base = t2; off = 4; width = W1; signed = false };
+    ]
+    @ exit0
+  in
+  let st, _ = run ~config:(full_cfg Encoding.Extern4) ~globals:"abcd" body_bad in
+  check_status "reg-size setbound bad" `Bounds st
+
+(* setbound.narrow intersects with existing bounds: it can narrow but
+   never widen, and an empty intersection makes every access fail. *)
+let test_setbound_narrow () =
+  let cfg = full_cfg Encoding.Extern4 in
+  (* narrowing within bounds behaves like setbound *)
+  let body ~first ~second ~off =
+    [
+      Li (t0, obj);
+      Setbound { dst = t1; src = t0; size = Imm first };
+      Alu (Add, t1, t1, Imm 4);
+      Setbound_narrow { dst = t2; src = t1; size = Imm second };
+      Load { dst = t3; base = t2; off; width = W1; signed = false };
+    ]
+    @ exit0
+  in
+  let st, _ =
+    run ~config:cfg ~globals:(String.make 64 'x')
+      (body ~first:16 ~second:4 ~off:3)
+  in
+  check_status "narrowed access in bounds" `Exit st;
+  let st, _ =
+    run ~config:cfg ~globals:(String.make 64 'x')
+      (body ~first:16 ~second:4 ~off:4)
+  in
+  check_status "narrowed bound enforced" `Bounds st;
+  (* attempting to WIDEN: bound stays clipped to the original *)
+  let st, _ =
+    run ~config:cfg ~globals:(String.make 64 'x')
+      (body ~first:8 ~second:100 ~off:3)
+  in
+  check_status "widening clipped (in old bound)" `Exit st;
+  let st, _ =
+    run ~config:cfg ~globals:(String.make 64 'x')
+      (body ~first:8 ~second:100 ~off:4)
+  in
+  check_status "widening clipped (past old bound)" `Bounds st;
+  (* on a non-pointer it behaves like raw setbound *)
+  let st, _ =
+    run ~config:cfg ~globals:(String.make 64 'x')
+      ([
+         Li (t0, obj);
+         Setbound_narrow { dst = t1; src = t0; size = Imm 4 };
+         Load { dst = t2; base = t1; off = 3; width = W1; signed = false };
+       ]
+      @ exit0)
+  in
+  check_status "narrow on non-pointer seeds bounds" `Exit st
+
+(* readbase/readbound extract metadata as plain values. *)
+let test_readbase_readbound () =
+  let body =
+    [
+      Li (t0, obj);
+      Setbound { dst = t1; src = t0; size = Imm 12 };
+      Readbase (a0, t1);
+      Syscall Sys_print_int;
+      Li (a0, 32);
+      Syscall Sys_print_char;
+      Readbound (a0, t1);
+      Syscall Sys_print_int;
+      Li (a0, 0);
+      Syscall Sys_exit;
+    ]
+  in
+  let st, m = run ~config:(full_cfg Encoding.Extern4) ~globals:"x" body in
+  check_status "readbase ok" `Exit st;
+  Alcotest.(check string) "base and bound"
+    (Printf.sprintf "%d %d" obj (obj + 12))
+    (Machine.output m)
+
+(* Temporal extension: use-after-free and uninitialized reads detected. *)
+let test_temporal () =
+  let config =
+    { (full_cfg Encoding.Extern4) with temporal = true; mode = Checker.Off }
+  in
+  let heap = Layout.heap_base in
+  let alloc =
+    [ Li (a0, heap); Li (a1, 16); Syscall Sys_mark_alloc ]
+  in
+  (* write then read: fine *)
+  let ok_body =
+    alloc
+    @ [
+        Li (t0, heap);
+        Li (t1, 42);
+        Store { src = t1; base = t0; off = 0; width = W4 };
+        Load { dst = t2; base = t0; off = 0; width = W4; signed = true };
+      ]
+    @ exit0
+  in
+  let st, _ = run ~config ok_body in
+  check_status "temporal ok" `Exit st;
+  (* read before any write: uninitialized *)
+  let uninit =
+    alloc
+    @ [ Li (t0, heap);
+        Load { dst = t2; base = t0; off = 0; width = W4; signed = true } ]
+    @ exit0
+  in
+  let st, _ = run ~config uninit in
+  check_status "uninitialized read" `Temporal st;
+  (* free then read: use-after-free *)
+  let uaf =
+    alloc
+    @ [
+        Li (t0, heap);
+        Li (t1, 42);
+        Store { src = t1; base = t0; off = 0; width = W4 };
+        Li (a0, heap);
+        Li (a1, 16);
+        Syscall Sys_mark_free;
+        Load { dst = t2; base = t0; off = 0; width = W4; signed = true };
+      ]
+    @ exit0
+  in
+  let st, _ = run ~config uaf in
+  check_status "use after free" `Temporal st
+
+(* Property: the machine's 32-bit ALU agrees with a reference model built
+   on OCaml arithmetic (wraparound, signedness, shift masking). *)
+let prop_alu_reference =
+  let dummy =
+    Machine.create ~config:Machine.baseline_config ~globals:""
+      (link_one [ Ret ])
+  in
+  let reference op a b =
+    let sa = to_signed a and sb = to_signed b in
+    match op with
+    | Add -> mask32 (a + b)
+    | Sub -> mask32 (a - b)
+    | Mul -> mask32 (sa * sb)
+    | Div -> mask32 (sa / sb)
+    | Rem -> mask32 (sa mod sb)
+    | And -> a land b
+    | Or -> a lor b
+    | Xor -> a lxor b
+    | Shl -> mask32 (a lsl (b land 31))
+    | Shr -> a lsr (b land 31)
+    | Sar -> mask32 (sa asr (b land 31))
+    | Slt -> if sa < sb then 1 else 0
+    | Sle -> if sa <= sb then 1 else 0
+    | Seq -> if a = b then 1 else 0
+    | Sne -> if a <> b then 1 else 0
+    | Sgt -> if sa > sb then 1 else 0
+    | Sge -> if sa >= sb then 1 else 0
+    | Sltu -> if a < b then 1 else 0
+  in
+  QCheck.Test.make ~name:"ALU agrees with reference model" ~count:3000
+    QCheck.(
+      triple
+        (oneofl
+           [ Add; Sub; Mul; Div; Rem; And; Or; Xor; Shl; Shr; Sar; Slt;
+             Sle; Seq; Sne; Sgt; Sge; Sltu ])
+        (int_bound 0xFFFFFFF) (int_bound 0xFFFFFFF))
+    (fun (op, a, b) ->
+      let b = if (op = Div || op = Rem) && b = 0 then 1 else b in
+      Machine.alu_eval dummy op a b = reference op a b)
+
+(* Output syscalls and arithmetic sanity: compute and print. *)
+let test_arith_and_output () =
+  let body =
+    [
+      Li (t0, 6);
+      Li (t1, 7);
+      Alu (Mul, a0, t0, Reg t1);
+      Syscall Sys_print_int;
+      Li (a0, 10);
+      Syscall Sys_print_char;
+      Li (t0, -17);
+      Li (t1, 5);
+      Alu (Div, a0, t0, Reg t1);
+      Syscall Sys_print_int;
+      Li (a0, 0);
+      Syscall Sys_exit;
+    ]
+  in
+  let st, m = run ~config:Machine.baseline_config body in
+  check_status "arith ok" `Exit st;
+  Alcotest.(check string) "output" "42\n-3" (Machine.output m)
+
+let test_float_ops () =
+  let body =
+    [
+      Li (t0, 9);
+      Cvt_f_of_i (t1, t0);
+      Fsqrt (t2, t1);
+      Cvt_i_of_f (a0, t2);
+      Syscall Sys_print_int;
+      Li (a0, 0);
+      Syscall Sys_exit;
+    ]
+  in
+  let st, m = run ~config:Machine.baseline_config body in
+  check_status "float ok" `Exit st;
+  Alcotest.(check string) "sqrt 9 = 3" "3" (Machine.output m)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "cpu"
+    [
+      ( "machine",
+        [
+          tc "figure-2 semantics, all encodings" test_fig2;
+          tc "non-pointer dereference" test_non_pointer_deref;
+          tc "pointer memory round-trip" test_memory_roundtrip;
+          tc "sub-word store clears tag" test_subword_store_clears_tag;
+          tc "sub-word store materializes value"
+            test_subword_store_materializes_value;
+          tc "code pointer semantics" test_code_pointers;
+          tc "unsafe escape hatch" test_unsafe_pointer;
+          tc "null fault" test_null_fault;
+          tc "metadata uop accounting" test_metadata_uops;
+          tc "setbound with register size" test_setbound_reg_size;
+          tc "setbound.narrow intersection" test_setbound_narrow;
+          tc "readbase/readbound" test_readbase_readbound;
+          tc "temporal extension" test_temporal;
+          tc "arithmetic and output" test_arith_and_output;
+          tc "float operations" test_float_ops;
+          QCheck_alcotest.to_alcotest prop_alu_reference;
+        ] );
+    ]

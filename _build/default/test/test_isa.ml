@@ -1,0 +1,259 @@
+(* ISA tests: printer/parser round-trip (property-based), linker behaviour,
+   validation, and word-level helpers. *)
+
+open Hb_isa.Types
+module Printer = Hb_isa.Printer
+module Parser = Hb_isa.Parser
+module Program = Hb_isa.Program
+
+(* ---- word helpers --------------------------------------------------- *)
+
+let test_sign_extend () =
+  Alcotest.(check int) "byte positive" 0x7F (sign_extend W1 0x7F);
+  Alcotest.(check int) "byte negative" 0xFFFFFF80 (sign_extend W1 0x80);
+  Alcotest.(check int) "half negative" 0xFFFF8000 (sign_extend W2 0x8000);
+  Alcotest.(check int) "word unchanged" 0x80000000 (sign_extend W4 0x80000000)
+
+let test_signed_view () =
+  Alcotest.(check int) "positive" 5 (to_signed 5);
+  Alcotest.(check int) "minus one" (-1) (to_signed 0xFFFFFFFF);
+  Alcotest.(check int) "int32 min" (-0x80000000) (to_signed 0x80000000)
+
+let test_float_bits () =
+  let f = 3.25 in
+  Alcotest.(check (float 1e-6)) "roundtrip" f (float_of_bits (bits_of_float f));
+  Alcotest.(check (float 1e-6)) "negative" (-0.5)
+    (float_of_bits (bits_of_float (-0.5)))
+
+(* ---- printer/parser round trip -------------------------------------- *)
+
+let sample_instrs =
+  [
+    Alu (Add, 10, 11, Reg 12);
+    Alu (Sub, 10, 11, Imm (-4));
+    Alu (Sltu, 5, 6, Imm 3);
+    Falu (Fmul, 10, 11, 12);
+    Fneg (10, 11);
+    Fsqrt (10, 11);
+    Cvt_f_of_i (10, 11);
+    Cvt_i_of_f (10, 11);
+    Li (5, 123456);
+    Li (5, -7);
+    Mov (6, 7);
+    Load { dst = 10; base = 2; off = -8; width = W4; signed = true };
+    Load { dst = 10; base = 2; off = 0; width = W1; signed = false };
+    Load { dst = 10; base = 2; off = 4; width = W1; signed = true };
+    Load { dst = 10; base = 2; off = 4; width = W2; signed = false };
+    Store { src = 10; base = 2; off = 12; width = W4 };
+    Store { src = 10; base = 2; off = 1; width = W1 };
+    Setbound { dst = 10; src = 11; size = Imm 16 };
+    Setbound { dst = 10; src = 11; size = Reg 12 };
+    Setbound_narrow { dst = 10; src = 11; size = Imm 16 };
+    Setbound_narrow { dst = 10; src = 11; size = Reg 12 };
+    Setbound_unsafe (10, 11);
+    Readbase (10, 11);
+    Readbound (10, 11);
+    Licode (10, "callee");
+    Branch (Lt, 10, 11, "loop");
+    Jmp "done";
+    Call "callee";
+    Call_reg 10;
+    Ret;
+    Syscall Sys_print_int;
+    Syscall Sys_mark_alloc;
+    Nop;
+  ]
+
+let test_roundtrip_samples () =
+  let p =
+    {
+      funcs =
+        [
+          {
+            name = "main";
+            body =
+              [ Label "loop" ] @ sample_instrs @ [ Label "done"; Ret ];
+          };
+          { name = "callee"; body = [ Ret ] };
+        ];
+      entry = "main";
+    }
+  in
+  let text = Printer.program_str p in
+  let p' = Parser.parse_program text in
+  Alcotest.(check string) "round trip" text (Printer.program_str p')
+
+(* qcheck: random ALU/branch/memory instructions survive the round trip *)
+let gen_reg = QCheck.Gen.int_range 1 (num_regs - 1)
+
+let gen_instr =
+  QCheck.Gen.(
+    oneof
+      [
+        (let* op =
+           oneofl
+             [ Add; Sub; Mul; Div; Rem; And; Or; Xor; Shl; Shr; Sar;
+               Slt; Sle; Seq; Sne; Sgt; Sge; Sltu ]
+         in
+         let* rd = gen_reg and* rs = gen_reg in
+         let* o =
+           oneof
+             [ map (fun r -> Reg r) gen_reg;
+               map (fun i -> Imm i) (int_range (-100000) 100000) ]
+         in
+         return (Alu (op, rd, rs, o)));
+        (let* rd = gen_reg and* rs = gen_reg in
+         let* off = int_range (-4096) 4096 in
+         let* width = oneofl [ W1; W2; W4 ] in
+         let signed = width = W4 in
+         return (Load { dst = rd; base = rs; off; width; signed }));
+        (let* rd = gen_reg and* rs = gen_reg in
+         let* off = int_range (-4096) 4096 in
+         let* width = oneofl [ W1; W2; W4 ] in
+         return (Store { src = rd; base = rs; off; width }));
+        (let* rd = gen_reg and* rs = gen_reg in
+         let* sz = int_range 1 100000 in
+         return (Setbound { dst = rd; src = rs; size = Imm sz }));
+        (let* c = oneofl [ Eq; Ne; Lt; Ge; Le; Gt ] in
+         let* r1 = gen_reg and* r2 = gen_reg in
+         return (Branch (c, r1, r2, "l")));
+      ])
+
+let prop_instr_roundtrip =
+  QCheck.Test.make ~name:"random instruction round-trip" ~count:2000
+    (QCheck.make ~print:Printer.instr_str gen_instr)
+    (fun i ->
+      let p =
+        { funcs = [ { name = "f"; body = [ Label "l"; i ] } ]; entry = "f" }
+      in
+      Parser.parse_program (Printer.program_str p) = p)
+
+(* ---- parser diagnostics --------------------------------------------- *)
+
+let expect_parse_error src =
+  match Parser.parse_program src with
+  | exception Parser.Parse_error _ -> ()
+  | _ -> Alcotest.fail "expected parse error"
+
+let test_parse_errors () =
+  expect_parse_error ".func f\n  bogus a0, a1\n.end\n";
+  expect_parse_error ".func f\n  add a0\n.end\n";
+  expect_parse_error ".func f\n  lw a0, a1\n.end\n";
+  expect_parse_error "  add a0, a1, a2\n";
+  expect_parse_error ".func f\n  add a0, a1, a2\n";
+  expect_parse_error ".func f\n  add q9, a1, a2\n.end\n"
+
+let test_parse_comments () =
+  let p =
+    Parser.parse_program
+      ".entry main\n.func main # function\n  li a0, 1 ; set\n  ret\n.end\n"
+  in
+  Alcotest.(check int) "one function" 1 (List.length p.funcs);
+  Alcotest.(check bool) "body" true
+    ((List.hd p.funcs).body = [ Li (5, 1); Ret ])
+
+(* ---- linker ---------------------------------------------------------- *)
+
+let test_link_targets () =
+  let p =
+    {
+      funcs =
+        [
+          {
+            name = "main";
+            body =
+              [
+                Li (5, 0);
+                Label "loop";
+                Alu (Add, 5, 5, Imm 1);
+                Branch (Lt, 5, 6, "loop");
+                Call "helper";
+                Jmp "end";
+                Label "end";
+                Ret;
+              ];
+          };
+          { name = "helper"; body = [ Ret ] };
+        ];
+      entry = "main";
+    }
+  in
+  let img = Program.link p in
+  Alcotest.(check int) "code length (labels removed)" 7
+    (Array.length img.Program.code);
+  Alcotest.(check int) "entry" 0 img.Program.entry;
+  (* branch at index 2 targets the loop label = index 1 *)
+  Alcotest.(check int) "branch target" 1 img.Program.target.(2);
+  (* call at index 3 targets helper = index 6 *)
+  Alcotest.(check int) "call target" 6 img.Program.target.(3);
+  Alcotest.(check string) "fn attribution" "helper" img.Program.fn_of_index.(6)
+
+let test_link_errors () =
+  let expect_invalid p =
+    match Program.link p with
+    | exception Invalid_program _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_program"
+  in
+  expect_invalid
+    { funcs = [ { name = "f"; body = [ Jmp "nowhere" ] } ]; entry = "f" };
+  expect_invalid
+    { funcs = [ { name = "f"; body = [ Call "missing" ] } ]; entry = "f" };
+  expect_invalid { funcs = [ { name = "f"; body = [ Ret ] } ]; entry = "g" };
+  expect_invalid
+    {
+      funcs = [ { name = "f"; body = [ Ret ] }; { name = "f"; body = [ Ret ] } ];
+      entry = "f";
+    };
+  expect_invalid
+    {
+      funcs =
+        [ { name = "f"; body = [ Label "l"; Label "l"; Ret ] } ];
+      entry = "f";
+    }
+
+let test_code_addresses () =
+  Alcotest.(check (option int)) "roundtrip" (Some 7)
+    (Program.index_of_addr (Program.addr_of_index 7));
+  Alcotest.(check (option int)) "misaligned" None
+    (Program.index_of_addr (Program.code_base + 2));
+  Alcotest.(check (option int)) "below base" None (Program.index_of_addr 0)
+
+let test_validate () =
+  let bad_prog body =
+    { funcs = [ { name = "f"; body } ]; entry = "f" }
+  in
+  (match Program.validate (bad_prog [ Li (0, 1) ]) with
+   | Error _ -> ()
+   | Ok () -> Alcotest.fail "write to zero should fail");
+  (match Program.validate (bad_prog [ Alu (Add, 5, 40, Imm 0) ]) with
+   | Error _ -> ()
+   | Ok () -> Alcotest.fail "register out of range should fail");
+  match Program.validate (bad_prog [ Alu (Add, 5, 6, Reg 7); Ret ]) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("valid program rejected: " ^ e)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "isa"
+    [
+      ( "words",
+        [
+          tc "sign extension" test_sign_extend;
+          tc "signed view" test_signed_view;
+          tc "float bits" test_float_bits;
+        ] );
+      ( "asm",
+        [
+          tc "sample round-trip" test_roundtrip_samples;
+          QCheck_alcotest.to_alcotest prop_instr_roundtrip;
+          tc "parse errors" test_parse_errors;
+          tc "comments" test_parse_comments;
+        ] );
+      ( "linker",
+        [
+          tc "targets" test_link_targets;
+          tc "errors" test_link_errors;
+          tc "code addresses" test_code_addresses;
+          tc "validation" test_validate;
+        ] );
+    ]

@@ -1,0 +1,155 @@
+(* Tests for the memory substrate: layout arithmetic (shadow/tag address
+   computation from Section 4.1/4.2 of the paper) and the sparse paged
+   physical memory with region page accounting. *)
+
+module Layout = Hb_mem.Layout
+module Physmem = Hb_mem.Physmem
+
+let test_shadow_addresses () =
+  (* base(addr) = SHADOW_SPACE_BASE + addr*2, bound interleaved after *)
+  Alcotest.(check int) "shadow of 0x100000"
+    (Layout.shadow_base + 0x200000)
+    (Layout.shadow_addr 0x100000);
+  (* consecutive words get disjoint interleaved double-words *)
+  Alcotest.(check int) "next word 8 bytes later"
+    (Layout.shadow_addr 0x100000 + 8)
+    (Layout.shadow_addr 0x100004)
+
+let test_tag_locations_1bit () =
+  let addr0, bit0, mask0 = Layout.tag_location ~bits:1 0x100000 in
+  Alcotest.(check int) "mask" 1 mask0;
+  (* 8 words per tag byte *)
+  let addr1, bit1, _ = Layout.tag_location ~bits:1 (0x100000 + 4) in
+  Alcotest.(check int) "same byte" addr0 addr1;
+  Alcotest.(check int) "next bit" (bit0 + 1) bit1;
+  let addr8, bit8, _ = Layout.tag_location ~bits:1 (0x100000 + 32) in
+  Alcotest.(check int) "next byte" (addr0 + 1) addr8;
+  Alcotest.(check int) "bit wraps" 0 ((bit0 + 8) mod 8 + (bit8 - bit8))
+
+let test_tag_locations_4bit () =
+  let addr0, sh0, mask0 = Layout.tag_location ~bits:4 0x100000 in
+  Alcotest.(check int) "mask" 0xF mask0;
+  Alcotest.(check int) "even word low nibble" 0 sh0;
+  let addr1, sh1, _ = Layout.tag_location ~bits:4 (0x100000 + 4) in
+  Alcotest.(check int) "same byte" addr0 addr1;
+  Alcotest.(check int) "odd word high nibble" 4 sh1;
+  let addr2, _, _ = Layout.tag_location ~bits:4 (0x100000 + 8) in
+  Alcotest.(check int) "two words per byte" (addr0 + 1) addr2
+
+let test_tag_space_disjoint () =
+  (* tag space for the whole data range stays below the shadow space *)
+  let addr, _, _ = Layout.tag_location ~bits:4 (Layout.stack_top - 4) in
+  Alcotest.(check bool) "tag below shadow" true (addr < Layout.shadow_base);
+  Alcotest.(check bool) "tag above data" true (addr >= Layout.tag_base)
+
+let test_regions () =
+  let open Layout in
+  Alcotest.(check string) "globals" "globals"
+    (region_name (region_of globals_base));
+  Alcotest.(check string) "heap" "heap" (region_name (region_of heap_base));
+  Alcotest.(check string) "stack" "stack"
+    (region_name (region_of (stack_top - 4)));
+  Alcotest.(check string) "tag" "tag" (region_name (region_of tag_base));
+  Alcotest.(check string) "shadow" "shadow"
+    (region_name (region_of (shadow_addr heap_base)));
+  Alcotest.(check bool) "all data under intern-4 region limit" true
+    (stack_top <= internal_region_limit)
+
+let test_physmem_rw () =
+  let m = Physmem.create () in
+  Physmem.write_u8 m 0x100000 0xAB;
+  Alcotest.(check int) "u8" 0xAB (Physmem.read_u8 m 0x100000);
+  Physmem.write_u16 m 0x100010 0xBEEF;
+  Alcotest.(check int) "u16" 0xBEEF (Physmem.read_u16 m 0x100010);
+  Physmem.write_u32 m 0x100020 0xDEADBEEF;
+  Alcotest.(check int) "u32" 0xDEADBEEF (Physmem.read_u32 m 0x100020);
+  (* little-endian layout *)
+  Alcotest.(check int) "LE byte 0" 0xEF (Physmem.read_u8 m 0x100020);
+  Alcotest.(check int) "LE byte 3" 0xDE (Physmem.read_u8 m 0x100023);
+  (* zero-fill on first touch *)
+  Alcotest.(check int) "untouched reads zero" 0 (Physmem.read_u32 m 0x200000)
+
+let test_physmem_page_cross () =
+  let m = Physmem.create () in
+  let addr = 0x100000 + Layout.page_size - 2 in
+  Physmem.write_u32 m addr 0x11223344;
+  Alcotest.(check int) "crossing read" 0x11223344 (Physmem.read_u32 m addr);
+  Alcotest.(check int) "byte in next page" 0x11
+    (Physmem.read_u8 m (addr + 3))
+
+let test_physmem_bits () =
+  let m = Physmem.create () in
+  let a = Layout.tag_base in
+  Physmem.write_bits m a 0 0xF 0x9;
+  Physmem.write_bits m a 4 0xF 0x5;
+  Alcotest.(check int) "low nibble" 0x9 (Physmem.read_bits m a 0 0xF);
+  Alcotest.(check int) "high nibble" 0x5 (Physmem.read_bits m a 4 0xF);
+  Physmem.write_bits m a 0 0xF 0x0;
+  Alcotest.(check int) "low cleared" 0x0 (Physmem.read_bits m a 0 0xF);
+  Alcotest.(check int) "high kept" 0x5 (Physmem.read_bits m a 4 0xF)
+
+let test_page_accounting () =
+  let m = Physmem.create () in
+  Alcotest.(check int) "starts empty" 0 (Physmem.pages_touched m);
+  Physmem.write_u8 m Layout.heap_base 1;
+  Physmem.write_u8 m (Layout.heap_base + 100) 1;
+  Alcotest.(check int) "same page counted once" 1 (Physmem.pages_touched m);
+  Physmem.write_u8 m (Layout.heap_base + Layout.page_size) 1;
+  Alcotest.(check int) "two pages" 2 (Physmem.pages_touched m);
+  Alcotest.(check int) "heap region" 2
+    (Physmem.pages_touched_in m Layout.Heap);
+  Physmem.write_u8 m (Layout.shadow_addr Layout.heap_base) 1;
+  Alcotest.(check int) "shadow region" 1
+    (Physmem.pages_touched_in m Layout.Shadow_space);
+  ignore (Physmem.read_u8 m Layout.globals_base);
+  Alcotest.(check int) "reads touch pages too" 1
+    (Physmem.pages_touched_in m Layout.Globals)
+
+let test_bulk_helpers () =
+  let m = Physmem.create () in
+  Physmem.write_bytes m 0x100000 "hello world";
+  Alcotest.(check string) "string round trip" "hello world"
+    (Physmem.read_string m 0x100000 11)
+
+let test_invalid_addresses () =
+  let m = Physmem.create () in
+  (match Physmem.read_u8 m 0x10 with
+   | exception Failure _ -> ()
+   | _ -> Alcotest.fail "null page read should fail");
+  match Physmem.write_u8 m 0x800000000 1 with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "out-of-space write should fail"
+
+(* property: u32 write/read identity at arbitrary aligned data addresses *)
+let prop_u32_roundtrip =
+  QCheck.Test.make ~name:"u32 round-trip" ~count:500
+    QCheck.(pair (int_bound 0xFFFFF) (int_bound 0xFFFFFFFF))
+    (fun (off, v) ->
+      let m = Physmem.create () in
+      let addr = Hb_mem.Layout.heap_base + (off * 4) in
+      Physmem.write_u32 m addr v;
+      Physmem.read_u32 m addr = v)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "mem"
+    [
+      ( "layout",
+        [
+          tc "shadow addresses" test_shadow_addresses;
+          tc "tag locations (1-bit)" test_tag_locations_1bit;
+          tc "tag locations (4-bit)" test_tag_locations_4bit;
+          tc "tag space disjoint" test_tag_space_disjoint;
+          tc "regions" test_regions;
+        ] );
+      ( "physmem",
+        [
+          tc "read/write" test_physmem_rw;
+          tc "page-crossing access" test_physmem_page_cross;
+          tc "bit fields" test_physmem_bits;
+          tc "page accounting" test_page_accounting;
+          tc "bulk helpers" test_bulk_helpers;
+          tc "invalid addresses" test_invalid_addresses;
+          QCheck_alcotest.to_alcotest prop_u32_roundtrip;
+        ] );
+    ]

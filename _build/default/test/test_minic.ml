@@ -1,0 +1,520 @@
+(* End-to-end MiniC compiler tests: programs are compiled against the
+   runtime and executed on the simulated machine in each instrumentation
+   mode.  Checks cover language semantics (same output in every mode) and
+   the protection behaviours the paper specifies. *)
+
+module Build = Hb_runtime.Build
+module Codegen = Hb_minic.Codegen
+module Machine = Hb_cpu.Machine
+module Encoding = Hardbound.Encoding
+
+let modes : Codegen.mode list =
+  [ Codegen.Nochecks; Codegen.Hardbound; Codegen.Hardbound_malloc_only;
+    Codegen.Softfat; Codegen.Objtable ]
+
+let run ?scheme ~mode src = Build.run ?scheme ~mode src
+
+let check_output name ~expect ~mode src =
+  let status, m = run ~mode src in
+  (match status with
+   | Machine.Exited 0 -> ()
+   | st ->
+     Alcotest.failf "%s [%s]: %s\noutput: %s" name (Codegen.mode_name mode)
+       (Machine.status_name st) (Machine.output m));
+  Alcotest.(check string)
+    (Printf.sprintf "%s [%s]" name (Codegen.mode_name mode))
+    expect (Machine.output m)
+
+(* Same program must produce identical output in every mode. *)
+let check_all_modes name ~expect src =
+  List.iter (fun mode -> check_output name ~expect ~mode src) modes
+
+let detected name st =
+  match st with
+  | Machine.Bounds_violation _ | Machine.Non_pointer_violation _
+  | Machine.Software_abort _ -> ()
+  | st -> Alcotest.failf "%s: expected detection, got %s" name
+            (Machine.status_name st)
+
+(* ---- language basics -------------------------------------------------- *)
+
+let test_hello () =
+  check_all_modes "hello" ~expect:"hello, world\n"
+    {|
+int main() {
+  print_str("hello, world");
+  print_nl();
+  return 0;
+}
+|}
+
+let test_arith () =
+  check_all_modes "arith" ~expect:"42 -3 7 1 20 3 -24"
+    {|
+int main() {
+  int a; int b;
+  a = 6; b = 7;
+  print_int(a * b); print_char(32);
+  print_int(-17 / 5); print_char(32);
+  print_int(a | 1); print_char(32);
+  print_int(a < b); print_char(32);
+  print_int(5 << 2); print_char(32);
+  print_int(a >> 1); print_char(32);
+  print_int(~23);
+  return 0;
+}
+|}
+
+let test_control_flow () =
+  check_all_modes "control flow" ~expect:"0 1 2 3 4 |10|55|6"
+    {|
+int main() {
+  int i; int sum; int n;
+  for (i = 0; i < 5; i++) { print_int(i); print_char(32); }
+  print_char(124);
+  i = 0;
+  while (1) {
+    i = i + 2;
+    if (i >= 10) { break; }
+  }
+  print_int(i);
+  print_char(124);
+  sum = 0;
+  for (i = 1; i <= 10; i++) {
+    sum += i;
+  }
+  print_int(sum);
+  print_char(124);
+  n = 0;
+  do { n = n + 3; } while (n < 5);
+  print_int(n);
+  return 0;
+}
+|}
+
+let test_functions () =
+  check_all_modes "functions" ~expect:"13 21 720"
+    {|
+int fib(int n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+int fact(int n) {
+  int r;
+  r = 1;
+  while (n > 1) { r = r * n; n--; }
+  return r;
+}
+int main() {
+  print_int(fib(7)); print_char(32);
+  print_int(fib(8)); print_char(32);
+  print_int(fact(6));
+  return 0;
+}
+|}
+
+let test_pointers_and_arrays () =
+  check_all_modes "pointers" ~expect:"5 7 12 3"
+    {|
+void bump(int *p) { *p = *p + 2; }
+int main() {
+  int x; int a[4]; int *p; int i;
+  x = 5;
+  print_int(x); print_char(32);
+  bump(&x);
+  print_int(x); print_char(32);
+  for (i = 0; i < 4; i++) { a[i] = i * i; }
+  p = a;
+  print_int(p[2] + p[0] + a[1] + 7); print_char(32);
+  p = p + 3;
+  print_int(*p - 6);
+  return 0;
+}
+|}
+
+let test_structs () =
+  check_all_modes "structs" ~expect:"30 7 99"
+    {|
+struct point { int x; int y; };
+struct rect { struct point lo; struct point hi; int tag; };
+int area(struct rect *r) {
+  return (r->hi.x - r->lo.x) * (r->hi.y - r->lo.y);
+}
+int main() {
+  struct rect r;
+  struct point *p;
+  r.lo.x = 1; r.lo.y = 2;
+  r.hi.x = 6; r.hi.y = 8;
+  r.tag = 7;
+  print_int(area(&r)); print_char(32);
+  print_int(r.tag); print_char(32);
+  p = &r.hi;
+  p->x = 99;
+  print_int(r.hi.x);
+  return 0;
+}
+|}
+
+let test_heap () =
+  check_all_modes "heap" ~expect:"10 45 ok"
+    {|
+struct node { int v; struct node *next; };
+int main() {
+  struct node *head; struct node *n; int i; int count; int sum;
+  head = (struct node*)0;
+  for (i = 0; i < 10; i++) {
+    n = (struct node*)malloc(sizeof(struct node));
+    n->v = i;
+    n->next = head;
+    head = n;
+  }
+  count = 0; sum = 0;
+  n = head;
+  while (n != 0) {
+    count++;
+    sum += n->v;
+    n = n->next;
+  }
+  print_int(count); print_char(32);
+  print_int(sum); print_char(32);
+  while (head != 0) { n = head->next; free((char*)head); head = n; }
+  print_str("ok");
+  return 0;
+}
+|}
+
+let test_strings () =
+  check_all_modes "strings" ~expect:"11 0 -1 abcdef"
+    {|
+int main() {
+  char buf[32];
+  char buf2[8];
+  print_int(strlen("hello world")); print_char(32);
+  strcpy(buf, "same");
+  print_int(strcmp(buf, "same")); print_char(32);
+  print_int(strcmp("abc", "abd") < 0 ? -1 : 1); print_char(32);
+  strcpy(buf, "abc");
+  strcpy(buf2, "def");
+  print_str(buf); print_str(buf2);
+  return 0;
+}
+|}
+
+let test_floats () =
+  check_all_modes "floats" ~expect:"3.5000 1 3 2.0000"
+    {|
+float half(float x) { return x / 2.0; }
+int main() {
+  float a; float b;
+  a = 3.0;
+  b = a + 0.5;
+  print_float(b); print_char(32);
+  print_int(b > a); print_char(32);
+  print_int((int)b); print_char(32);
+  print_float(sqrtf(4.0));
+  return 0;
+}
+|}
+
+let test_globals () =
+  check_all_modes "globals" ~expect:"7 1 2 3 hi 104"
+    {|
+int counter = 7;
+int table[3] = {1, 2, 3};
+char msg[] = "hi";
+char *gp_str = "hello";
+int main() {
+  int i;
+  print_int(counter); print_char(32);
+  for (i = 0; i < 3; i++) { print_int(table[i]); print_char(32); }
+  print_str(msg); print_char(32);
+  print_int((int)gp_str[0]);
+  return 0;
+}
+|}
+
+let test_malloc_reuse () =
+  check_all_modes "allocator reuse" ~expect:"1"
+    {|
+int main() {
+  char *a; char *b;
+  a = malloc(24);
+  free(a);
+  b = malloc(24);
+  /* freed block is reused */
+  print_int(a == b);
+  return 0;
+}
+|}
+
+let test_rand_deterministic () =
+  check_all_modes "rand" ~expect:"ok"
+    {|
+int main() {
+  int a; int b;
+  srand(42);
+  a = rand();
+  srand(42);
+  b = rand();
+  if (a == b && a >= 0 && a < 32768) { print_str("ok"); }
+  return 0;
+}
+|}
+
+(* ---- protection behaviour --------------------------------------------- *)
+
+(* Heap overflow: detected by Hardbound (both modes) and Softfat; the
+   object-table scheme misses it (no arithmetic past the object: direct
+   index IS arithmetic, so it catches it too). *)
+let overflow_src = {|
+int main() {
+  char *p;
+  int i;
+  p = malloc(10);
+  for (i = 0; i <= 10; i++) { p[i] = (char)i; }
+  return 0;
+}
+|}
+
+let test_heap_overflow_detection () =
+  List.iter
+    (fun mode ->
+      let status, _ = run ~mode overflow_src in
+      detected (Codegen.mode_name mode) status)
+    [ Codegen.Hardbound; Codegen.Hardbound_malloc_only; Codegen.Softfat ];
+  (* the object table tolerates one-past-the-end pointers (as Jones&Kelly
+     must, for legal C); it catches the overflow one element later *)
+  (match run ~mode:Codegen.Objtable overflow_src with
+   | Machine.Exited 0, _ -> ()
+   | st, _ -> Alcotest.failf "objtable one-past: %s" (Machine.status_name st));
+  let far_src = {|
+int main() {
+  char *p;
+  int i;
+  p = malloc(10);
+  for (i = 0; i <= 12; i++) { p[i] = (char)i; }
+  return 0;
+}
+|}
+  in
+  let status, _ = run ~mode:Codegen.Objtable far_src in
+  detected "objtable beyond one-past" status;
+  (* baseline lets it through silently *)
+  match run ~mode:Codegen.Nochecks overflow_src with
+  | Machine.Exited 0, _ -> ()
+  | st, _ -> Alcotest.failf "nochecks: %s" (Machine.status_name st)
+
+(* The paper's Section 2.2 example: strcpy through a pointer to an array
+   inside a struct overwrites the neighbouring field.  HardBound's
+   sub-object narrowing catches it; the object-table scheme cannot (both
+   pointers map to one table entry). *)
+let subobject_src = {|
+struct host { char str[5]; int x; };
+int main() {
+  struct host node;
+  char *ptr;
+  node.x = 7;
+  ptr = node.str;
+  strcpy(ptr, "overflow");
+  print_int(node.x);
+  return 0;
+}
+|}
+
+let test_subobject_overflow () =
+  let status, _ = run ~mode:Codegen.Hardbound subobject_src in
+  detected "hardbound sub-object" status;
+  let status, _ = run ~mode:Codegen.Softfat subobject_src in
+  detected "softfat sub-object" status;
+  (* object table: undetected, node.x is silently corrupted *)
+  (match run ~mode:Codegen.Objtable subobject_src with
+   | Machine.Exited 0, m ->
+     Alcotest.(check bool) "objtable misses sub-object overflow" true
+       (Machine.output m <> "7")
+   | st, _ -> Alcotest.failf "objtable: %s" (Machine.status_name st));
+  match run ~mode:Codegen.Nochecks subobject_src with
+  | Machine.Exited 0, _ -> ()
+  | st, _ -> Alcotest.failf "nochecks: %s" (Machine.status_name st)
+
+(* Stack array overflow via a loop: needs compiler instrumentation, so the
+   malloc-only mode does NOT catch it (paper: malloc-only protects heap
+   objects only). *)
+let stack_overflow_src = {|
+int main() {
+  int a[4];
+  int i;
+  int canary;
+  canary = 7;
+  for (i = 0; i <= 4; i++) { a[i] = 9; }
+  return canary - 7;
+}
+|}
+
+let test_stack_overflow () =
+  let status, _ = run ~mode:Codegen.Hardbound stack_overflow_src in
+  detected "hardbound stack" status;
+  let status, _ = run ~mode:Codegen.Softfat stack_overflow_src in
+  detected "softfat stack" status;
+  match run ~mode:Codegen.Hardbound_malloc_only stack_overflow_src with
+  | Machine.Exited 0, _ -> ()
+  | st, _ ->
+    Alcotest.failf "malloc-only should not detect stack overflow: %s"
+      (Machine.status_name st)
+
+(* Section 6.1 cast fragment: casting pointers through int works under
+   HardBound (metadata propagates through movs); manufacturing a pointer
+   from a constant fails on dereference. *)
+let test_cast_semantics () =
+  let src = {|
+int main() {
+  int x;
+  char *z;
+  int a;
+  x = 17;
+  z = (char*)&x;
+  a = (int)z;
+  *((int*)a) = 42;   /* legal: a inherits z's bounds */
+  print_int(x);
+  return 0;
+}
+|}
+  in
+  check_output "cast roundtrip" ~expect:"42" ~mode:Codegen.Hardbound src;
+  let forged = {|
+int main() {
+  int *w;
+  w = (int*)4096;
+  *w = 42;
+  return 0;
+}
+|}
+  in
+  let status, _ = run ~mode:Codegen.Hardbound forged in
+  (match status with
+   | Machine.Non_pointer_violation _ -> ()
+   | st -> Alcotest.failf "forged pointer: %s" (Machine.status_name st))
+
+(* global buffer overflow *)
+let test_global_overflow () =
+  let src = {|
+int garr[4];
+int main() {
+  int i;
+  for (i = 0; i <= 4; i++) { garr[i] = 1; }
+  return 0;
+}
+|}
+  in
+  let status, _ = run ~mode:Codegen.Hardbound src in
+  detected "global overflow" status
+
+(* lower-bound violation *)
+let test_underflow () =
+  let src = {|
+int main() {
+  char *p;
+  p = malloc(8);
+  p[-1] = 1;
+  return 0;
+}
+|}
+  in
+  List.iter
+    (fun mode ->
+      let status, _ = run ~mode src in
+      detected ("underflow " ^ Codegen.mode_name mode) status)
+    [ Codegen.Hardbound; Codegen.Hardbound_malloc_only; Codegen.Softfat ]
+
+(* setbound escape hatch usable from source *)
+let test_unsafe_builtin () =
+  let src = {|
+int main() {
+  char *p;
+  char *q;
+  p = malloc(8);
+  q = __setbound_unsafe(p);
+  q[100] = 1;  /* out of p's bounds but q is unsafe */
+  print_str("ok");
+  return 0;
+}
+|}
+  in
+  check_output "unsafe builtin" ~expect:"ok" ~mode:Codegen.Hardbound src
+
+(* compile errors are reported, not crashes *)
+let test_compile_errors () =
+  let expect_error src =
+    match Build.compile ~mode:Codegen.Nochecks src with
+    | exception Hb_minic.Driver.Compile_error _ -> ()
+    | _ -> Alcotest.fail "expected compile error"
+  in
+  expect_error "int main() { undeclared = 1; return 0; }";
+  expect_error "int main() { int x; x = \"str\" * 2; return 0; }";
+  expect_error "int main() { return; }";
+  expect_error "int f(; int main() { return 0; }";
+  expect_error "struct s { int x; }; int main() { struct s v; v = v; return 0; }";
+  expect_error "int main() { int a[4]; a[0] = missing(); return 0; }"
+
+(* encodings do not change program results, only performance *)
+let test_encoding_transparency () =
+  let src = {|
+struct n { int v; struct n *next; };
+int main() {
+  struct n *h; int i; int s;
+  h = (struct n*)0;
+  for (i = 0; i < 50; i++) {
+    struct n *e;
+    e = (struct n*)malloc(sizeof(struct n));
+    e->v = i; e->next = h; h = e;
+  }
+  s = 0;
+  while (h != 0) { s += h->v; h = h->next; }
+  print_int(s);
+  return 0;
+}
+|}
+  in
+  List.iter
+    (fun scheme ->
+      let status, m = run ~scheme ~mode:Codegen.Hardbound src in
+      (match status with
+       | Machine.Exited 0 -> ()
+       | st ->
+         Alcotest.failf "%s: %s" (Encoding.scheme_name scheme)
+           (Machine.status_name st));
+      Alcotest.(check string) (Encoding.scheme_name scheme) "1225"
+        (Machine.output m))
+    Encoding.all_schemes
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "minic"
+    [
+      ( "language",
+        [
+          tc "hello world" test_hello;
+          tc "arithmetic" test_arith;
+          tc "control flow" test_control_flow;
+          tc "functions and recursion" test_functions;
+          tc "pointers and arrays" test_pointers_and_arrays;
+          tc "structs" test_structs;
+          tc "heap lists" test_heap;
+          tc "strings" test_strings;
+          tc "floats" test_floats;
+          tc "globals" test_globals;
+          tc "allocator reuse" test_malloc_reuse;
+          tc "deterministic rand" test_rand_deterministic;
+        ] );
+      ( "protection",
+        [
+          tc "heap overflow detection" test_heap_overflow_detection;
+          tc "sub-object overflow (2.2 example)" test_subobject_overflow;
+          tc "stack overflow" test_stack_overflow;
+          tc "cast semantics (6.1)" test_cast_semantics;
+          tc "global overflow" test_global_overflow;
+          tc "lower bound" test_underflow;
+          tc "unsafe escape hatch" test_unsafe_builtin;
+          tc "compile errors" test_compile_errors;
+          tc "encoding transparency" test_encoding_transparency;
+        ] );
+    ]

@@ -1,0 +1,407 @@
+(* Runtime-library tests: the MiniC allocator, string functions, and the
+   splay-tree object table are exercised by MiniC programs running on the
+   simulator (the library itself is simulated code). *)
+
+module Build = Hb_runtime.Build
+module Codegen = Hb_minic.Codegen
+module Machine = Hb_cpu.Machine
+
+let run_expect name ?(mode = Codegen.Hardbound) ~expect src =
+  let status, m = Build.run ~mode src in
+  (match status with
+   | Machine.Exited 0 -> ()
+   | st -> Alcotest.failf "%s: %s (output %S)" name (Machine.status_name st)
+             (Machine.output m));
+  Alcotest.(check string) name expect (Machine.output m)
+
+(* ---- allocator --------------------------------------------------------- *)
+
+let test_malloc_min_size () =
+  (* size 0/1 requests still produce distinct, usable objects *)
+  run_expect "tiny allocations" ~expect:"1 1 ok"
+    {|
+int main() {
+  char *a;
+  char *b;
+  a = malloc(0);
+  b = malloc(1);
+  a[0] = 'x';
+  b[0] = 'y';
+  print_int(a != b); print_char(32);
+  print_int(a[0] == 'x' && b[0] == 'y'); print_char(32);
+  print_str("ok");
+  return 0;
+}
+|}
+
+let test_malloc_distinct () =
+  run_expect "allocations do not overlap" ~expect:"ok"
+    {|
+int main() {
+  int *blocks[20];
+  int i;
+  int j;
+  for (i = 0; i < 20; i++) {
+    blocks[i] = (int*)malloc(12);
+    blocks[i][0] = i;
+    blocks[i][1] = i * 2;
+    blocks[i][2] = i * 3;
+  }
+  for (i = 0; i < 20; i++) {
+    if (blocks[i][0] != i) { __abort(9); }
+    if (blocks[i][2] != i * 3) { __abort(9); }
+  }
+  j = 1;
+  print_str("ok");
+  return 0;
+}
+|}
+
+let test_free_list_cycling () =
+  run_expect "alloc/free cycles reuse memory" ~expect:"1"
+    {|
+int main() {
+  char *p;
+  char *first;
+  int i;
+  first = malloc(40);
+  free(first);
+  for (i = 0; i < 100; i++) {
+    p = malloc(40);
+    p[39] = (char)i;
+    free(p);
+  }
+  /* every round reused the same block: the heap did not grow */
+  p = malloc(40);
+  print_int(p == first);
+  return 0;
+}
+|}
+
+let test_free_fit () =
+  run_expect "first fit skips too-small blocks" ~expect:"1 1"
+    {|
+int main() {
+  char *small;
+  char *big;
+  char *r;
+  small = malloc(8);
+  big = malloc(100);
+  free(small);
+  free(big);
+  /* list is [big, small] after LIFO frees... request 50 must take big */
+  r = malloc(50);
+  print_int(r == big); print_char(32);
+  r = malloc(4);
+  print_int(r == small);
+  return 0;
+}
+|}
+
+let test_calloc_zeroed () =
+  run_expect "calloc zeroes reused memory" ~expect:"0"
+    {|
+int main() {
+  char *p;
+  int i;
+  int s;
+  p = malloc(32);
+  for (i = 0; i < 32; i++) { p[i] = 'x'; }
+  free(p);
+  p = calloc(32);
+  s = 0;
+  for (i = 0; i < 32; i++) { s = s + (int)p[i]; }
+  print_int(s);
+  return 0;
+}
+|}
+
+let test_free_null () =
+  run_expect "free(NULL) is a no-op" ~expect:"ok"
+    {|
+int main() {
+  free((char*)0);
+  print_str("ok");
+  return 0;
+}
+|}
+
+(* ---- strings ------------------------------------------------------------ *)
+
+let test_string_functions () =
+  run_expect "string functions" ~expect:"5 0 1 1 abXde 3"
+    {|
+int main() {
+  char a[16];
+  char b[16];
+  strcpy(a, "hello");
+  print_int(strlen(a)); print_char(32);
+  print_int(strcmp(a, "hello")); print_char(32);
+  print_int(strcmp(a, "hellp") < 0); print_char(32);
+  print_int(strcmp("b", "a") > 0); print_char(32);
+  strcpy(b, "abcde");
+  b[2] = 'X';
+  print_str(b); print_char(32);
+  strncpy(a, "xyz123", 3);
+  a[3] = 0;
+  print_int(strlen(a));
+  return 0;
+}
+|}
+
+let test_memcpy_memset () =
+  run_expect "memcpy/memset" ~expect:"7 7 0"
+    {|
+int main() {
+  char src[8];
+  char dst[8];
+  int i;
+  for (i = 0; i < 8; i++) { src[i] = (char)(i + 1); }
+  memcpy(dst, src, 8);
+  print_int((int)dst[6]); print_char(32);
+  print_int((int)src[6]); print_char(32);
+  memset(dst, 0, 8);
+  print_int((int)dst[6]);
+  return 0;
+}
+|}
+
+(* ---- rand ---------------------------------------------------------------- *)
+
+let test_rand_range () =
+  run_expect "rand stays in [0, 32768)" ~expect:"ok"
+    {|
+int main() {
+  int i;
+  int r;
+  srand(7);
+  for (i = 0; i < 500; i++) {
+    r = rand();
+    if (r < 0 || r >= 32768) { __abort(5); }
+  }
+  print_str("ok");
+  return 0;
+}
+|}
+
+(* ---- object table (splay tree), driven directly -------------------------- *)
+
+let test_object_table_ops () =
+  (* exercise insert/find/remove including splay rotations, from MiniC *)
+  run_expect "splay-tree object table" ~mode:Codegen.Nochecks
+    ~expect:"in:1 1 1 edge:0 0 mid:1 removed:0 1 rest:1"
+    {|
+int check(int addr) {
+  struct __ot_node *n;
+  n = __ot_find(addr);
+  if (n == 0) { return 0; }
+  return 1;
+}
+int main() {
+  int i;
+  /* register 50 disjoint objects [1000*i, 1000*i + 100) */
+  for (i = 1; i <= 50; i++) {
+    __ot_insert((char*)(i * 1000), 100);
+  }
+  print_str("in:");
+  print_int(check(1000)); print_char(32);
+  print_int(check(25050)); print_char(32);
+  print_int(check(50099));
+  print_str(" edge:");
+  print_int(check(50100)); print_char(32);
+  print_int(check(999));
+  print_str(" mid:");
+  print_int(check(7000));
+  __ot_remove((char*)7000, 100);
+  print_str(" removed:");
+  print_int(check(7050)); print_char(32);
+  print_int(check(8050));
+  /* re-insert over the hole and verify neighbours survived splaying */
+  __ot_insert((char*)7000, 100);
+  print_str(" rest:");
+  print_int(check(7001) && check(6000) && check(50000));
+  return 0;
+}
+|}
+
+let test_object_table_arith_check () =
+  run_expect "check_arith verdicts" ~mode:Codegen.Nochecks
+    ~expect:"1 1 1"
+    {|
+int main() {
+  char *p;
+  char *q;
+  __ot_insert((char*)5000, 40);
+  p = (char*)5000;
+  /* within: ok */
+  q = __ot_check_arith(p, p + 39);
+  print_int((int)q == 5039); print_char(32);
+  /* one past the end: tolerated */
+  q = __ot_check_arith(p, p + 40);
+  print_int((int)q == 5040); print_char(32);
+  /* unregistered source: unchecked */
+  q = __ot_check_arith((char*)99999, (char*)123456);
+  print_int((int)q == 123456);
+  return 0;
+}
+|}
+
+let test_object_table_abort () =
+  let status, _ =
+    Build.run ~mode:Codegen.Nochecks
+      {|
+int main() {
+  char *p;
+  __ot_insert((char*)5000, 40);
+  p = (char*)5000;
+  p = __ot_check_arith(p, p + 41);
+  return 0;
+}
+|}
+  in
+  match status with
+  | Machine.Software_abort 2 -> ()
+  | st -> Alcotest.failf "expected abort(2), got %s" (Machine.status_name st)
+
+(* allocator invariants hold under the strictest machine mode: the runtime
+   itself is spatially safe *)
+let test_runtime_self_safety () =
+  run_expect "allocator churn under full hardbound" ~expect:"done"
+    {|
+int main() {
+  char *live[32];
+  int i;
+  int round;
+  for (i = 0; i < 32; i++) { live[i] = (char*)0; }
+  srand(3);
+  for (round = 0; round < 400; round++) {
+    i = rand() % 32;
+    if (live[i] != 0) { free(live[i]); live[i] = (char*)0; }
+    else {
+      int sz;
+      sz = 1 + rand() % 100;
+      live[i] = malloc(sz);
+      live[i][0] = 'a';
+      live[i][sz - 1] = 'z';
+    }
+  }
+  print_str("done");
+  return 0;
+}
+|}
+
+(* ---- red-zone tripwire baseline (Section 2.1) ---------------------------- *)
+
+let run_tripwire src = Build.run ~tripwire:true ~mode:Codegen.Nochecks src
+
+let test_tripwire_catches_small_stride () =
+  let status, _ =
+    run_tripwire
+      {|
+int main() {
+  char *p;
+  int i;
+  p = malloc(10);
+  for (i = 0; i < 20; i++) { p[i] = 1; }   /* walks into the red zone */
+  return 0;
+}
+|}
+  in
+  match status with
+  | Machine.Temporal_violation _ -> ()
+  | st -> Alcotest.failf "tripwire should catch: %s" (Machine.status_name st)
+
+let test_tripwire_misses_large_stride () =
+  (* the paper's completeness gap: a large jump lands in the NEXT object *)
+  let status, _ =
+    run_tripwire
+      {|
+int main() {
+  char *a;
+  char *b;
+  a = malloc(32);
+  b = malloc(32);
+  b[0] = 'b';
+  a[(int)(b - a)] = 'x';   /* writes b[0] through a: jumped the zone */
+  return 0;
+}
+|}
+  in
+  match status with
+  | Machine.Exited 0 -> ()
+  | st -> Alcotest.failf "tripwire should miss: %s" (Machine.status_name st)
+
+let test_tripwire_transparent () =
+  let status, m =
+    run_tripwire
+      {|
+int main() {
+  char *p;
+  int i;
+  p = malloc(64);
+  for (i = 0; i < 64; i++) { p[i] = (char)i; }
+  free(p);
+  p = malloc(16);
+  p[15] = 'x';
+  print_str("ok");
+  return 0;
+}
+|}
+  in
+  (match status with
+   | Machine.Exited 0 -> ()
+   | st -> Alcotest.failf "tripwire fp: %s" (Machine.status_name st));
+  Alcotest.(check string) "output" "ok" (Machine.output m)
+
+let test_tripwire_write_after_free () =
+  let status, _ =
+    run_tripwire
+      {|
+int main() {
+  char *p;
+  p = malloc(16);
+  p[0] = 'x';
+  free(p);
+  p[0] = 'y';
+  return 0;
+}
+|}
+  in
+  match status with
+  | Machine.Temporal_violation _ -> ()
+  | st -> Alcotest.failf "freed write: %s" (Machine.status_name st)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "runtime"
+    [
+      ( "allocator",
+        [
+          tc "minimum sizes" test_malloc_min_size;
+          tc "distinct blocks" test_malloc_distinct;
+          tc "free-list cycling" test_free_list_cycling;
+          tc "first-fit selection" test_free_fit;
+          tc "calloc zeroes" test_calloc_zeroed;
+          tc "free(NULL)" test_free_null;
+          tc "self-safety under full checks" test_runtime_self_safety;
+        ] );
+      ( "strings",
+        [
+          tc "string functions" test_string_functions;
+          tc "memcpy/memset" test_memcpy_memset;
+        ] );
+      ("rand", [ tc "range" test_rand_range ]);
+      ( "object-table",
+        [
+          tc "splay ops" test_object_table_ops;
+          tc "arith check verdicts" test_object_table_arith_check;
+          tc "arith check abort" test_object_table_abort;
+        ] );
+      ( "tripwire",
+        [
+          tc "small strides trip" test_tripwire_catches_small_stride;
+          tc "large strides jump over (2.1)" test_tripwire_misses_large_stride;
+          tc "transparent for correct code" test_tripwire_transparent;
+          tc "write after free" test_tripwire_write_after_free;
+        ] );
+    ]

@@ -1,0 +1,82 @@
+(* Workload integration tests: every Olden program must run to completion
+   in every instrumentation mode with *identical* output (the protection
+   schemes are transparent for correct programs — no false positives), and
+   under every HardBound encoding. *)
+
+module Build = Hb_runtime.Build
+module Codegen = Hb_minic.Codegen
+module Machine = Hb_cpu.Machine
+module Encoding = Hardbound.Encoding
+module Stats = Hb_cpu.Stats
+
+let run_ok name ?scheme ~mode src =
+  let status, m = Build.run ?scheme ~mode src in
+  (match status with
+   | Machine.Exited 0 -> ()
+   | st ->
+     Alcotest.failf "%s [%s]: %s\npartial output: %s" name
+       (Codegen.mode_name mode) (Machine.status_name st) (Machine.output m));
+  m
+
+let test_workload (w : Hb_workloads.Workloads.t) () =
+  let baseline = run_ok w.name ~mode:Codegen.Nochecks w.source in
+  let expect = Machine.output baseline in
+  Alcotest.(check bool)
+    (w.name ^ " produces output") true
+    (String.length expect > 0);
+  (* all modes agree with the baseline *)
+  List.iter
+    (fun mode ->
+      let m = run_ok w.name ~mode w.source in
+      Alcotest.(check string)
+        (w.name ^ " [" ^ Codegen.mode_name mode ^ "]")
+        expect (Machine.output m))
+    [ Codegen.Hardbound; Codegen.Hardbound_malloc_only; Codegen.Softfat;
+      Codegen.Objtable ];
+  (* all encodings agree too, and compressed encodings reduce (or at least
+     never increase) shadow metadata traffic vs Uncompressed *)
+  let shadow_traffic scheme =
+    let m = run_ok w.name ~scheme ~mode:Codegen.Hardbound w.source in
+    Alcotest.(check string)
+      (w.name ^ " [" ^ Encoding.scheme_name scheme ^ "]")
+      expect (Machine.output m);
+    m.Machine.stats.Stats.ptr_loads_shadow
+    + m.Machine.stats.Stats.ptr_stores_shadow
+  in
+  let unc = shadow_traffic Encoding.Uncompressed in
+  List.iter
+    (fun scheme ->
+      let t = shadow_traffic scheme in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %s shadow traffic (%d) <= uncompressed (%d)"
+           w.name (Encoding.scheme_name scheme) t unc)
+        true (t <= unc))
+    [ Encoding.Extern4; Encoding.Intern4; Encoding.Intern11 ]
+
+(* instrumentation overhead sanity: hardbound executes no fewer
+   instructions than baseline, and its extra *instructions* are exactly the
+   setbounds *)
+let test_overhead_accounting () =
+  let w = Hb_workloads.Workloads.find "treeadd" in
+  let base = run_ok w.name ~mode:Codegen.Nochecks w.source in
+  let hb = run_ok w.name ~mode:Codegen.Hardbound w.source in
+  let bstats = base.Machine.stats and hstats = hb.Machine.stats in
+  Alcotest.(check int) "extra instructions = setbound count"
+    hstats.Stats.instructions
+    (bstats.Stats.instructions + hstats.Stats.setbound_instrs);
+  Alcotest.(check bool) "baseline runs no metadata uops" true
+    (bstats.Stats.metadata_uops = 0);
+  Alcotest.(check bool) "hardbound checked some derefs" true
+    (hstats.Stats.checked_derefs > 0)
+
+let () =
+  Alcotest.run "workloads"
+    (List.map
+       (fun (w : Hb_workloads.Workloads.t) ->
+         (w.name, [ Alcotest.test_case w.description `Slow (test_workload w) ]))
+       Hb_workloads.Workloads.all
+    @ [
+        ( "accounting",
+          [ Alcotest.test_case "overhead accounting" `Quick
+              test_overhead_accounting ] );
+      ])
