@@ -33,6 +33,8 @@ let banner title =
   Printf.printf "\n%s\n%s\n%s\n\n" (String.make 72 '=') title
     (String.make 72 '=')
 
+module Json = Hb_obs.Json
+
 (* The suite (36+ simulated runs) is collected once and shared by the
    figures that read it. *)
 let suite =
@@ -41,32 +43,51 @@ let suite =
        ~progress:(fun name -> Printf.eprintf "[suite] running %s...\n%!" name)
        ())
 
+(* Structured results accumulated for --json FILE, one entry per
+   experiment run. *)
+let json_results : (string * Json.t) list ref = ref []
+
+let note_json name j = json_results := (name, j) :: !json_results
+
 let rec run_experiment name =
   match name with
   | "fig5" ->
     banner "Figure 5";
-    print_string (Figures.figure5 (Lazy.force suite))
+    print_string (Figures.figure5 (Lazy.force suite));
+    note_json name (Figures.figure5_json (Lazy.force suite))
   | "fig6" ->
     banner "Figure 6";
-    print_string (Figures.figure6 (Lazy.force suite))
+    print_string (Figures.figure6 (Lazy.force suite));
+    note_json name (Figures.figure6_json (Lazy.force suite))
   | "fig7" ->
     banner "Figure 7";
-    print_string (Figures.figure7 (Lazy.force suite))
+    print_string (Figures.figure7 (Lazy.force suite));
+    note_json name (Figures.figure7_json (Lazy.force suite))
   | "correctness" ->
     banner "Section 5.2 correctness";
-    print_string (Figures.correctness ())
+    let text, j = Figures.correctness_report () in
+    print_string text;
+    note_json name j
   | "uop" ->
     banner "Section 5.4 uop ablation";
-    print_string (Figures.uop_ablation ())
+    let text, j = Figures.uop_ablation_report () in
+    print_string text;
+    note_json name j
   | "malloc_only" ->
     banner "Section 3.2 malloc-only";
-    print_string (Figures.malloc_only ())
+    let text, j = Figures.malloc_only_report () in
+    print_string text;
+    note_json name j
   | "redzone" ->
     banner "Section 2.1 red-zone tripwire";
-    print_string (Figures.redzone ())
+    let text, j = Figures.redzone_report () in
+    print_string text;
+    note_json name j
   | "temporal" ->
     banner "Section 6.2 temporal extension";
-    print_string (Figures.temporal ())
+    let text, j = Figures.temporal_report () in
+    print_string text;
+    note_json name j
   | "bechamel" -> bechamel ()
   | other ->
     Printf.eprintf "unknown experiment %s; use --list\n" other;
@@ -152,21 +173,50 @@ and bechamel () =
   let raw = Benchmark.all cfg instances grouped in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  let rows = List.sort compare rows in
   List.iter
     (fun (name, ols_result) ->
       match Analyze.OLS.estimates ols_result with
       | Some (est :: _) -> Printf.printf "%-48s %12.1f ns/run\n" name est
       | _ -> Printf.printf "%-48s %12s\n" name "n/a")
-    (List.sort compare rows)
+    rows;
+  note_json "bechamel"
+    (Json.Obj
+       [
+         ("experiment", Json.String "bechamel");
+         ( "ns_per_run",
+           Json.Obj
+             (List.map
+                (fun (name, ols_result) ->
+                  ( name,
+                    match Analyze.OLS.estimates ols_result with
+                    | Some (est :: _) -> Json.Float est
+                    | _ -> Json.Null ))
+                rows) );
+       ])
+
+let write_json path =
+  let oc = open_out path in
+  output_string oc (Json.to_string_pretty (Json.Obj (List.rev !json_results)));
+  output_char oc '\n';
+  close_out oc;
+  Printf.eprintf "[bench] wrote %s\n%!" path
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  match args with
-  | [ "--list" ] ->
-    List.iter (fun (k, d) -> Printf.printf "%-12s %s\n" k d) experiments
-  | [ "--exp"; name ] -> run_experiment name
-  | [] ->
-    List.iter (fun (k, _) -> run_experiment k) experiments
-  | _ ->
-    prerr_endline "usage: main.exe [--list | --exp <name>]";
-    exit 1
+  (* peel off a trailing/leading `--json FILE` anywhere in the args *)
+  let rec split_json acc = function
+    | "--json" :: path :: rest -> (Some path, List.rev_append acc rest)
+    | x :: rest -> split_json (x :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let json_path, args = split_json [] args in
+  (match args with
+   | [ "--list" ] ->
+     List.iter (fun (k, d) -> Printf.printf "%-12s %s\n" k d) experiments
+   | [ "--exp"; name ] -> run_experiment name
+   | [] -> List.iter (fun (k, _) -> run_experiment k) experiments
+   | _ ->
+     prerr_endline "usage: main.exe [--list | --exp <name>] [--json FILE]";
+     exit 1);
+  match json_path with None -> () | Some path -> write_json path

@@ -4,7 +4,8 @@
      dune exec bin/hardbound_run.exe -- prog.c
      dune exec bin/hardbound_run.exe -- prog.c --mode softfat --stats
      dune exec bin/hardbound_run.exe -- prog.s --asm --mode malloc-only
-     dune exec bin/hardbound_run.exe -- prog.c --emit-asm   # print assembly *)
+     dune exec bin/hardbound_run.exe -- prog.c --emit-asm   # print assembly
+     dune exec bin/hardbound_run.exe -- prog.c --profile --trace t.jsonl *)
 
 open Cmdliner
 
@@ -12,6 +13,10 @@ module Codegen = Hb_minic.Codegen
 module Machine = Hb_cpu.Machine
 module Encoding = Hardbound.Encoding
 module Stats = Hb_cpu.Stats
+module Json = Hb_obs.Json
+module Trace = Hb_obs.Trace
+module Metrics = Hb_obs.Metrics
+module Profile = Hb_obs.Profile
 
 let mode_conv =
   let parse s =
@@ -55,6 +60,11 @@ let temporal =
 
 let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print execution statistics")
 
+let stats_format =
+  Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+       & info [ "stats-format" ] ~docv:"FMT"
+           ~doc:"Format for --stats output: text | json")
+
 let asm =
   Arg.(value & flag
        & info [ "asm" ] ~doc:"Input is textual assembly, not MiniC")
@@ -67,10 +77,47 @@ let fuel =
   Arg.(value & opt int 400_000_000
        & info [ "fuel" ] ~docv:"N" ~doc:"Maximum instructions to execute")
 
-let trace =
+let trace_instrs =
   Arg.(value & opt int 0
-       & info [ "trace" ] ~docv:"N"
+       & info [ "trace-instrs" ] ~docv:"N"
            ~doc:"Print an execution trace of the first N instructions")
+
+let trace_file =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Stream structured trace events to FILE (see --trace-format)")
+
+let trace_format =
+  Arg.(value
+       & opt (enum [ ("jsonl", Trace.Jsonl); ("chrome", Trace.Chrome) ])
+           Trace.Jsonl
+       & info [ "trace-format" ] ~docv:"FMT"
+           ~doc:"Event file format: jsonl (one JSON object per line) | \
+                 chrome (trace_event array for chrome://tracing / Perfetto)")
+
+let trace_events =
+  Arg.(value & opt int 0
+       & info [ "trace-events" ] ~docv:"N"
+           ~doc:"Keep the last N trace events in memory for violation \
+                 reports (attaches a tracer even without --trace)")
+
+let trace_retires =
+  Arg.(value & flag
+       & info [ "trace-retires" ]
+           ~doc:"Also emit one trace event per retired instruction \
+                 (verbose; off by default)")
+
+let profile =
+  Arg.(value & flag
+       & info [ "profile" ]
+           ~doc:"Print a per-function flat profile (cycles, stall \
+                 decomposition, check micro-ops)")
+
+let metrics_json =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-json" ] ~docv:"FILE"
+           ~doc:"Write a JSON snapshot of every metric (stats, caches, \
+                 checker tally, profile) to FILE")
 
 let read_file path =
   let ic = open_in_bin path in
@@ -79,55 +126,101 @@ let read_file path =
   close_in ic;
   s
 
-let run file mode scheme temporal stats asm emit_asm fuel trace =
-  let source = read_file file in
+(* Attach the requested observability hooks to a freshly-created machine.
+   Returns the finalizer that flushes/closes the trace sink. *)
+let setup_obs m ~trace_file ~trace_format ~trace_events ~trace_retires
+    ~profile =
+  let capacity = if trace_events > 0 then trace_events else 32 in
+  let close =
+    match trace_file with
+    | Some path ->
+      let sink = Trace.file_sink trace_format path in
+      Machine.attach_tracer m
+        (Trace.create ~sink:sink.Trace.write ~retires:trace_retires ~capacity
+           ());
+      sink.Trace.close
+    | None ->
+      if trace_events > 0 || trace_retires then
+        Machine.attach_tracer m
+          (Trace.create ~retires:trace_retires ~capacity ());
+      fun () -> ()
+  in
+  if profile then Machine.enable_profile m;
+  close
+
+(* Everything printed after the run: status, violation report, stats,
+   profile, metrics snapshot. *)
+let report m status ~mode ~scheme ~stats ~stats_format ~profile ~metrics_json =
+  print_string (Machine.output m);
+  Printf.printf "\n[%s] (mode=%s, encoding=%s)\n"
+    (Machine.status_name status) (Codegen.mode_name mode)
+    (Encoding.scheme_name scheme);
+  (match Machine.violation_report m with
+   | Some r -> print_string r
+   | None -> ());
+  if stats then
+    (match stats_format with
+     | `Text -> print_endline (Stats.to_string m.Machine.stats)
+     | `Json -> print_endline (Json.to_string_pretty (Stats.to_json m.Machine.stats)));
+  if profile then
+    (match Machine.profile m with
+     | Some p -> print_string (Profile.to_table p)
+     | None -> ());
+  (match metrics_json with
+   | None -> ()
+   | Some path ->
+     let oc = open_out path in
+     output_string oc (Json.to_string_pretty (Metrics.snapshot (Machine.metrics m)));
+     output_char oc '\n';
+     close_out oc);
+  match status with Machine.Exited n -> n | _ -> 42
+
+let run file mode scheme temporal stats stats_format asm emit_asm fuel
+    trace_instrs trace_file trace_format trace_events trace_retires profile
+    metrics_json =
   try
-    if asm then begin
-      let program = Hb_isa.Parser.parse_program source in
-      if emit_asm then (print_string (Hb_isa.Printer.program_str program); 0)
+    let source = read_file file in
+    if emit_asm then begin
+      if asm then
+        print_string
+          (Hb_isa.Printer.program_str (Hb_isa.Parser.parse_program source))
       else begin
-        let image = Hb_isa.Program.link program in
-        let config =
-          { Machine.scheme; mode = Codegen.machine_mode mode;
-            checked_deref_uop = false; temporal; tripwire = false;
-            max_instrs = fuel }
-        in
-        let m = Machine.create ~config ~globals:"" image in
-        let status = Machine.run m in
-        print_string (Machine.output m);
-        Printf.printf "\n[%s]\n" (Machine.status_name status);
-        if stats then print_endline (Stats.to_string m.Machine.stats);
-        match status with Machine.Exited n -> n | _ -> 42
-      end
-    end
-    else if emit_asm then begin
-      let compiled = Hb_minic.Driver.compile_source ~mode source in
-      print_string (Hb_isa.Printer.program_str compiled.Codegen.program);
+        let compiled = Hb_minic.Driver.compile_source ~mode source in
+        print_string (Hb_isa.Printer.program_str compiled.Codegen.program)
+      end;
       0
     end
     else begin
-      let status, m =
-        if trace > 0 then begin
+      let image, globals, config =
+        if asm then
+          ( Hb_isa.Program.link (Hb_isa.Parser.parse_program source),
+            "",
+            { Machine.scheme; mode = Codegen.machine_mode mode;
+              checked_deref_uop = false; temporal; tripwire = false;
+              max_instrs = fuel } )
+        else begin
           let image, globals = Hb_runtime.Build.compile ~mode source in
-          let config =
-            Hb_runtime.Build.config_for ~scheme ~temporal ~max_instrs:fuel mode
-          in
-          let m = Machine.create ~config ~globals image in
-          let status =
-            match Machine.run_traced m ~n:trace ~out:print_endline with
-            | Some st -> st
-            | None -> Machine.run m
-          in
-          (status, m)
+          ( image, globals,
+            Hb_runtime.Build.config_for ~scheme ~temporal ~max_instrs:fuel
+              mode )
         end
-        else Hb_runtime.Build.run ~scheme ~temporal ~max_instrs:fuel ~mode source
       in
-      print_string (Machine.output m);
-      Printf.printf "\n[%s] (mode=%s, encoding=%s)\n"
-        (Machine.status_name status) (Codegen.mode_name mode)
-        (Encoding.scheme_name scheme);
-      if stats then print_endline (Stats.to_string m.Machine.stats);
-      match status with Machine.Exited n -> n | _ -> 42
+      Hardbound.Checker.reset_tally ();
+      let m = Machine.create ~config ~globals image in
+      let close_trace =
+        setup_obs m ~trace_file ~trace_format ~trace_events ~trace_retires
+          ~profile
+      in
+      let status =
+        if trace_instrs > 0 then
+          match Machine.run_traced m ~n:trace_instrs ~out:print_endline with
+          | Some st -> st
+          | None -> Machine.run m
+        else Machine.run m
+      in
+      close_trace ();
+      report m status ~mode ~scheme ~stats ~stats_format ~profile
+        ~metrics_json
     end
   with
   | Hb_minic.Driver.Compile_error msg ->
@@ -136,12 +229,17 @@ let run file mode scheme temporal stats asm emit_asm fuel trace =
   | Hb_isa.Parser.Parse_error (line, msg) ->
     Printf.eprintf "assembly parse error at line %d: %s\n" line msg;
     1
+  | Sys_error msg ->
+    (* unreadable input, unwritable --trace / --metrics-json path, ... *)
+    Printf.eprintf "error: %s\n" msg;
+    1
 
 let cmd =
   let doc = "compile and run a program on the simulated HardBound machine" in
   Cmd.v
     (Cmd.info "hardbound_run" ~doc)
-    Term.(const run $ file $ mode $ scheme $ temporal $ stats $ asm $ emit_asm
-          $ fuel $ trace)
+    Term.(const run $ file $ mode $ scheme $ temporal $ stats $ stats_format
+          $ asm $ emit_asm $ fuel $ trace_instrs $ trace_file $ trace_format
+          $ trace_events $ trace_retires $ profile $ metrics_json)
 
 let () = exit (Cmd.eval' cmd)

@@ -90,3 +90,25 @@ let () =
   print_endline
     "\nThe baseline silently reads past the allocation; HardBound traps the\n\
      dereference the moment the off-by-one index is used."
+
+(* ---- 3. Observability -------------------------------------------------- *)
+
+let () =
+  section "Observability: trace ring, violation report, flat profile";
+  (* Same buggy program, but with a tracer and the per-function profile
+     attached before running (the `hardbound_run` CLI flags --trace,
+     --trace-events and --profile do exactly this). *)
+  let mode = Codegen.Hardbound in
+  let image, globals = Hb_runtime.Build.compile ~mode buggy_program in
+  let config = Hb_runtime.Build.config_for mode in
+  let m = Machine.create ~config ~globals image in
+  Machine.attach_tracer m (Hb_obs.Trace.create ~capacity:4 ());
+  Machine.enable_profile m;
+  ignore (Machine.run m);
+  (match Machine.violation_report m with
+   | Some report -> print_string report
+   | None -> ());
+  print_newline ();
+  (match Machine.profile m with
+   | Some p -> print_string (Hb_obs.Profile.to_table p)
+   | None -> ())

@@ -70,7 +70,16 @@ type t = {
   data_stats : class_stats;
   bb_stats : class_stats;
   tag_stats : class_stats;
+  mutable last_mask : int;
+      (* which levels missed on the most recent access: a bitmask of
+         [miss_tlb] / [miss_l1] / [miss_l2], so a tracer can turn the
+         returned stall cycles into per-level miss events without the
+         model paying for event plumbing when tracing is off *)
 }
+
+let miss_tlb = 1
+let miss_l1 = 2
+let miss_l2 = 4
 
 let create params =
   {
@@ -93,6 +102,7 @@ let create params =
     data_stats = fresh_class_stats ();
     bb_stats = fresh_class_stats ();
     tag_stats = fresh_class_stats ();
+    last_mask = 0;
   }
 
 let stats_of t = function
@@ -105,26 +115,40 @@ let stats_of t = function
 let access t cls addr =
   let s = stats_of t cls in
   s.accesses <- s.accesses + 1;
-  let stall = ref 0 in
   let first_level, tlb =
     match cls with
     | Data | Base_bound -> (t.l1d, t.dtlb)
     | Tag_meta -> (t.tagc, t.ttlb)
   in
-  if not (Tlb.access tlb addr) then begin
-    s.tlb_misses <- s.tlb_misses + 1;
-    stall := !stall + t.params.tlb_miss_penalty
-  end;
-  if not (Sa_cache.access first_level addr) then begin
-    s.l1_misses <- s.l1_misses + 1;
-    stall := !stall + t.params.l1_miss_penalty;
-    if not (Sa_cache.access t.l2 addr) then begin
-      s.l2_misses <- s.l2_misses + 1;
-      stall := !stall + t.params.l2_miss_penalty
+  (* accumulated in plain ints, with [last_mask] as the scratch word (no
+     ref cells or tuples: this is the simulator's hottest function) *)
+  t.last_mask <- 0;
+  let stall_tlb =
+    if Tlb.access tlb addr then 0
+    else begin
+      s.tlb_misses <- s.tlb_misses + 1;
+      t.last_mask <- miss_tlb;
+      t.params.tlb_miss_penalty
     end
-  end;
-  s.stall_cycles <- s.stall_cycles + !stall;
-  !stall
+  in
+  let stall_cache =
+    if Sa_cache.access first_level addr then 0
+    else begin
+      s.l1_misses <- s.l1_misses + 1;
+      if Sa_cache.access t.l2 addr then begin
+        t.last_mask <- t.last_mask lor miss_l1;
+        t.params.l1_miss_penalty
+      end
+      else begin
+        s.l2_misses <- s.l2_misses + 1;
+        t.last_mask <- t.last_mask lor (miss_l1 lor miss_l2);
+        t.params.l1_miss_penalty + t.params.l2_miss_penalty
+      end
+    end
+  in
+  let stall = stall_tlb + stall_cache in
+  s.stall_cycles <- s.stall_cycles + stall;
+  stall
 
 let total_stalls t =
   t.data_stats.stall_cycles + t.bb_stats.stall_cycles
@@ -139,3 +163,26 @@ let reset_stats t =
       s.tlb_misses <- 0;
       s.stall_cycles <- 0)
     [ t.data_stats; t.bb_stats; t.tag_stats ]
+
+let class_name = function
+  | Data -> "data"
+  | Base_bound -> "base_bound"
+  | Tag_meta -> "tag_meta"
+
+(** Report per-class hierarchy counters (and the underlying cache/TLB
+    structures) into a metrics registry. *)
+let export t (reg : Hb_obs.Metrics.t) =
+  List.iter
+    (fun cls ->
+      let s = stats_of t cls in
+      let labels = [ ("class", class_name cls) ] in
+      Hb_obs.Metrics.set_counter reg ~labels "hierarchy.accesses" s.accesses;
+      Hb_obs.Metrics.set_counter reg ~labels "hierarchy.l1_misses" s.l1_misses;
+      Hb_obs.Metrics.set_counter reg ~labels "hierarchy.l2_misses" s.l2_misses;
+      Hb_obs.Metrics.set_counter reg ~labels "hierarchy.tlb_misses"
+        s.tlb_misses;
+      Hb_obs.Metrics.set_counter reg ~labels "hierarchy.stall_cycles"
+        s.stall_cycles)
+    [ Data; Base_bound; Tag_meta ];
+  List.iter (fun c -> Sa_cache.export c reg) [ t.l1d; t.l2; t.tagc ];
+  List.iter (fun tlb -> Tlb.export tlb reg) [ t.dtlb; t.ttlb ]

@@ -45,7 +45,16 @@ type t = {
   data_stats : class_stats;
   bb_stats : class_stats;
   tag_stats : class_stats;
+  mutable last_mask : int;
+      (** Which levels missed on the most recent access, as a bitmask of
+          {!miss_tlb} / {!miss_l1} / {!miss_l2} — lets a tracer expand the
+          returned stall cycles into per-level miss events without the
+          model paying for event plumbing when tracing is off. *)
 }
+
+val miss_tlb : int
+val miss_l1 : int
+val miss_l2 : int
 
 val create : params -> t
 
@@ -56,3 +65,9 @@ val access : t -> access_class -> int -> int
 val stats_of : t -> access_class -> class_stats
 val total_stalls : t -> int
 val reset_stats : t -> unit
+
+val class_name : access_class -> string
+
+val export : t -> Hb_obs.Metrics.t -> unit
+(** Report per-class counters ([hierarchy.*{class=...}]) and the
+    underlying cache/TLB structures into a metrics registry. *)

@@ -91,3 +91,10 @@ let flush t =
   Array.fill t.tags 0 (Array.length t.tags) (-1);
   Array.fill t.stamp 0 (Array.length t.stamp) 0;
   t.clock <- 0
+
+(** Report this cache's counters into a metrics registry, labeled by the
+    cache's name. *)
+let export t (reg : Hb_obs.Metrics.t) =
+  let labels = [ ("cache", t.name) ] in
+  Hb_obs.Metrics.set_counter reg ~labels "cache.accesses" t.accesses;
+  Hb_obs.Metrics.set_counter reg ~labels "cache.misses" t.misses

@@ -32,3 +32,7 @@ val probe : t -> int -> bool
 
 val reset_stats : t -> unit
 val flush : t -> unit
+
+val export : t -> Hb_obs.Metrics.t -> unit
+(** Report accesses/misses into a metrics registry as
+    [cache.*{cache=<name>}] counters. *)

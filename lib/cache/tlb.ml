@@ -22,3 +22,10 @@ let accesses t = t.cache.Sa_cache.accesses
 let misses t = t.cache.Sa_cache.misses
 let reset_stats t = Sa_cache.reset_stats t.cache
 let flush t = Sa_cache.flush t.cache
+
+(** Report this TLB's counters into a metrics registry (the underlying
+    cache carries the TLB's name). *)
+let export t (reg : Hb_obs.Metrics.t) =
+  let labels = [ ("tlb", t.cache.Sa_cache.name) ] in
+  Hb_obs.Metrics.set_counter reg ~labels "tlb.accesses" (accesses t);
+  Hb_obs.Metrics.set_counter reg ~labels "tlb.misses" (misses t)

@@ -13,3 +13,7 @@ val accesses : t -> int
 val misses : t -> int
 val reset_stats : t -> unit
 val flush : t -> unit
+
+val export : t -> Hb_obs.Metrics.t -> unit
+(** Report accesses/misses into a metrics registry as
+    [tlb.*{tlb=<name>}] counters. *)

@@ -20,6 +20,7 @@ let mode_name = function
 type violation = {
   pc : int;           (* linked code index of the faulting instruction *)
   addr : int;         (* effective address of the access *)
+  value : int;        (* the faulting pointer's register value *)
   width : int;
   meta : Meta.t;
   is_store : bool;
@@ -29,25 +30,59 @@ exception Bounds_violation of violation
 exception Non_pointer_deref of violation
 
 let describe_violation v =
-  Printf.sprintf "%s of %d byte(s) at 0x%x via %s (pc=%d)"
+  Printf.sprintf "%s of %d byte(s) at 0x%x via 0x%x %s (pc=%d)"
     (if v.is_store then "store" else "load")
-    v.width v.addr (Meta.to_string v.meta) v.pc
+    v.width v.addr v.value (Meta.to_string v.meta) v.pc
+
+(** Process-wide check/violation tally.  The checker itself is stateless
+    (a pure function of mode and metadata), so the counters the metrics
+    registry wants live here as module state: they accumulate across
+    every machine in the process until {!reset_tally}. *)
+type tally = {
+  mutable checks : int;
+  mutable bounds_violations : int;
+  mutable non_pointer_derefs : int;
+}
+
+let tally = { checks = 0; bounds_violations = 0; non_pointer_derefs = 0 }
+
+let reset_tally () =
+  tally.checks <- 0;
+  tally.bounds_violations <- 0;
+  tally.non_pointer_derefs <- 0
+
+let export_tally (reg : Hb_obs.Metrics.t) =
+  Hb_obs.Metrics.set_counter reg "checker.checks" tally.checks;
+  Hb_obs.Metrics.set_counter reg "checker.bounds_violations"
+    tally.bounds_violations;
+  Hb_obs.Metrics.set_counter reg "checker.non_pointer_derefs"
+    tally.non_pointer_derefs
+
+let bounds_fail v =
+  tally.bounds_violations <- tally.bounds_violations + 1;
+  raise (Bounds_violation v)
+
+let non_pointer_fail v =
+  tally.non_pointer_derefs <- tally.non_pointer_derefs + 1;
+  raise (Non_pointer_deref v)
 
 (** Raises on violation; returns [true] iff the access was actually
     checked (used to count checked dereferences in statistics). *)
-let check mode (m : Meta.t) ~pc ~addr ~width ~is_store =
+let check mode (m : Meta.t) ~pc ~addr ~value ~width ~is_store =
   match mode with
   | Off -> false
   | Malloc_only ->
     if Meta.is_pointer m then begin
+      tally.checks <- tally.checks + 1;
       if not (Meta.in_bounds m ~addr ~width) then
-        raise (Bounds_violation { pc; addr; width; meta = m; is_store });
+        bounds_fail { pc; addr; value; width; meta = m; is_store };
       true
     end
     else false
   | Full ->
+    tally.checks <- tally.checks + 1;
     if not (Meta.is_pointer m) then
-      raise (Non_pointer_deref { pc; addr; width; meta = m; is_store });
+      non_pointer_fail { pc; addr; value; width; meta = m; is_store };
     if not (Meta.in_bounds m ~addr ~width) then
-      raise (Bounds_violation { pc; addr; width; meta = m; is_store });
+      bounds_fail { pc; addr; value; width; meta = m; is_store };
     true

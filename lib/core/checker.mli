@@ -18,6 +18,7 @@ val mode_name : mode -> string
 type violation = {
   pc : int;
   addr : int;
+  value : int;  (** the faulting pointer's register value *)
   width : int;
   meta : Meta.t;
   is_store : bool;
@@ -28,7 +29,30 @@ exception Non_pointer_deref of violation
 
 val describe_violation : violation -> string
 
+(** Process-wide check/violation tally.  The checker itself is stateless,
+    so these counters live as module state: they accumulate across every
+    machine in the process until {!reset_tally} (reset before a run whose
+    metrics snapshot must be reproducible). *)
+type tally = {
+  mutable checks : int;
+  mutable bounds_violations : int;
+  mutable non_pointer_derefs : int;
+}
+
+val tally : tally
+val reset_tally : unit -> unit
+
+val export_tally : Hb_obs.Metrics.t -> unit
+(** Report the tally into a metrics registry as [checker.*] counters. *)
+
 val check :
-  mode -> Meta.t -> pc:int -> addr:int -> width:int -> is_store:bool -> bool
+  mode ->
+  Meta.t ->
+  pc:int ->
+  addr:int ->
+  value:int ->
+  width:int ->
+  is_store:bool ->
+  bool
 (** Perform the check; raises on violation.  Returns [true] iff the
     access was actually checked (used for statistics). *)

@@ -17,6 +17,8 @@ module Meta = Hardbound.Meta
 module Encoding = Hardbound.Encoding
 module Checker = Hardbound.Checker
 module Propagate = Hardbound.Propagate
+module Trace = Hb_obs.Trace
+module Profile = Hb_obs.Profile
 
 type config = {
   scheme : Encoding.scheme;
@@ -90,7 +92,14 @@ type t = {
   mutable pc : int;
   mutable brk : int;
   mutable halted : status option;
+  (* Observability hooks: both default to off and cost a single [None] /
+     [Off] check on their hot paths until attached. *)
+  mutable tracer : Trace.t option;
+  mutable profile : prof option;
 }
+
+(** Per-function profile plus the pc → function-id map driving it. *)
+and prof = { prof : Profile.t; fn_ids : int array }
 
 let fault m msg = raise (Machine_fault (Printf.sprintf "%s (pc=%d, fn=%s)" msg m.pc
   (if m.pc >= 0 && m.pc < Array.length m.image.fn_of_index then
@@ -129,6 +138,8 @@ let create ?(config = default_config) ~globals (image : Hb_isa.Program.image) =
       pc = image.entry;
       brk = Layout.heap_base;
       halted = None;
+      tracer = None;
+      profile = None;
     }
   in
   m.regs.(sp) <- Layout.stack_top;
@@ -154,6 +165,56 @@ let set_reg m r v (md : Meta.t) =
   end
 
 let hb_on m = m.cfg.mode <> Checker.Off
+
+(* ---- Observability -------------------------------------------------- *)
+
+let fn_at m pc =
+  if pc >= 0 && pc < Array.length m.image.fn_of_index then
+    m.image.fn_of_index.(pc)
+  else "?"
+
+let attach_tracer m tr = m.tracer <- Some tr
+
+(** Intern the image's function names to dense ids and start profiling.
+    Idempotent; all counts restart from zero. *)
+let enable_profile m =
+  let ids = Hashtbl.create 64 in
+  let names = ref [] in
+  let intern name =
+    match Hashtbl.find_opt ids name with
+    | Some i -> i
+    | None ->
+      let i = Hashtbl.length ids in
+      Hashtbl.replace ids name i;
+      names := name :: !names;
+      i
+  in
+  let fn_ids = Array.map intern m.image.fn_of_index in
+  let names = Array.of_list (List.rev !names) in
+  m.profile <- Some { prof = Profile.create ~names; fn_ids }
+
+let profile m = Option.map (fun p -> p.prof) m.profile
+
+let emit m kind =
+  match m.tracer with
+  | None -> ()
+  | Some tr ->
+    Trace.emit tr ~cycle:(Stats.cycles m.stats) ~pc:m.pc ~fn:(fn_at m m.pc)
+      kind
+
+(** Everything the machine knows, exported into one fresh registry:
+    execution statistics, the cache hierarchy, the checker tally (a
+    process-wide accumulator — see {!Hardbound.Checker.tally}) and, if
+    profiling, the per-function profile. *)
+let metrics m =
+  let reg = Hb_obs.Metrics.create () in
+  Stats.export m.stats reg;
+  Hierarchy.export m.hier reg;
+  Checker.export_tally reg;
+  (match m.profile with
+   | Some p -> Profile.export p.prof reg
+   | None -> ());
+  reg
 
 (* ---- ALU ---------------------------------------------------------- *)
 
@@ -205,6 +266,10 @@ let charge_data m n =
   add_stall m n;
   m.stats.charged_data_stalls <- m.stats.charged_data_stalls + n
 
+let charge_tag m n =
+  add_stall m n;
+  m.stats.charged_tag_stalls <- m.stats.charged_tag_stalls + n
+
 (* Tag cache accessed in parallel with L1 (Figure 4): the pipeline stalls
    for the longer of the two; only the excess of the tag access is
    attributed to metadata. *)
@@ -217,6 +282,37 @@ let charge_parallel m ~data ~tag =
 let charge_bb m n =
   add_stall m n;
   m.stats.charged_bb_stalls <- m.stats.charged_bb_stalls + n
+
+(* Cold path of [hier_access]: expand the hierarchy's last-access miss
+   mask into per-level trace events.  Kept out of line so the hot wrapper
+   below stays small enough for the compiler to inline. *)
+let[@inline never] trace_hier_misses m cls addr =
+  let mask = m.hier.Hierarchy.last_mask in
+  let p = m.hier.Hierarchy.params in
+  let cls_str = Hierarchy.class_name cls in
+  let miss level penalty =
+    emit m (Trace.Cache_miss { cls = cls_str; level; addr; penalty })
+  in
+  if mask land Hierarchy.miss_tlb <> 0 then
+    miss
+      (match cls with Hierarchy.Tag_meta -> "TTLB" | _ -> "DTLB")
+      p.Hierarchy.tlb_miss_penalty;
+  if mask land Hierarchy.miss_l1 <> 0 then
+    miss
+      (match cls with Hierarchy.Tag_meta -> "TagC" | _ -> "L1D")
+      p.Hierarchy.l1_miss_penalty;
+  if mask land Hierarchy.miss_l2 <> 0 then
+    miss "L2" p.Hierarchy.l2_miss_penalty
+
+(* Route one access through the hierarchy; when a tracer is attached,
+   expand any misses into per-level events using the hierarchy's
+   last-access mask. *)
+let[@inline] hier_access m cls addr =
+  let stall = Hierarchy.access m.hier cls addr in
+  (match m.tracer with
+   | None -> ()
+   | Some _ -> if stall > 0 then trace_hier_misses m cls addr);
+  stall
 
 let tag_loc m word_addr =
   Layout.tag_location ~bits:(Encoding.tag_bits m.cfg.scheme) word_addr
@@ -234,10 +330,18 @@ let write_tag m word_addr v =
 let check_access m r ea width ~is_store =
   let meta = reg_meta m r in
   let checked =
-    Checker.check m.cfg.mode meta ~pc:m.pc ~addr:ea ~width ~is_store
+    Checker.check m.cfg.mode meta ~pc:m.pc ~addr:ea ~value:m.regs.(r) ~width
+      ~is_store
   in
   if checked then begin
     m.stats.checked_derefs <- m.stats.checked_derefs + 1;
+    (match m.tracer with
+     | None -> ()
+     | Some _ ->
+       emit m
+         (Trace.Checked_deref
+            { addr = ea; width; is_store; base = meta.Meta.base;
+              bound = meta.Meta.bound }));
     (* Section 5.4 knob: a modest implementation checks uncompressed
        pointers with shared ALUs (one extra micro-op).  The stack, frame
        and global pointers are exempt: their whole-region bounds are
@@ -271,16 +375,16 @@ let do_load m ~dst ~basereg ~off ~width ~signed =
   guard_ea m ea wbytes;
   if m.cfg.temporal then Temporal.check_load m.temporal ~addr:ea;
   if not (hb_on m) then begin
-    charge_data m (Hierarchy.access m.hier Hierarchy.Data ea);
+    charge_data m (hier_access m Hierarchy.Data ea);
     let v = raw_read m ea width in
     set_reg m dst (if signed then sign_extend width v else v) Meta.non_pointer
   end
   else begin
     let word_addr = ea land lnot 3 in
-    let data_stall = Hierarchy.access m.hier Hierarchy.Data ea in
+    let data_stall = hier_access m Hierarchy.Data ea in
     (* Tag metadata cache is accessed in parallel with the L1 (Figure 4). *)
     let tag_addr, _, _ = tag_loc m word_addr in
-    let tag_stall = Hierarchy.access m.hier Hierarchy.Tag_meta tag_addr in
+    let tag_stall = hier_access m Hierarchy.Tag_meta tag_addr in
     charge_parallel m ~data:data_stall ~tag:tag_stall;
     if width = W4 && ea land 3 = 0 then begin
       let tagv = read_tag m word_addr in
@@ -304,7 +408,10 @@ let do_load m ~dst ~basereg ~off ~width ~signed =
         m.stats.metadata_uops <- m.stats.metadata_uops + 1;
         m.stats.uops <- m.stats.uops + 1;
         let sa = Layout.shadow_addr word_addr in
-        charge_bb m (Hierarchy.access m.hier Hierarchy.Base_bound sa);
+        (match m.tracer with
+         | None -> ()
+         | Some _ -> emit m (Trace.Metadata_uop { addr = sa; is_store = false }));
+        charge_bb m (hier_access m Hierarchy.Base_bound sa);
         let b = Physmem.read_u32 m.mem sa in
         let bd = Physmem.read_u32 m.mem (sa + 4) in
         set_reg m dst v { base = b; bound = bd }
@@ -328,18 +435,18 @@ let do_store m ~src ~basereg ~off ~width =
     (* the validity bit lives in a 1-bit-per-word structure: model its
        lookup like a tag-space access *)
     let taddr, _, _ = Layout.tag_location ~bits:1 (ea land lnot 3) in
-    add_stall m (Hierarchy.access m.hier Hierarchy.Tag_meta taddr);
+    charge_tag m (hier_access m Hierarchy.Tag_meta taddr);
     Temporal.check_tripwire m.temporal ~addr:ea
   end;
   if not (hb_on m) then begin
-    charge_data m (Hierarchy.access m.hier Hierarchy.Data ea);
+    charge_data m (hier_access m Hierarchy.Data ea);
     raw_write m ea m.regs.(src) width
   end
   else begin
     let word_addr = ea land lnot 3 in
-    let data_stall = Hierarchy.access m.hier Hierarchy.Data ea in
+    let data_stall = hier_access m Hierarchy.Data ea in
     let tag_addr, _, _ = tag_loc m word_addr in
-    let tag_stall = Hierarchy.access m.hier Hierarchy.Tag_meta tag_addr in
+    let tag_stall = hier_access m Hierarchy.Tag_meta tag_addr in
     charge_parallel m ~data:data_stall ~tag:tag_stall;
     if width = W4 && ea land 3 = 0 then begin
       let meta = reg_meta m src in
@@ -363,7 +470,10 @@ let do_store m ~src ~basereg ~off ~width =
         write_tag m word_addr tag;
         Hashtbl.remove m.aux_bits word_addr;
         let sa = Layout.shadow_addr word_addr in
-        charge_bb m (Hierarchy.access m.hier Hierarchy.Base_bound sa);
+        (match m.tracer with
+         | None -> ()
+         | Some _ -> emit m (Trace.Metadata_uop { addr = sa; is_store = true }));
+        charge_bb m (hier_access m Hierarchy.Base_bound sa);
         Physmem.write_u32 m.mem sa meta.base;
         Physmem.write_u32 m.mem (sa + 4) meta.bound
     end
@@ -416,13 +526,7 @@ let do_syscall m s =
 
 (* ---- Instruction dispatch ------------------------------------------ *)
 
-let step m =
-  if m.pc < 0 || m.pc >= Array.length m.image.code then
-    fault m "pc out of code range";
-  let i = m.image.code.(m.pc) in
-  m.stats.instructions <- m.stats.instructions + 1;
-  m.stats.uops <- m.stats.uops + 1;
-  let next = m.pc + 1 in
+let exec m i next =
   (match i with
    | Alu (op, rd, rs, Imm imm) ->
      let v = alu_eval m op m.regs.(rs) (mask32 imm) in
@@ -470,7 +574,14 @@ let step m =
        match size with Reg r -> m.regs.(r) | Imm v -> mask32 v
      in
      let v = m.regs.(src) in
-     set_reg m dst v (Propagate.setbound ~value:v ~size:sz);
+     let md = Propagate.setbound ~value:v ~size:sz in
+     set_reg m dst v md;
+     (match m.tracer with
+      | None -> ()
+      | Some _ ->
+        emit m
+          (Trace.Setbound
+             { base = md.Meta.base; bound = md.Meta.bound; unsafe = false }));
      m.pc <- next
    | Setbound_narrow { dst; src; size } ->
      m.stats.setbound_instrs <- m.stats.setbound_instrs + 1;
@@ -485,10 +596,23 @@ let step m =
        else Meta.make ~base:v ~size:sz
      in
      set_reg m dst v md;
+     (match m.tracer with
+      | None -> ()
+      | Some _ ->
+        emit m
+          (Trace.Setbound
+             { base = md.Meta.base; bound = md.Meta.bound; unsafe = false }));
      m.pc <- next
    | Setbound_unsafe (rd, rs) ->
      m.stats.setbound_instrs <- m.stats.setbound_instrs + 1;
      set_reg m rd m.regs.(rs) Meta.unsafe;
+     (match m.tracer with
+      | None -> ()
+      | Some _ ->
+        emit m
+          (Trace.Setbound
+             { base = Meta.unsafe.Meta.base; bound = Meta.unsafe.Meta.bound;
+               unsafe = true }));
      m.pc <- next
    | Readbase (rd, rs) ->
      set_reg m rd m.rbase.(rs) Meta.non_pointer;
@@ -521,7 +645,7 @@ let step m =
          && not (Meta.equal (reg_meta m r) Meta.code_pointer) then
         raise
           (Checker.Non_pointer_deref
-             { pc = m.pc; addr = m.regs.(r); width = 4;
+             { pc = m.pc; addr = m.regs.(r); value = m.regs.(r); width = 4;
                meta = reg_meta m r; is_store = false }));
      (match Hb_isa.Program.index_of_addr m.regs.(r) with
       | Some idx when idx < Array.length m.image.code ->
@@ -539,6 +663,52 @@ let step m =
      m.pc <- next
    | Label _ -> fault m "unresolved label in code"
    | Nop -> m.pc <- next)
+
+let step m =
+  if m.pc < 0 || m.pc >= Array.length m.image.code then
+    fault m "pc out of code range";
+  let i = m.image.code.(m.pc) in
+  let next = m.pc + 1 in
+  (match m.tracer with
+   | Some tr when Trace.trace_retires tr ->
+     emit m (Trace.Retire { instr = Hb_isa.Printer.instr_str i })
+   | _ -> ());
+  match m.profile with
+  | None ->
+    m.stats.instructions <- m.stats.instructions + 1;
+    m.stats.uops <- m.stats.uops + 1;
+    exec m i next
+  | Some { prof = p; fn_ids } ->
+    (* Snapshot the attributable counters, execute, charge the deltas to
+       the function the instruction belongs to. *)
+    let fid = fn_ids.(m.pc) in
+    let s = m.stats in
+    let uops0 = s.Stats.uops
+    and data0 = s.Stats.charged_data_stalls
+    and tag0 = s.Stats.charged_tag_stalls
+    and bb0 = s.Stats.charged_bb_stalls
+    and chk0 = s.Stats.check_uops
+    and meta0 = s.Stats.metadata_uops
+    and deref0 = s.Stats.checked_derefs
+    and sb0 = s.Stats.setbound_instrs in
+    s.Stats.instructions <- s.Stats.instructions + 1;
+    s.Stats.uops <- s.Stats.uops + 1;
+    (* [finally]: a faulting instruction's uops and stalls must still be
+       attributed, or the profile totals drift from [Stats.cycles]. *)
+    Fun.protect
+      ~finally:(fun () ->
+        let open Profile in
+        let add (a : int array) d = if d <> 0 then a.(fid) <- a.(fid) + d in
+        p.instrs.(fid) <- p.instrs.(fid) + 1;
+        add p.uops (s.Stats.uops - uops0);
+        add p.data_stalls (s.Stats.charged_data_stalls - data0);
+        add p.tag_stalls (s.Stats.charged_tag_stalls - tag0);
+        add p.bb_stalls (s.Stats.charged_bb_stalls - bb0);
+        add p.check_uops (s.Stats.check_uops - chk0);
+        add p.metadata_uops (s.Stats.metadata_uops - meta0);
+        add p.checked_derefs (s.Stats.checked_derefs - deref0);
+        add p.setbounds (s.Stats.setbound_instrs - sb0))
+      (fun () -> exec m i next)
 
 (** One line of execution trace: pc, enclosing function, instruction, and
     the accumulator registers with their metadata (debugging aid for the
@@ -559,6 +729,17 @@ let describe_state m =
       (Hb_isa.Printer.instr_str i)
       (reg t0) (reg t1)
 
+(* Record a violation in the trace (so the report's "last events" window
+   ends with the fault itself). *)
+let emit_violation m what (v : Checker.violation) =
+  match m.tracer with
+  | None -> ()
+  | Some _ ->
+    emit m
+      (Trace.Violation
+         { what; addr = v.Checker.addr; base = v.Checker.meta.Meta.base;
+           bound = v.Checker.meta.Meta.bound })
+
 (** Run at most [n] instructions, reporting each to [out] before executing
     it.  Returns the status if the program finished within the budget. *)
 let run_traced m ~n ~(out : string -> unit) : status option =
@@ -575,9 +756,11 @@ let run_traced m ~n ~(out : string -> unit) : status option =
   in
   try loop n with
   | Checker.Bounds_violation v ->
+    emit_violation m "bounds" v;
     m.halted <- Some (Bounds_violation v);
     m.halted
   | Checker.Non_pointer_deref v ->
+    emit_violation m "non-pointer" v;
     m.halted <- Some (Non_pointer_violation v);
     m.halted
   | Temporal.Temporal_violation f ->
@@ -604,13 +787,48 @@ let run m =
   in
   let st =
     try loop () with
-    | Checker.Bounds_violation v -> Bounds_violation v
-    | Checker.Non_pointer_deref v -> Non_pointer_violation v
+    | Checker.Bounds_violation v ->
+      emit_violation m "bounds" v;
+      Bounds_violation v
+    | Checker.Non_pointer_deref v ->
+      emit_violation m "non-pointer" v;
+      Non_pointer_violation v
     | Software_abort_exn n -> Software_abort n
     | Temporal.Temporal_violation f -> Temporal_violation f
     | Machine_fault s -> Fault s
   in
   m.halted <- Some st;
   st
+
+(** Enriched violation report: what a trap handler sees — the faulting
+    pointer's [{value; base; bound}], the enclosing function, and (when a
+    tracer is attached) the retained window of trace events leading up to
+    the fault.  [None] unless the machine halted on a violation. *)
+let violation_report m =
+  let mk what (v : Checker.violation) =
+    let b = Buffer.create 256 in
+    Printf.bprintf b "%s violation in %s (pc=%d)\n" what (fn_at m v.Checker.pc)
+      v.Checker.pc;
+    Printf.bprintf b "  %s of %d byte(s) at 0x%x\n"
+      (if v.Checker.is_store then "store" else "load")
+      v.Checker.width v.Checker.addr;
+    Printf.bprintf b "  pointer { value = 0x%x; base = 0x%x; bound = 0x%x }\n"
+      v.Checker.value v.Checker.meta.Meta.base v.Checker.meta.Meta.bound;
+    (match m.tracer with
+     | None -> ()
+     | Some tr ->
+       (match Trace.recent tr with
+        | [] -> ()
+        | events ->
+          Printf.bprintf b "  last %d trace events:\n" (List.length events);
+          List.iter
+            (fun e -> Printf.bprintf b "    %s\n" (Trace.pretty e))
+            events));
+    Buffer.contents b
+  in
+  match m.halted with
+  | Some (Bounds_violation v) -> Some (mk "bounds" v)
+  | Some (Non_pointer_violation v) -> Some (mk "non-pointer" v)
+  | _ -> None
 
 let output m = Buffer.contents m.out

@@ -64,3 +64,56 @@ let to_string s =
     s.instructions s.uops (cycles s) s.setbound_instrs s.metadata_uops
     s.loads s.stores s.checked_derefs s.ptr_loads s.ptr_loads_shadow
     s.ptr_stores s.ptr_stores_shadow s.stall_cycles
+
+let fields s =
+  [
+    ("instructions", s.instructions);
+    ("uops", s.uops);
+    ("cycles", cycles s);
+    ("setbound_instrs", s.setbound_instrs);
+    ("metadata_uops", s.metadata_uops);
+    ("check_uops", s.check_uops);
+    ("loads", s.loads);
+    ("stores", s.stores);
+    ("checked_derefs", s.checked_derefs);
+    ("ptr_loads", s.ptr_loads);
+    ("ptr_loads_shadow", s.ptr_loads_shadow);
+    ("ptr_stores", s.ptr_stores);
+    ("ptr_stores_shadow", s.ptr_stores_shadow);
+    ("stall_cycles", s.stall_cycles);
+    ("charged_data_stalls", s.charged_data_stalls);
+    ("charged_tag_stalls", s.charged_tag_stalls);
+    ("charged_bb_stalls", s.charged_bb_stalls);
+  ]
+
+let to_json s =
+  Hb_obs.Json.Obj (List.map (fun (k, v) -> (k, Hb_obs.Json.Int v)) (fields s))
+
+(** Report every field into a metrics registry as [cpu.*] counters. *)
+let export s (reg : Hb_obs.Metrics.t) =
+  List.iter
+    (fun (k, v) -> Hb_obs.Metrics.set_counter reg ("cpu." ^ k) v)
+    (fields s)
+
+(** The accounting identities the timing model promises (header comment
+    and Section 5.1): charged-stall attribution partitions the stalls,
+    and cycles decompose into micro-ops plus stalls. *)
+let check_invariants s =
+  if
+    s.charged_data_stalls + s.charged_tag_stalls + s.charged_bb_stalls
+    <> s.stall_cycles
+  then
+    Error
+      (Printf.sprintf
+         "stall attribution leak: data %d + tag %d + bb %d <> stalls %d"
+         s.charged_data_stalls s.charged_tag_stalls s.charged_bb_stalls
+         s.stall_cycles)
+  else if cycles s <> s.uops + s.stall_cycles then
+    Error
+      (Printf.sprintf "cycle identity broken: cycles %d <> uops %d + stalls %d"
+         (cycles s) s.uops s.stall_cycles)
+  else if s.check_uops + s.metadata_uops > s.uops then
+    Error
+      (Printf.sprintf "more metadata/check uops (%d+%d) than uops (%d)"
+         s.check_uops s.metadata_uops s.uops)
+  else Ok ()

@@ -33,3 +33,15 @@ val cycles : t -> int
 (** [uops + stall_cycles]. *)
 
 val to_string : t -> string
+
+val to_json : t -> Hb_obs.Json.t
+(** Every field (plus derived [cycles]) as a flat JSON object. *)
+
+val export : t -> Hb_obs.Metrics.t -> unit
+(** Report every field into a metrics registry as [cpu.*] counters. *)
+
+val check_invariants : t -> (unit, string) result
+(** The accounting identities the timing model promises:
+    [charged_data + charged_tag + charged_bb = stall_cycles],
+    [cycles = uops + stall_cycles], and metadata/check micro-ops never
+    exceed total micro-ops. *)

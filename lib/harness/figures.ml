@@ -5,10 +5,20 @@
 
 module Encoding = Hardbound.Encoding
 module Codegen = Hb_minic.Codegen
+module Json = Hb_obs.Json
 
 let pct f = Printf.sprintf "%5.1f%%" (100.0 *. f)
 
 let bprintf = Printf.bprintf
+
+(* Per-scheme averages used by several figures' summary rows. *)
+let scheme_averages totals =
+  List.filter_map
+    (fun scheme ->
+      match Hashtbl.find_opt totals scheme with
+      | Some l -> Some (scheme, Suite.mean l)
+      | None -> None)
+    [ Encoding.Extern4; Encoding.Intern4; Encoding.Intern11 ]
 
 (* ---- Figure 5: runtime overhead decomposition ------------------------ *)
 
@@ -40,14 +50,56 @@ let figure5 (suite : Suite.per_workload list) : string =
       bprintf b "\n")
     suite;
   List.iter
-    (fun scheme ->
-      match Hashtbl.find_opt totals scheme with
-      | Some l ->
-        bprintf b "average overhead %-10s %s\n" (Encoding.scheme_name scheme)
-          (pct (Suite.mean l))
-      | None -> ())
-    [ Encoding.Extern4; Encoding.Intern4; Encoding.Intern11 ];
+    (fun (scheme, avg) ->
+      bprintf b "average overhead %-10s %s\n" (Encoding.scheme_name scheme)
+        (pct avg))
+    (scheme_averages totals);
   Buffer.contents b
+
+let figure5_json (suite : Suite.per_workload list) : Json.t =
+  let totals = Hashtbl.create 8 in
+  let workloads =
+    List.map
+      (fun (w : Suite.per_workload) ->
+        let encodings =
+          List.map
+            (fun (scheme, (r : Run.record)) ->
+              let d = Run.decompose ~baseline:w.Suite.baseline r in
+              (let cur =
+                 match Hashtbl.find_opt totals scheme with
+                 | Some l -> l
+                 | None -> []
+               in
+               Hashtbl.replace totals scheme (d.Run.total_overhead :: cur));
+              let segs =
+                match Run.decomposition_json d with
+                | Json.Obj kvs -> kvs
+                | _ -> []
+              in
+              Json.Obj
+                (("scheme", Json.String (Encoding.scheme_name scheme))
+                 :: ("cycles", Json.Int r.Run.cycles)
+                 :: ("baseline_cycles", Json.Int w.Suite.baseline.Run.cycles)
+                 :: segs))
+            (Suite.hb_runs w)
+        in
+        Json.Obj
+          [
+            ("name", Json.String w.Suite.name);
+            ("encodings", Json.List encodings);
+          ])
+      suite
+  in
+  Json.Obj
+    [
+      ("experiment", Json.String "fig5");
+      ("workloads", Json.List workloads);
+      ( "average_overhead",
+        Json.Obj
+          (List.map
+             (fun (s, avg) -> (Encoding.scheme_name s, Json.Float avg))
+             (scheme_averages totals)) );
+    ]
 
 (* ---- Figure 6: memory overhead (distinct 4KB pages touched) ---------- *)
 
@@ -83,14 +135,64 @@ let figure6 (suite : Suite.per_workload list) : string =
       bprintf b "\n")
     suite;
   List.iter
-    (fun scheme ->
-      match Hashtbl.find_opt totals scheme with
-      | Some l ->
-        bprintf b "average extra pages %-10s %s\n"
-          (Encoding.scheme_name scheme) (pct (Suite.mean l))
-      | None -> ())
-    [ Encoding.Extern4; Encoding.Intern4; Encoding.Intern11 ];
+    (fun (scheme, avg) ->
+      bprintf b "average extra pages %-10s %s\n" (Encoding.scheme_name scheme)
+        (pct avg))
+    (scheme_averages totals);
   Buffer.contents b
+
+let figure6_json (suite : Suite.per_workload list) : Json.t =
+  let totals = Hashtbl.create 8 in
+  let workloads =
+    List.map
+      (fun (w : Suite.per_workload) ->
+        let base_pages = w.Suite.baseline.Run.data_pages in
+        let fb = float_of_int base_pages in
+        let encodings =
+          List.map
+            (fun (scheme, (r : Run.record)) ->
+              let tag = float_of_int r.Run.tag_pages /. fb in
+              let bb = float_of_int r.Run.shadow_pages /. fb in
+              let extra_data =
+                float_of_int (r.Run.data_pages - base_pages) /. fb
+              in
+              let total = tag +. bb +. extra_data in
+              (let cur =
+                 match Hashtbl.find_opt totals scheme with
+                 | Some l -> l
+                 | None -> []
+               in
+               Hashtbl.replace totals scheme (total :: cur));
+              Json.Obj
+                [
+                  ("scheme", Json.String (Encoding.scheme_name scheme));
+                  ("tag_pages", Json.Int r.Run.tag_pages);
+                  ("shadow_pages", Json.Int r.Run.shadow_pages);
+                  ("data_pages", Json.Int r.Run.data_pages);
+                  ("tag_frac", Json.Float tag);
+                  ("basebound_frac", Json.Float bb);
+                  ("total_frac", Json.Float total);
+                ])
+            (Suite.hb_runs w)
+        in
+        Json.Obj
+          [
+            ("name", Json.String w.Suite.name);
+            ("baseline_pages", Json.Int base_pages);
+            ("encodings", Json.List encodings);
+          ])
+      suite
+  in
+  Json.Obj
+    [
+      ("experiment", Json.String "fig6");
+      ("workloads", Json.List workloads);
+      ( "average_extra_pages",
+        Json.Obj
+          (List.map
+             (fun (s, avg) -> (Encoding.scheme_name s, Json.Float avg))
+             (scheme_averages totals)) );
+    ]
 
 (* ---- Figure 7: comparison with software-only schemes ----------------- *)
 
@@ -151,16 +253,94 @@ let figure7 (suite : Suite.per_workload list) : string =
     (avg "h4e" < avg "ot" && avg "h4e" < avg "sf");
   Buffer.contents b
 
+let figure7_json (suite : Suite.per_workload list) : Json.t =
+  let acc = Hashtbl.create 16 in
+  let note key v =
+    if not (Float.is_nan v) then begin
+      let cur =
+        match Hashtbl.find_opt acc key with Some l -> l | None -> []
+      in
+      Hashtbl.replace acc key (v :: cur)
+    end
+  in
+  let workloads =
+    List.map
+      (fun (w : Suite.per_workload) ->
+        let base = w.Suite.baseline in
+        let opt key = function
+          | Some r ->
+            let v = rel r base in
+            note key v;
+            Json.Float v
+          | None -> Json.Null
+        in
+        let hb key r =
+          let v = rel r base in
+          note key v;
+          Json.Float v
+        in
+        Json.Obj
+          [
+            ("name", Json.String w.Suite.name);
+            ( "sim",
+              Json.Obj
+                [
+                  ("objtable", opt "ot" w.Suite.objtable);
+                  ("softfat", opt "sf" w.Suite.softfat);
+                  ("hb_extern4", hb "h4e" w.Suite.hb_extern4);
+                  ("hb_intern4", hb "h4i" w.Suite.hb_intern4);
+                  ("hb_intern11", hb "h11" w.Suite.hb_intern11);
+                ] );
+            ( "paper",
+              Json.Obj
+                [
+                  ( "jk",
+                    Json.Float
+                      (Paper_data.get Paper_data.jk_published w.Suite.name) );
+                  ( "ccured",
+                    Json.Float
+                      (Paper_data.get Paper_data.ccured_published
+                         w.Suite.name) );
+                  ( "hb_extern4",
+                    Json.Float
+                      (Paper_data.get Paper_data.hardbound_extern4
+                         w.Suite.name) );
+                  ( "hb_intern4",
+                    Json.Float
+                      (Paper_data.get Paper_data.hardbound_intern4
+                         w.Suite.name) );
+                  ( "hb_intern11",
+                    Json.Float
+                      (Paper_data.get Paper_data.hardbound_intern11
+                         w.Suite.name) );
+                ] );
+          ])
+      suite
+  in
+  let avg key =
+    match Hashtbl.find_opt acc key with
+    | Some l -> Json.Float (Suite.mean l)
+    | None -> Json.Null
+  in
+  Json.Obj
+    [
+      ("experiment", Json.String "fig7");
+      ("workloads", Json.List workloads);
+      ( "sim_averages",
+        Json.Obj
+          [
+            ("objtable", avg "ot");
+            ("softfat", avg "sf");
+            ("hb_extern4", avg "h4e");
+            ("hb_intern4", avg "h4i");
+            ("hb_intern11", avg "h11");
+          ] );
+    ]
+
 (* ---- Section 5.4 ablation: bounds-check micro-op ---------------------- *)
 
-let uop_ablation () : string =
-  let b = Buffer.create 1024 in
-  bprintf b
-    "Section 5.4 ablation: charging one extra micro-op per bounds check of \
-     an uncompressed pointer (paper: average +~3%%, max +10%% on tsp)\n\n";
-  bprintf b "%-10s %12s %12s %9s\n" "benchmark" "parallel-chk" "uop-chk"
-    "delta";
-  let deltas =
+let uop_ablation_report () : string * Json.t =
+  let rows =
     List.map
       (fun (w : Hb_workloads.Workloads.t) ->
         let base = Run.measure ~mode:Codegen.Nochecks w in
@@ -168,19 +348,48 @@ let uop_ablation () : string =
         let charged =
           Run.measure ~checked_deref_uop:true ~mode:Codegen.Hardbound w
         in
-        let o1 = rel free base -. 1.0 in
-        let o2 = rel charged base -. 1.0 in
-        bprintf b "%-10s %12s %12s %9s\n" w.name (pct o1) (pct o2)
-          (pct (o2 -. o1));
-        o2 -. o1)
+        (w.name, rel free base -. 1.0, rel charged base -. 1.0))
       Hb_workloads.Workloads.all
   in
+  let deltas = List.map (fun (_, o1, o2) -> o2 -. o1) rows in
+  let b = Buffer.create 1024 in
+  bprintf b
+    "Section 5.4 ablation: charging one extra micro-op per bounds check of \
+     an uncompressed pointer (paper: average +~3%%, max +10%% on tsp)\n\n";
+  bprintf b "%-10s %12s %12s %9s\n" "benchmark" "parallel-chk" "uop-chk"
+    "delta";
+  List.iter
+    (fun (name, o1, o2) ->
+      bprintf b "%-10s %12s %12s %9s\n" name (pct o1) (pct o2)
+        (pct (o2 -. o1)))
+    rows;
   bprintf b "average delta %s\n" (pct (Suite.mean deltas));
-  Buffer.contents b
+  let json =
+    Json.Obj
+      [
+        ("experiment", Json.String "uop");
+        ( "workloads",
+          Json.List
+            (List.map
+               (fun (name, o1, o2) ->
+                 Json.Obj
+                   [
+                     ("name", Json.String name);
+                     ("parallel_check_overhead", Json.Float o1);
+                     ("uop_check_overhead", Json.Float o2);
+                     ("delta", Json.Float (o2 -. o1));
+                   ])
+               rows) );
+        ("average_delta", Json.Float (Suite.mean deltas));
+      ]
+  in
+  (Buffer.contents b, json)
+
+let uop_ablation () = fst (uop_ablation_report ())
 
 (* ---- Section 5.2: correctness sweep ----------------------------------- *)
 
-let correctness () : string =
+let correctness_report () : string * Json.t =
   let b = Buffer.create 1024 in
   let open Hb_violations in
   let s = Runner.run_corpus () in
@@ -197,11 +406,31 @@ let correctness () : string =
       s.Runner.anomalies
   end
   else bprintf b "all violations detected, zero false positives\n";
-  Buffer.contents b
+  let json =
+    Json.Obj
+      [
+        ("experiment", Json.String "correctness");
+        ("cases", Json.Int s.Runner.total);
+        ("detected", Json.Int s.Runner.detected);
+        ("false_positives", Json.Int s.Runner.false_positives);
+        ( "anomalies",
+          Json.List
+            (List.map
+               (fun (id, what) ->
+                 Json.Obj
+                   [
+                     ("id", Json.String id); ("what", Json.String what);
+                   ])
+               s.Runner.anomalies) );
+      ]
+  in
+  (Buffer.contents b, json)
+
+let correctness () = fst (correctness_report ())
 
 (* ---- Section 3.2: malloc-only mode ------------------------------------ *)
 
-let malloc_only () : string =
+let malloc_only_report () : string * Json.t =
   let b = Buffer.create 1024 in
   let open Hb_violations in
   let cases = Gen.all_cases () in
@@ -233,11 +462,30 @@ let malloc_only () : string =
     d3 t3 f3;
   bprintf b "stack/global violations:          %d/%d detected (out of scope), %d FPs\n"
     d2 t2 f2;
-  Buffer.contents b
+  let subset detected total fps =
+    Json.Obj
+      [
+        ("detected", Json.Int detected);
+        ("cases", Json.Int total);
+        ("false_positives", Json.Int fps);
+      ]
+  in
+  let json =
+    Json.Obj
+      [
+        ("experiment", Json.String "malloc_only");
+        ("heap_non_subobject", subset d1 t1 f1);
+        ("heap_subobject", subset d3 t3 f3);
+        ("stack_global", subset d2 t2 f2);
+      ]
+  in
+  (Buffer.contents b, json)
+
+let malloc_only () = fst (malloc_only_report ())
 
 (* ---- Section 2.1: red-zone tripwire baseline --------------------------- *)
 
-let redzone () : string =
+let redzone_report () : string * Json.t =
   let b = Buffer.create 1024 in
   let open Hb_violations in
   bprintf b
@@ -292,20 +540,45 @@ let redzone () : string =
   let status, m =
     Hb_runtime.Build.run ~tripwire:true ~mode:Codegen.Nochecks w.source
   in
-  (match status with
-   | Hb_cpu.Machine.Exited 0 ->
-     let trip_cycles = Hb_cpu.Stats.cycles m.Hb_cpu.Machine.stats in
-     bprintf b
-       "\nhardware-tracked validity bits on treeadd: %s overhead (write \
-        checks only, MemTracker-style)\n"
-       (pct (Run.ratio trip_cycles base.Run.cycles -. 1.0))
-   | st -> bprintf b "treeadd under tripwire: %s\n"
-             (Hb_cpu.Machine.status_name st));
-  Buffer.contents b
+  let overhead =
+    match status with
+    | Hb_cpu.Machine.Exited 0 ->
+      let trip_cycles = Hb_cpu.Stats.cycles m.Hb_cpu.Machine.stats in
+      let o = Run.ratio trip_cycles base.Run.cycles -. 1.0 in
+      bprintf b
+        "\nhardware-tracked validity bits on treeadd: %s overhead (write \
+         checks only, MemTracker-style)\n"
+        (pct o);
+      Json.Float o
+    | st ->
+      bprintf b "treeadd under tripwire: %s\n"
+        (Hb_cpu.Machine.status_name st);
+      Json.Null
+  in
+  let subset detected total fps =
+    Json.Obj
+      [
+        ("detected", Json.Int detected);
+        ("cases", Json.Int total);
+        ("false_positives", Json.Int fps);
+      ]
+  in
+  let json =
+    Json.Obj
+      [
+        ("experiment", Json.String "redzone");
+        ("small_stride", subset d1 (d1 + m1) f1);
+        ("large_stride", subset d2 (d2 + m2) f2);
+        ("treeadd_overhead", overhead);
+      ]
+  in
+  (Buffer.contents b, json)
+
+let redzone () = fst (redzone_report ())
 
 (* ---- Section 6.2: temporal extension ----------------------------------- *)
 
-let temporal () : string =
+let temporal_report () : string * Json.t =
   let b = Buffer.create 1024 in
   let run src =
     let status, _ =
@@ -347,7 +620,19 @@ int main() {
 }
 |}
   in
-  bprintf b "use-after-free:      %s\n" (run uaf);
-  bprintf b "uninitialized read:  %s\n" (run uninit);
-  bprintf b "correct program:     %s\n" (run ok);
-  Buffer.contents b
+  let s_uaf = run uaf and s_uninit = run uninit and s_ok = run ok in
+  bprintf b "use-after-free:      %s\n" s_uaf;
+  bprintf b "uninitialized read:  %s\n" s_uninit;
+  bprintf b "correct program:     %s\n" s_ok;
+  let json =
+    Json.Obj
+      [
+        ("experiment", Json.String "temporal");
+        ("use_after_free", Json.String s_uaf);
+        ("uninitialized_read", Json.String s_uninit);
+        ("correct_program", Json.String s_ok);
+      ]
+  in
+  (Buffer.contents b, json)
+
+let temporal () = fst (temporal_report ())

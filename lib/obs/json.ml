@@ -1,0 +1,290 @@
+(** Minimal JSON tree, printer and parser.
+
+    The repository deliberately has no third-party JSON dependency; this
+    module is the single serialization point for every machine-readable
+    artifact the simulator emits (metrics snapshots, trace events, bench
+    results), and the parser exists so tests and tooling can read those
+    artifacts back without leaving OCaml. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ---- printing ------------------------------------------------------- *)
+
+let escape_to b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let float_str f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else if Float.is_nan f then "null"  (* NaN is not representable in JSON *)
+  else Printf.sprintf "%.17g" f
+
+let rec to_buffer b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool true -> Buffer.add_string b "true"
+  | Bool false -> Buffer.add_string b "false"
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f -> Buffer.add_string b (float_str f)
+  | String s -> escape_to b s
+  | List l ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char b ',';
+        to_buffer b x)
+      l;
+    Buffer.add_char b ']'
+  | Obj fields ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        escape_to b k;
+        Buffer.add_char b ':';
+        to_buffer b v)
+      fields;
+    Buffer.add_char b '}'
+
+let to_string j =
+  let b = Buffer.create 256 in
+  to_buffer b j;
+  Buffer.contents b
+
+(* Indented variant for files meant to be read by humans too. *)
+let rec pretty_to_buffer b indent = function
+  | List (_ :: _ as l) ->
+    let pad = String.make indent ' ' and pad' = String.make (indent + 2) ' ' in
+    Buffer.add_string b "[\n";
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_string b ",\n";
+        Buffer.add_string b pad';
+        pretty_to_buffer b (indent + 2) x)
+      l;
+    Buffer.add_char b '\n';
+    Buffer.add_string b pad;
+    Buffer.add_char b ']'
+  | Obj (_ :: _ as fields) ->
+    let pad = String.make indent ' ' and pad' = String.make (indent + 2) ' ' in
+    Buffer.add_string b "{\n";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string b ",\n";
+        Buffer.add_string b pad';
+        escape_to b k;
+        Buffer.add_string b ": ";
+        pretty_to_buffer b (indent + 2) v)
+      fields;
+    Buffer.add_char b '\n';
+    Buffer.add_string b pad;
+    Buffer.add_char b '}'
+  | j -> to_buffer b j
+
+let to_string_pretty j =
+  let b = Buffer.create 1024 in
+  pretty_to_buffer b 0 j;
+  Buffer.contents b
+
+(* ---- parsing -------------------------------------------------------- *)
+
+exception Parse_error of string
+
+type cursor = { s : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.s then Some c.s.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let fail c msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg c.pos))
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance c;
+    skip_ws c
+  | _ -> ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | _ -> fail c (Printf.sprintf "expected %c" ch)
+
+let parse_lit c lit v =
+  if
+    c.pos + String.length lit <= String.length c.s
+    && String.sub c.s c.pos (String.length lit) = lit
+  then begin
+    c.pos <- c.pos + String.length lit;
+    v
+  end
+  else fail c ("expected " ^ lit)
+
+let parse_string_raw c =
+  expect c '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail c "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' ->
+      advance c;
+      (match peek c with
+       | Some '"' -> Buffer.add_char b '"'; advance c
+       | Some '\\' -> Buffer.add_char b '\\'; advance c
+       | Some '/' -> Buffer.add_char b '/'; advance c
+       | Some 'n' -> Buffer.add_char b '\n'; advance c
+       | Some 't' -> Buffer.add_char b '\t'; advance c
+       | Some 'r' -> Buffer.add_char b '\r'; advance c
+       | Some 'b' -> Buffer.add_char b '\b'; advance c
+       | Some 'f' -> Buffer.add_char b '\012'; advance c
+       | Some 'u' ->
+         advance c;
+         if c.pos + 4 > String.length c.s then fail c "bad \\u escape";
+         let hex = String.sub c.s c.pos 4 in
+         c.pos <- c.pos + 4;
+         let code =
+           try int_of_string ("0x" ^ hex)
+           with _ -> fail c "bad \\u escape"
+         in
+         (* Only BMP code points below 0x80 round-trip exactly; others are
+            emitted as '?' — the simulator never produces them. *)
+         if code < 0x80 then Buffer.add_char b (Char.chr code)
+         else Buffer.add_char b '?'
+       | _ -> fail c "bad escape");
+      go ()
+    | Some ch ->
+      Buffer.add_char b ch;
+      advance c;
+      go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec go () =
+    match peek c with
+    | Some ch when is_num_char ch ->
+      advance c;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  let lit = String.sub c.s start (c.pos - start) in
+  if lit = "" then fail c "expected number";
+  if String.exists (fun ch -> ch = '.' || ch = 'e' || ch = 'E') lit then
+    match float_of_string_opt lit with
+    | Some f -> Float f
+    | None -> fail c "bad float literal"
+  else
+    match int_of_string_opt lit with
+    | Some i -> Int i
+    | None -> (
+      match float_of_string_opt lit with
+      | Some f -> Float f
+      | None -> fail c "bad number literal")
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some '{' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      advance c;
+      Obj []
+    end
+    else begin
+      let rec fields acc =
+        skip_ws c;
+        let k = parse_string_raw c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          fields ((k, v) :: acc)
+        | Some '}' ->
+          advance c;
+          List.rev ((k, v) :: acc)
+        | _ -> fail c "expected , or } in object"
+      in
+      Obj (fields [])
+    end
+  | Some '[' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      advance c;
+      List []
+    end
+    else begin
+      let rec elems acc =
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          elems (v :: acc)
+        | Some ']' ->
+          advance c;
+          List.rev (v :: acc)
+        | _ -> fail c "expected , or ] in array"
+      in
+      List (elems [])
+    end
+  | Some '"' -> String (parse_string_raw c)
+  | Some 't' -> parse_lit c "true" (Bool true)
+  | Some 'f' -> parse_lit c "false" (Bool false)
+  | Some 'n' -> parse_lit c "null" Null
+  | Some _ -> parse_number c
+
+let of_string s =
+  let c = { s; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos <> String.length s then fail c "trailing garbage";
+  v
+
+(* ---- accessors (for tests and tooling) ------------------------------ *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_int = function
+  | Int i -> Some i
+  | _ -> None
+
+let to_list = function
+  | List l -> Some l
+  | _ -> None

@@ -1,0 +1,33 @@
+(** Minimal JSON tree, printer and parser — the single serialization
+    point for every machine-readable artifact the simulator emits
+    (metrics snapshots, trace events, bench results).  The parser exists
+    so tests and tooling can read those artifacts back. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+
+val to_string : t -> string
+(** Compact single-line rendering (JSONL-safe: no raw newlines). *)
+
+val to_string_pretty : t -> string
+(** Indented rendering for artifacts meant to be human-readable too. *)
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Parse a complete JSON document; raises {!Parse_error} on malformed
+    input or trailing garbage. *)
+
+val member : string -> t -> t option
+(** [member k (Obj ...)] is the value bound to [k], if any. *)
+
+val to_int : t -> int option
+val to_list : t -> t list option

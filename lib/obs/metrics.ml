@@ -1,0 +1,132 @@
+(** Metrics registry: named counters and histograms with labels.
+
+    Components keep their existing hand-rolled mutable statistics for the
+    hot paths and *export* into a registry at snapshot points; nothing in
+    this module sits on the simulator's per-instruction path.  Snapshots
+    are deterministic: series are sorted by (name, labels) so two
+    identical runs serialize identically. *)
+
+type labels = (string * string) list
+
+type counter = {
+  c_name : string;
+  c_labels : labels;
+  mutable value : int;
+}
+
+type histogram = {
+  h_name : string;
+  h_labels : labels;
+  mutable count : int;
+  mutable sum : int;
+  mutable min : int;
+  mutable max : int;
+  buckets : int array;
+      (* buckets.(i) counts observations v with 2^(i-1) <= v < 2^i
+         (bucket 0 holds v <= 0); the last bucket is unbounded above. *)
+}
+
+let num_buckets = 32
+
+type t = {
+  counters : (string * labels, counter) Hashtbl.t;
+  histograms : (string * labels, histogram) Hashtbl.t;
+}
+
+let create () =
+  { counters = Hashtbl.create 64; histograms = Hashtbl.create 16 }
+
+let norm_labels labels =
+  List.sort (fun (a, _) (b, _) -> compare a b) labels
+
+let counter t ?(labels = []) name =
+  let labels = norm_labels labels in
+  match Hashtbl.find_opt t.counters (name, labels) with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; c_labels = labels; value = 0 } in
+    Hashtbl.replace t.counters (name, labels) c;
+    c
+
+let inc ?(by = 1) c = c.value <- c.value + by
+
+let set c v = c.value <- v
+
+let set_counter t ?labels name v = set (counter t ?labels name) v
+
+let histogram t ?(labels = []) name =
+  let labels = norm_labels labels in
+  match Hashtbl.find_opt t.histograms (name, labels) with
+  | Some h -> h
+  | None ->
+    let h =
+      {
+        h_name = name;
+        h_labels = labels;
+        count = 0;
+        sum = 0;
+        min = max_int;
+        max = min_int;
+        buckets = Array.make num_buckets 0;
+      }
+    in
+    Hashtbl.replace t.histograms (name, labels) h;
+    h
+
+let bucket_of v =
+  if v <= 0 then 0
+  else
+    let rec go i n = if n = 0 || i = num_buckets - 1 then i else go (i + 1) (n lsr 1) in
+    go 0 v
+
+let observe h v =
+  h.count <- h.count + 1;
+  h.sum <- h.sum + v;
+  if v < h.min then h.min <- v;
+  if v > h.max then h.max <- v;
+  let b = bucket_of v in
+  h.buckets.(b) <- h.buckets.(b) + 1
+
+(* ---- snapshot ------------------------------------------------------- *)
+
+let labels_json labels =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) labels)
+
+let counter_json c =
+  Json.Obj
+    ([ ("name", Json.String c.c_name) ]
+    @ (if c.c_labels = [] then [] else [ ("labels", labels_json c.c_labels) ])
+    @ [ ("value", Json.Int c.value) ])
+
+let histogram_json h =
+  let nonzero =
+    Array.to_list h.buckets
+    |> List.mapi (fun i n -> (i, n))
+    |> List.filter (fun (_, n) -> n > 0)
+    |> List.map (fun (i, n) ->
+           let upper = if i = 0 then 1 else 1 lsl i in
+           Json.Obj [ ("lt", Json.Int upper); ("count", Json.Int n) ])
+  in
+  Json.Obj
+    ([ ("name", Json.String h.h_name) ]
+    @ (if h.h_labels = [] then [] else [ ("labels", labels_json h.h_labels) ])
+    @ [
+        ("count", Json.Int h.count);
+        ("sum", Json.Int h.sum);
+        ("min", Json.Int (if h.count = 0 then 0 else h.min));
+        ("max", Json.Int (if h.count = 0 then 0 else h.max));
+        ("buckets", Json.List nonzero);
+      ])
+
+let sorted_values tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (ka, _) (kb, _) -> compare ka kb)
+  |> List.map snd
+
+let snapshot t =
+  Json.Obj
+    [
+      ("counters", Json.List (List.map counter_json (sorted_values t.counters)));
+      ( "histograms",
+        Json.List (List.map histogram_json (sorted_values t.histograms)) );
+    ]

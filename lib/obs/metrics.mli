@@ -1,0 +1,34 @@
+(** Metrics registry: named counters and histograms with labels.
+
+    Components keep their existing mutable statistics on the hot paths and
+    export into a registry at snapshot points — nothing here sits on the
+    simulator's per-instruction path.  Snapshots are deterministic (series
+    sorted by name then labels), so identical runs serialize identically. *)
+
+type labels = (string * string) list
+
+type counter
+type histogram
+type t
+
+val create : unit -> t
+
+val counter : t -> ?labels:labels -> string -> counter
+(** Find-or-create the series [(name, labels)]. *)
+
+val inc : ?by:int -> counter -> unit
+val set : counter -> int -> unit
+
+val set_counter : t -> ?labels:labels -> string -> int -> unit
+(** [set (counter t ?labels name) v] in one call — the idiom for
+    export-at-snapshot components. *)
+
+val histogram : t -> ?labels:labels -> string -> histogram
+
+val observe : histogram -> int -> unit
+(** Record one observation into power-of-two buckets, tracking
+    count/sum/min/max. *)
+
+val snapshot : t -> Json.t
+(** [{"counters": [...], "histograms": [...]}], deterministically
+    ordered. *)

@@ -1,0 +1,124 @@
+(** Per-function flat profile.
+
+    Attributes cycles, the Figure-5 stall decomposition (data / tag /
+    base-bound), and check/metadata micro-ops to the function executing
+    them.  Functions are pre-interned to dense integer ids so the
+    per-instruction cost when profiling is a handful of array stores;
+    when profiling is off the machine skips this module entirely. *)
+
+type t = {
+  names : string array;
+  instrs : int array;
+  uops : int array;
+  data_stalls : int array;
+  tag_stalls : int array;
+  bb_stalls : int array;
+  check_uops : int array;
+  metadata_uops : int array;
+  checked_derefs : int array;
+  setbounds : int array;
+}
+
+let create ~names =
+  let n = Array.length names in
+  {
+    names;
+    instrs = Array.make n 0;
+    uops = Array.make n 0;
+    data_stalls = Array.make n 0;
+    tag_stalls = Array.make n 0;
+    bb_stalls = Array.make n 0;
+    check_uops = Array.make n 0;
+    metadata_uops = Array.make n 0;
+    checked_derefs = Array.make n 0;
+    setbounds = Array.make n 0;
+  }
+
+type row = {
+  fn : string;
+  instrs : int;
+  uops : int;
+  cycles : int;
+  data_stalls : int;
+  tag_stalls : int;
+  bb_stalls : int;
+  check_uops : int;
+  metadata_uops : int;
+  checked_derefs : int;
+  setbounds : int;
+}
+
+let cycles_of (t : t) i =
+  t.uops.(i) + t.data_stalls.(i) + t.tag_stalls.(i) + t.bb_stalls.(i)
+
+(** Non-empty rows, hottest (most cycles) first. *)
+let rows (t : t) =
+  let out = ref [] in
+  Array.iteri
+    (fun i name ->
+      if t.instrs.(i) > 0 then
+        out :=
+          {
+            fn = name;
+            instrs = t.instrs.(i);
+            uops = t.uops.(i);
+            cycles = cycles_of t i;
+            data_stalls = t.data_stalls.(i);
+            tag_stalls = t.tag_stalls.(i);
+            bb_stalls = t.bb_stalls.(i);
+            check_uops = t.check_uops.(i);
+            metadata_uops = t.metadata_uops.(i);
+            checked_derefs = t.checked_derefs.(i);
+            setbounds = t.setbounds.(i);
+          }
+          :: !out)
+    t.names;
+  List.sort (fun a b -> compare (b.cycles, a.fn) (a.cycles, b.fn)) !out
+
+let to_table t =
+  let rs = rows t in
+  let total = List.fold_left (fun a r -> a + r.cycles) 0 rs in
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "%-20s %10s %6s %10s %9s %9s %9s %7s %7s\n" "function"
+    "cycles" "cyc%" "instrs" "d-stall" "t-stall" "bb-stall" "chk-uop"
+    "meta-uop";
+  List.iter
+    (fun r ->
+      Printf.bprintf b "%-20s %10d %5.1f%% %10d %9d %9d %9d %7d %7d\n" r.fn
+        r.cycles
+        (if total = 0 then 0.0
+         else 100.0 *. float_of_int r.cycles /. float_of_int total)
+        r.instrs r.data_stalls r.tag_stalls r.bb_stalls r.check_uops
+        r.metadata_uops)
+    rs;
+  Printf.bprintf b "%-20s %10d %5.1f%%\n" "TOTAL" total 100.0;
+  Buffer.contents b
+
+let row_json r =
+  Json.Obj
+    [
+      ("fn", Json.String r.fn);
+      ("cycles", Json.Int r.cycles);
+      ("instrs", Json.Int r.instrs);
+      ("uops", Json.Int r.uops);
+      ("data_stalls", Json.Int r.data_stalls);
+      ("tag_stalls", Json.Int r.tag_stalls);
+      ("bb_stalls", Json.Int r.bb_stalls);
+      ("check_uops", Json.Int r.check_uops);
+      ("metadata_uops", Json.Int r.metadata_uops);
+      ("checked_derefs", Json.Int r.checked_derefs);
+      ("setbounds", Json.Int r.setbounds);
+    ]
+
+let to_json t = Json.List (List.map row_json (rows t))
+
+(** Mirror the profile into a metrics registry as labeled series. *)
+let export t (m : Metrics.t) =
+  List.iter
+    (fun r ->
+      let labels = [ ("fn", r.fn) ] in
+      Metrics.set_counter m ~labels "profile.cycles" r.cycles;
+      Metrics.set_counter m ~labels "profile.instructions" r.instrs;
+      Metrics.set_counter m ~labels "profile.check_uops" r.check_uops;
+      Metrics.set_counter m ~labels "profile.metadata_uops" r.metadata_uops)
+    (rows t)

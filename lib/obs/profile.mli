@@ -1,0 +1,47 @@
+(** Per-function flat profile: cycles, the Figure-5 stall decomposition
+    (data / tag / base-bound), and check/metadata micro-ops attributed to
+    the function executing them.  Functions are interned to dense ids;
+    the arrays are exposed so the machine's attribution is plain array
+    increments. *)
+
+type t = {
+  names : string array;
+  instrs : int array;
+  uops : int array;
+  data_stalls : int array;
+  tag_stalls : int array;
+  bb_stalls : int array;
+  check_uops : int array;
+  metadata_uops : int array;
+  checked_derefs : int array;
+  setbounds : int array;
+}
+
+val create : names:string array -> t
+(** [names.(i)] is the function with id [i]. *)
+
+type row = {
+  fn : string;
+  instrs : int;
+  uops : int;
+  cycles : int;
+  data_stalls : int;
+  tag_stalls : int;
+  bb_stalls : int;
+  check_uops : int;
+  metadata_uops : int;
+  checked_derefs : int;
+  setbounds : int;
+}
+
+val rows : t -> row list
+(** Functions that executed at least one instruction, hottest first.
+    [cycles = uops + data + tag + bb stalls] per function. *)
+
+val to_table : t -> string
+(** The [--profile] flat table. *)
+
+val to_json : t -> Json.t
+
+val export : t -> Metrics.t -> unit
+(** Mirror into a metrics registry as [profile.*{fn=...}] series. *)

@@ -1,0 +1,191 @@
+(** Bounded ring-buffer event tracer with pluggable sinks.
+
+    The machine emits structured events (instruction retire, setbound,
+    checked dereference, metadata micro-op, cache/TLB miss, violation);
+    the tracer keeps the last [capacity] of them in a ring so violation
+    reports can dump recent history, and optionally streams every event
+    to a sink (pretty-printer, JSONL file, Chrome trace_event file).
+
+    Pay-for-use: when no tracer is attached the simulator's only cost is
+    a [None] check per emission site. *)
+
+type kind =
+  | Retire of { instr : string }
+  | Setbound of { base : int; bound : int; unsafe : bool }
+  | Checked_deref of {
+      addr : int;
+      width : int;
+      is_store : bool;
+      base : int;
+      bound : int;
+    }
+  | Metadata_uop of { addr : int; is_store : bool }
+  | Cache_miss of { cls : string; level : string; addr : int; penalty : int }
+  | Violation of { what : string; addr : int; base : int; bound : int }
+
+type event = { seq : int; cycle : int; pc : int; fn : string; kind : kind }
+
+type t = {
+  capacity : int;
+  ring : event array;
+  mutable filled : int;   (* number of valid entries, <= capacity *)
+  mutable next : int;     (* ring index of the next write *)
+  mutable next_seq : int;
+  mutable sink : (event -> unit) option;
+  mutable retires : bool; (* emit per-retire events (sinks only) *)
+}
+
+let dummy_event =
+  { seq = -1; cycle = 0; pc = 0; fn = ""; kind = Retire { instr = "" } }
+
+let create ?sink ?(retires = false) ~capacity () =
+  let capacity = max 1 capacity in
+  {
+    capacity;
+    ring = Array.make capacity dummy_event;
+    filled = 0;
+    next = 0;
+    next_seq = 0;
+    sink;
+    retires;
+  }
+
+let trace_retires t = t.retires
+
+let emit t ~cycle ~pc ~fn kind =
+  let e = { seq = t.next_seq; cycle; pc; fn; kind } in
+  t.next_seq <- t.next_seq + 1;
+  t.ring.(t.next) <- e;
+  t.next <- (t.next + 1) mod t.capacity;
+  if t.filled < t.capacity then t.filled <- t.filled + 1;
+  match t.sink with None -> () | Some f -> f e
+
+let emitted t = t.next_seq
+
+(** The retained window, oldest first. *)
+let recent t =
+  let n = t.filled in
+  let start = (t.next - n + t.capacity) mod t.capacity in
+  List.init n (fun i -> t.ring.((start + i) mod t.capacity))
+
+(* ---- rendering ------------------------------------------------------- *)
+
+let kind_name = function
+  | Retire _ -> "retire"
+  | Setbound _ -> "setbound"
+  | Checked_deref _ -> "checked_deref"
+  | Metadata_uop _ -> "metadata_uop"
+  | Cache_miss _ -> "cache_miss"
+  | Violation _ -> "violation"
+
+let pretty e =
+  let details =
+    match e.kind with
+    | Retire { instr } -> instr
+    | Setbound { base; bound; unsafe } ->
+      Printf.sprintf "[0x%x, 0x%x)%s" base bound (if unsafe then " unsafe" else "")
+    | Checked_deref { addr; width; is_store; base; bound } ->
+      Printf.sprintf "%s %db @0x%x in [0x%x, 0x%x)"
+        (if is_store then "store" else "load")
+        width addr base bound
+    | Metadata_uop { addr; is_store } ->
+      Printf.sprintf "%s shadow @0x%x" (if is_store then "store" else "load") addr
+    | Cache_miss { cls; level; addr; penalty } ->
+      Printf.sprintf "%s %s @0x%x (+%d cyc)" level cls addr penalty
+    | Violation { what; addr; base; bound } ->
+      Printf.sprintf "%s @0x%x meta [0x%x, 0x%x)" what addr base bound
+  in
+  Printf.sprintf "%10d cyc=%-10d %-14s %-12s %s" e.seq e.cycle
+    (kind_name e.kind) e.fn details
+
+let kind_fields = function
+  | Retire { instr } -> [ ("instr", Json.String instr) ]
+  | Setbound { base; bound; unsafe } ->
+    [ ("base", Json.Int base); ("bound", Json.Int bound);
+      ("unsafe", Json.Bool unsafe) ]
+  | Checked_deref { addr; width; is_store; base; bound } ->
+    [
+      ("addr", Json.Int addr);
+      ("width", Json.Int width);
+      ("is_store", Json.Bool is_store);
+      ("base", Json.Int base);
+      ("bound", Json.Int bound);
+    ]
+  | Metadata_uop { addr; is_store } ->
+    [ ("addr", Json.Int addr); ("is_store", Json.Bool is_store) ]
+  | Cache_miss { cls; level; addr; penalty } ->
+    [
+      ("class", Json.String cls);
+      ("level", Json.String level);
+      ("addr", Json.Int addr);
+      ("penalty", Json.Int penalty);
+    ]
+  | Violation { what; addr; base; bound } ->
+    [
+      ("what", Json.String what);
+      ("addr", Json.Int addr);
+      ("base", Json.Int base);
+      ("bound", Json.Int bound);
+    ]
+
+let to_json e =
+  Json.Obj
+    ([
+       ("seq", Json.Int e.seq);
+       ("cycle", Json.Int e.cycle);
+       ("pc", Json.Int e.pc);
+       ("fn", Json.String e.fn);
+       ("event", Json.String (kind_name e.kind));
+     ]
+    @ kind_fields e.kind)
+
+(** Chrome trace_event format (the JSON array flavour understood by
+    chrome://tracing and Perfetto).  Cycles play the role of
+    microseconds; stall-causing events get their penalty as a duration
+    so metadata misses are visible as blocks on the timeline. *)
+let to_chrome_json e =
+  let dur = match e.kind with Cache_miss { penalty; _ } -> max penalty 1 | _ -> 1 in
+  Json.Obj
+    [
+      ("name", Json.String (kind_name e.kind));
+      ("cat", Json.String "hardbound");
+      ("ph", Json.String "X");
+      ("ts", Json.Int e.cycle);
+      ("dur", Json.Int dur);
+      ("pid", Json.Int 1);
+      ("tid", Json.String e.fn);
+      ("args", Json.Obj (("pc", Json.Int e.pc) :: kind_fields e.kind));
+    ]
+
+(* ---- file sinks ------------------------------------------------------ *)
+
+type file_format = Jsonl | Chrome
+
+type file_sink = { write : event -> unit; close : unit -> unit }
+
+let file_sink format path =
+  let oc = open_out path in
+  match format with
+  | Jsonl ->
+    {
+      write =
+        (fun e ->
+          output_string oc (Json.to_string (to_json e));
+          output_char oc '\n');
+      close = (fun () -> close_out oc);
+    }
+  | Chrome ->
+    (* One streamed JSON array; trace viewers accept a trailing comma
+       before the closing bracket, but we terminate it properly. *)
+    output_string oc "[\n";
+    let first = ref true in
+    {
+      write =
+        (fun e ->
+          if !first then first := false else output_string oc ",\n";
+          output_string oc (Json.to_string (to_chrome_json e)));
+      close =
+        (fun () ->
+          output_string oc "\n]\n";
+          close_out oc);
+    }

@@ -1,0 +1,54 @@
+(** Bounded ring-buffer event tracer with pluggable sinks.
+
+    The machine emits structured events; the tracer retains the last
+    [capacity] of them (for violation reports) and optionally streams
+    every event to a sink.  When no tracer is attached, the simulator's
+    only cost is a [None] check per emission site. *)
+
+type kind =
+  | Retire of { instr : string }
+  | Setbound of { base : int; bound : int; unsafe : bool }
+  | Checked_deref of {
+      addr : int;
+      width : int;
+      is_store : bool;
+      base : int;
+      bound : int;
+    }
+  | Metadata_uop of { addr : int; is_store : bool }
+  | Cache_miss of { cls : string; level : string; addr : int; penalty : int }
+  | Violation of { what : string; addr : int; base : int; bound : int }
+
+type event = { seq : int; cycle : int; pc : int; fn : string; kind : kind }
+
+type t
+
+val create : ?sink:(event -> unit) -> ?retires:bool -> capacity:int -> unit -> t
+(** [retires] additionally emits one event per retired instruction
+    (costly on big runs; off by default). *)
+
+val trace_retires : t -> bool
+
+val emit : t -> cycle:int -> pc:int -> fn:string -> kind -> unit
+
+val emitted : t -> int
+(** Total number of events ever emitted (not just retained). *)
+
+val recent : t -> event list
+(** The retained window, oldest first; at most [capacity] events. *)
+
+val kind_name : kind -> string
+val pretty : event -> string
+val to_json : event -> Json.t
+
+val to_chrome_json : event -> Json.t
+(** One trace_event record in the Chrome/Perfetto JSON array format,
+    with cycles standing in for microseconds. *)
+
+type file_format = Jsonl | Chrome
+
+type file_sink = { write : event -> unit; close : unit -> unit }
+
+val file_sink : file_format -> string -> file_sink
+(** Open [path] and return a streaming writer; call [close] to finish
+    (the Chrome format needs its closing bracket). *)

@@ -161,26 +161,28 @@ let test_checker_modes () =
   let m = Meta.make ~base:0x1000 ~size:4 in
   (* Off: nothing raises, nothing checked *)
   Alcotest.(check bool) "off" false
-    (Checker.check Checker.Off m ~pc:0 ~addr:0x2000 ~width:4 ~is_store:false);
+    (Checker.check Checker.Off m ~pc:0 ~addr:0x2000 ~value:0x2000 ~width:4
+       ~is_store:false);
   (* Malloc-only: pointers checked, non-pointers allowed *)
   Alcotest.(check bool) "malloc-only non-pointer" false
     (Checker.check Checker.Malloc_only Meta.non_pointer ~pc:0 ~addr:0x2000
-       ~width:4 ~is_store:false);
+       ~value:0x2000 ~width:4 ~is_store:false);
   Alcotest.(check bool) "malloc-only pointer in bounds" true
-    (Checker.check Checker.Malloc_only m ~pc:0 ~addr:0x1000 ~width:4
-       ~is_store:false);
+    (Checker.check Checker.Malloc_only m ~pc:0 ~addr:0x1000 ~value:0x1000
+       ~width:4 ~is_store:false);
   (try
      ignore
-       (Checker.check Checker.Malloc_only m ~pc:0 ~addr:0x1004 ~width:1
-          ~is_store:true);
+       (Checker.check Checker.Malloc_only m ~pc:0 ~addr:0x1004 ~value:0x1004
+          ~width:1 ~is_store:true);
      Alcotest.fail "expected bounds violation"
    with Checker.Bounds_violation v ->
-     Alcotest.(check bool) "is store" true v.Checker.is_store);
+     Alcotest.(check bool) "is store" true v.Checker.is_store;
+     Alcotest.(check int) "value recorded" 0x1004 v.Checker.value);
   (* Full: non-pointer deref raises *)
   (try
      ignore
        (Checker.check Checker.Full Meta.non_pointer ~pc:3 ~addr:0x2000
-          ~width:4 ~is_store:false);
+          ~value:0x2000 ~width:4 ~is_store:false);
      Alcotest.fail "expected non-pointer exception"
    with Checker.Non_pointer_deref v ->
      Alcotest.(check int) "pc recorded" 3 v.Checker.pc)

@@ -13,9 +13,17 @@ module Layout = Hb_mem.Layout
 let link_one body =
   Program.link { funcs = [ { name = "main"; body } ]; entry = "main" }
 
+(* Every machine this file runs also gets its stats audited: the charged
+   stall classes must partition the stalls and cycles = uops + stalls. *)
+let assert_invariants m =
+  match Hb_cpu.Stats.check_invariants m.Machine.stats with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("stats invariants: " ^ msg)
+
 let run ?(config = Machine.default_config) ?(globals = "") body =
   let m = Machine.create ~config ~globals (link_one body) in
   let st = Machine.run m in
+  assert_invariants m;
   (st, m)
 
 let check_status name expect st =
@@ -513,6 +521,45 @@ let prop_alu_reference =
       let b = if (op = Div || op = Rem) && b = 0 then 1 else b in
       Machine.alu_eval dummy op a b = reference op a b)
 
+(* Stats invariants on real compiled workloads: the charged stall
+   attribution must account for every stall cycle under every protection
+   mode, including the tripwire's tag-space accesses. *)
+let test_stats_invariants_workload () =
+  let src = {|
+int main() {
+  int *a;
+  int i;
+  int s;
+  a = (int*)malloc(64 * sizeof(int));
+  s = 0;
+  for (i = 0; i < 64; i++) { a[i] = i; }
+  for (i = 0; i < 64; i++) { s = s + a[i]; }
+  free((char*)a);
+  return s - 2016;
+}
+|}
+  in
+  let audit name (st, (m : Machine.t)) =
+    check_status name `Exit st;
+    (match Hb_cpu.Stats.check_invariants m.Machine.stats with
+     | Ok () -> ()
+     | Error msg -> Alcotest.fail (name ^ ": " ^ msg));
+    Alcotest.(check bool) (name ^ ": ran") true
+      (m.Machine.stats.Hb_cpu.Stats.instructions > 0)
+  in
+  let mode = Hb_minic.Codegen.Hardbound in
+  List.iter
+    (fun scheme ->
+      audit
+        ("hardbound " ^ Encoding.scheme_name scheme)
+        (Hb_runtime.Build.run ~scheme ~mode src))
+    all_schemes;
+  audit "baseline" (Hb_runtime.Build.run ~mode:Hb_minic.Codegen.Nochecks src);
+  audit "tripwire"
+    (Hb_runtime.Build.run ~tripwire:true ~mode:Hb_minic.Codegen.Nochecks src);
+  audit "checked-deref-uop"
+    (Hb_runtime.Build.run ~checked_deref_uop:true ~mode src)
+
 (* Output syscalls and arithmetic sanity: compute and print. *)
 let test_arith_and_output () =
   let body =
@@ -571,6 +618,7 @@ let () =
           tc "setbound.narrow intersection" test_setbound_narrow;
           tc "readbase/readbound" test_readbase_readbound;
           tc "temporal extension" test_temporal;
+          tc "stats invariants on workloads" test_stats_invariants_workload;
           tc "arithmetic and output" test_arith_and_output;
           tc "float operations" test_float_ops;
           QCheck_alcotest.to_alcotest prop_alu_reference;

@@ -1,0 +1,252 @@
+(* Observability tests: the JSON printer/parser round-trip, ring-buffer
+   wraparound, sink file formats parsed back, metrics-snapshot
+   determinism, and a golden check that the per-function profile names
+   the program's real functions. *)
+
+module Json = Hb_obs.Json
+module Metrics = Hb_obs.Metrics
+module Trace = Hb_obs.Trace
+module Profile = Hb_obs.Profile
+module Machine = Hb_cpu.Machine
+module Codegen = Hb_minic.Codegen
+
+(* ---- Json ------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("null", Json.Null);
+        ("bool", Json.Bool true);
+        ("int", Json.Int (-42));
+        ("float", Json.Float 1.5);
+        ("string", Json.String "esc \" \\ \n \t \x01 end");
+        ("list", Json.List [ Json.Int 1; Json.String "two"; Json.Null ]);
+        ("nested", Json.Obj [ ("k", Json.List []) ]);
+      ]
+  in
+  let compact = Json.to_string doc in
+  Alcotest.(check bool)
+    "compact form has no raw newline" false
+    (String.contains compact '\n');
+  Alcotest.(check bool) "compact round-trips" true
+    (Json.of_string compact = doc);
+  Alcotest.(check bool) "pretty round-trips" true
+    (Json.of_string (Json.to_string_pretty doc) = doc);
+  (match Json.member "int" doc with
+   | Some j -> Alcotest.(check (option int)) "member/to_int" (Some (-42)) (Json.to_int j)
+   | None -> Alcotest.fail "member lookup failed");
+  List.iter
+    (fun bad ->
+      match Json.of_string bad with
+      | exception Json.Parse_error _ -> ()
+      | _ -> Alcotest.fail ("parser accepted: " ^ bad))
+    [ "{"; "[1,]"; "tru"; "\"open"; "1 2"; "{\"a\":}" ]
+
+(* ---- Trace ring buffer ----------------------------------------------- *)
+
+let ev i = Trace.Setbound { base = i; bound = i + 4; unsafe = false }
+
+let test_ring_wraparound () =
+  let tr = Trace.create ~capacity:4 () in
+  for i = 0 to 9 do
+    Trace.emit tr ~cycle:i ~pc:i ~fn:"f" (ev i)
+  done;
+  Alcotest.(check int) "all emissions counted" 10 (Trace.emitted tr);
+  let window = Trace.recent tr in
+  Alcotest.(check int) "window clipped to capacity" 4 (List.length window);
+  Alcotest.(check (list int))
+    "window is the newest events, oldest first" [ 6; 7; 8; 9 ]
+    (List.map (fun (e : Trace.event) -> e.Trace.cycle) window);
+  Alcotest.(check (list int))
+    "sequence numbers are global" [ 6; 7; 8; 9 ]
+    (List.map (fun (e : Trace.event) -> e.Trace.seq) window);
+  (* a partially-filled ring returns only what was emitted *)
+  let tr2 = Trace.create ~capacity:8 () in
+  Trace.emit tr2 ~cycle:1 ~pc:0 ~fn:"g" (ev 1);
+  Alcotest.(check int) "partial window" 1 (List.length (Trace.recent tr2))
+
+let test_sink_sees_every_event () =
+  let seen = ref [] in
+  let tr = Trace.create ~sink:(fun e -> seen := e :: !seen) ~capacity:2 () in
+  for i = 0 to 5 do
+    Trace.emit tr ~cycle:i ~pc:i ~fn:"f" (ev i)
+  done;
+  Alcotest.(check int) "sink not limited by capacity" 6 (List.length !seen)
+
+(* ---- File sinks parse back ------------------------------------------- *)
+
+let with_sink fmt k =
+  let path = Filename.temp_file "hb_obs_test" ".json" in
+  let sink = Trace.file_sink fmt path in
+  for i = 0 to 9 do
+    sink.Trace.write
+      { Trace.seq = i; cycle = 2 * i; pc = i; fn = "fn" ^ string_of_int i;
+        kind =
+          (if i mod 2 = 0 then ev i
+           else
+             Trace.Cache_miss
+               { cls = "data"; level = "L1D"; addr = i; penalty = 12 });
+      }
+  done;
+  sink.Trace.close ();
+  let ic = open_in_bin path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  k contents
+
+let test_jsonl_sink_wellformed () =
+  with_sink Trace.Jsonl (fun contents ->
+      let lines =
+        String.split_on_char '\n' contents
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      Alcotest.(check int) "one line per event" 10 (List.length lines);
+      List.iteri
+        (fun i line ->
+          let j = Json.of_string line in
+          Alcotest.(check (option int))
+            (Printf.sprintf "line %d seq" i)
+            (Some i)
+            (Option.bind (Json.member "seq" j) Json.to_int))
+        lines)
+
+let test_chrome_sink_wellformed () =
+  with_sink Trace.Chrome (fun contents ->
+      match Json.to_list (Json.of_string contents) with
+      | None -> Alcotest.fail "chrome trace is not a JSON array"
+      | Some events ->
+        Alcotest.(check int) "one record per event" 10 (List.length events);
+        List.iter
+          (fun e ->
+            Alcotest.(check bool) "record has ph" true
+              (Json.member "ph" e <> None);
+            Alcotest.(check bool) "record has ts" true
+              (Json.member "ts" e <> None))
+          events)
+
+(* ---- Metrics determinism --------------------------------------------- *)
+
+let buggy = {|
+int sum(int *a, int n) {
+  int s;
+  int i;
+  s = 0;
+  for (i = 0; i <= n; i++) { s = s + a[i]; }
+  return s;
+}
+
+int main() {
+  int *a;
+  int i;
+  a = (int*)malloc(10 * sizeof(int));
+  for (i = 0; i < 10; i++) { a[i] = i; }
+  print_int(sum(a, 9));
+  return 0;
+}
+|}
+
+let run_workload ?(profile = false) () =
+  Hardbound.Checker.reset_tally ();
+  let mode = Codegen.Hardbound in
+  let image, globals = Hb_runtime.Build.compile ~mode buggy in
+  let config = Hb_runtime.Build.config_for mode in
+  let m = Machine.create ~config ~globals image in
+  if profile then Machine.enable_profile m;
+  (match Machine.run m with
+   | Machine.Exited 0 -> ()
+   | st -> Alcotest.fail (Machine.status_name st));
+  m
+
+let test_metrics_deterministic () =
+  let snap () =
+    Json.to_string (Metrics.snapshot (Machine.metrics (run_workload ())))
+  in
+  let a = snap () and b = snap () in
+  Alcotest.(check string) "identical runs snapshot identically" a b;
+  (* and the snapshot itself is valid JSON with both sections *)
+  let j = Json.of_string a in
+  Alcotest.(check bool) "has counters" true (Json.member "counters" j <> None);
+  Alcotest.(check bool) "has histograms" true
+    (Json.member "histograms" j <> None)
+
+let test_metrics_labels () =
+  let reg = Metrics.create () in
+  Metrics.set_counter reg ~labels:[ ("cache", "l1d") ] "cache.misses" 3;
+  Metrics.set_counter reg ~labels:[ ("cache", "l2") ] "cache.misses" 5;
+  let c = Metrics.counter reg ~labels:[ ("cache", "l1d") ] "cache.misses" in
+  Metrics.inc ~by:2 c;
+  match Json.member "counters" (Metrics.snapshot reg) with
+  | Some (Json.List rows) ->
+    let value_of lbl =
+      List.find_map
+        (fun r ->
+          match (Json.member "labels" r, Json.member "value" r) with
+          | Some (Json.Obj [ ("cache", Json.String l) ]), Some (Json.Int v)
+            when l = lbl ->
+            Some v
+          | _ -> None)
+        rows
+    in
+    Alcotest.(check (option int)) "same series found and bumped" (Some 5)
+      (value_of "l1d");
+    Alcotest.(check (option int)) "distinct series kept apart" (Some 5)
+      (value_of "l2")
+  | _ -> Alcotest.fail "counters section missing"
+
+(* ---- Profile golden: real function names ----------------------------- *)
+
+let test_profile_names_functions () =
+  let m = run_workload ~profile:true () in
+  match Machine.profile m with
+  | None -> Alcotest.fail "profile not enabled"
+  | Some p ->
+    let rows = Profile.rows p in
+    let names = List.map (fun (r : Profile.row) -> r.Profile.fn) rows in
+    List.iter
+      (fun fn ->
+        Alcotest.(check bool) ("profile row for " ^ fn) true
+          (List.mem fn names))
+      [ "main"; "sum"; "malloc" ];
+    (* cycles must reconcile with the machine's own counter *)
+    let total =
+      List.fold_left (fun a (r : Profile.row) -> a + r.Profile.cycles) 0 rows
+    in
+    Alcotest.(check int) "profile cycles = stats cycles"
+      (Hb_cpu.Stats.cycles m.Machine.stats)
+      total;
+    (* the flat table renders those names too *)
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      go 0
+    in
+    let table = Profile.to_table p in
+    List.iter
+      (fun fn ->
+        Alcotest.(check bool) (fn ^ " in table") true (contains table fn))
+      [ "main"; "sum" ]
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [ tc "print/parse round-trip and rejects malformed" test_json_roundtrip ] );
+      ( "trace",
+        [
+          tc "ring buffer wraparound" test_ring_wraparound;
+          tc "sink sees every event" test_sink_sees_every_event;
+          tc "jsonl sink parses back" test_jsonl_sink_wellformed;
+          tc "chrome sink parses back" test_chrome_sink_wellformed;
+        ] );
+      ( "metrics",
+        [
+          tc "snapshot deterministic across identical runs"
+            test_metrics_deterministic;
+          tc "labelled series" test_metrics_labels;
+        ] );
+      ( "profile",
+        [ tc "names real functions, cycles reconcile" test_profile_names_functions ] );
+    ]
