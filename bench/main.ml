@@ -26,6 +26,7 @@ let experiments =
     ("malloc_only", "Section 3.2: malloc-only legacy mode");
     ("redzone", "Section 2.1: red-zone tripwire baseline");
     ("temporal", "Section 6.2: temporal-tracking extension");
+    ("fault", "Fault-injection campaigns: checker detection coverage");
     ("bechamel", "Micro-benchmarks of the simulator itself");
   ]
 
@@ -88,6 +89,28 @@ let rec run_experiment name =
     let text, j = Figures.temporal_report () in
     print_string text;
     note_json name j
+  | "fault" ->
+    banner "Fault-injection campaigns (hb_fault)";
+    let module Campaign = Hb_fault.Campaign in
+    let cfg =
+      { Campaign.default with
+        Campaign.runs = 150;
+        seed = 2008;
+        keep_run_records = false }
+    in
+    let reports =
+      List.map
+        (fun wl ->
+          Printf.eprintf "[fault] campaign on %s...\n%!" wl;
+          let r = Hb_harness.Resilience.campaign cfg wl in
+          Printf.printf "%s: golden %s, %d instrs, %d runs\n%s\n" wl
+            r.Campaign.golden_status r.Campaign.golden_instrs
+            (List.length r.Campaign.records)
+            (Campaign.coverage_table r);
+          (wl, Campaign.to_json r))
+        [ "power"; "perimeter" ]
+    in
+    note_json name (Json.Obj reports)
   | "bechamel" -> bechamel ()
   | other ->
     Printf.eprintf "unknown experiment %s; use --list\n" other;

@@ -5,7 +5,13 @@
      dune exec bin/hardbound_run.exe -- prog.c --mode softfat --stats
      dune exec bin/hardbound_run.exe -- prog.s --asm --mode malloc-only
      dune exec bin/hardbound_run.exe -- prog.c --emit-asm   # print assembly
-     dune exec bin/hardbound_run.exe -- prog.c --profile --trace t.jsonl *)
+     dune exec bin/hardbound_run.exe -- prog.c --profile --trace t.jsonl
+
+   Fault injection (see EXPERIMENTS.md, "Fault campaigns"):
+
+     hardbound_run --workload power --inject all:0:7 --campaign 200 \
+       --campaign-json report.json
+     hardbound_run prog.c --inject mem,tag:1e-6:42 *)
 
 open Cmdliner
 
@@ -39,8 +45,14 @@ let scheme_conv =
   Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Encoding.scheme_name s))
 
 let file =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
-         ~doc:"MiniC source file (or assembly with --asm)")
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"MiniC source file (or assembly with --asm); omit when using \
+               --workload")
+
+let workload =
+  Arg.(value & opt (some string) None
+       & info [ "workload" ] ~docv:"NAME"
+           ~doc:"Run a named Olden workload instead of a source FILE")
 
 let mode =
   Arg.(value & opt mode_conv Codegen.Hardbound
@@ -119,6 +131,48 @@ let metrics_json =
            ~doc:"Write a JSON snapshot of every metric (stats, caches, \
                  checker tally, profile) to FILE")
 
+let inject_conv =
+  let parse s =
+    match Hb_fault.Injector.parse_spec s with
+    | Ok spec -> Ok spec
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv
+    ( parse,
+      fun fmt (s : Hb_fault.Injector.spec) ->
+        Format.fprintf fmt "%s:%g:%d"
+          (String.concat ","
+             (List.map Hb_fault.Injector.site_name s.Hb_fault.Injector.sites))
+          s.Hb_fault.Injector.rate s.Hb_fault.Injector.seed )
+
+let inject =
+  Arg.(value & opt (some inject_conv) None
+       & info [ "inject" ] ~docv:"SITES:RATE:SEED"
+           ~doc:"Inject faults: SITES is a comma list of mem | tag | shadow \
+                 | reg | regbounds (or 'all'); RATE is the per-instruction \
+                 injection probability (single-run mode; campaigns inject \
+                 exactly once per run and ignore it); SEED drives the \
+                 deterministic PRNG")
+
+let campaign =
+  Arg.(value & opt int 0
+       & info [ "campaign" ] ~docv:"N"
+           ~doc:"Run a fault campaign of N single-injection runs against a \
+                 golden reference and print the outcome taxonomy (requires \
+                 a cleanly exiting program; use --inject to pick sites and \
+                 seed)")
+
+let campaign_json =
+  Arg.(value & opt (some string) None
+       & info [ "campaign-json" ] ~docv:"FILE"
+           ~doc:"Write the deterministic campaign report (same seed in, \
+                 byte-identical JSON out) to FILE")
+
+let campaign_checkpoints =
+  Arg.(value & opt int Hb_fault.Campaign.default.Hb_fault.Campaign.checkpoints
+       & info [ "campaign-checkpoints" ] ~docv:"K"
+           ~doc:"Golden-divergence checkpoints per run")
+
 let read_file path =
   let ic = open_in_bin path in
   let n = in_channel_length ic in
@@ -175,11 +229,111 @@ let report m status ~mode ~scheme ~stats ~stats_format ~profile ~metrics_json =
      close_out oc);
   match status with Machine.Exited n -> n | _ -> 42
 
-let run file mode scheme temporal stats stats_format asm emit_asm fuel
-    trace_instrs trace_file trace_format trace_events trace_retires profile
-    metrics_json =
+(* Fault-injection entry points: campaign mode (N single-fault runs
+   classified against a golden reference) and stochastic single-run mode.
+   Both need a machine *factory* rather than one machine; when --trace is
+   given, every machine streams into the same sink. *)
+let run_fault ~mk_plain ~label ~inject ~campaign ~campaign_json
+    ~campaign_checkpoints ~trace_file ~trace_format ~trace_retires
+    ~metrics_json =
+  let module Campaign = Hb_fault.Campaign in
+  let module Injector = Hb_fault.Injector in
+  let sink = ref None in
+  let mk () =
+    let m = mk_plain () in
+    (match trace_file with
+     | None -> ()
+     | Some path ->
+       let s =
+         match !sink with
+         | Some s -> s
+         | None ->
+           let s = Trace.file_sink trace_format path in
+           sink := Some s;
+           s
+       in
+       Machine.attach_tracer m
+         (Trace.create ~sink:s.Trace.write ~retires:trace_retires
+            ~capacity:64 ()));
+    m
+  in
+  let finish code =
+    (match !sink with Some s -> s.Trace.close () | None -> ());
+    code
+  in
+  if campaign > 0 then begin
+    let spec =
+      match inject with
+      | Some s -> s
+      | None ->
+        { Injector.sites = Injector.all_sites; rate = 0.;
+          seed = Campaign.default.Campaign.seed }
+    in
+    let cfg =
+      { Campaign.default with
+        Campaign.label;
+        runs = campaign;
+        seed = spec.Injector.seed;
+        sites = spec.Injector.sites;
+        checkpoints = campaign_checkpoints }
+    in
+    let report = Campaign.run ~mk cfg in
+    Printf.printf
+      "campaign %s: %d runs, seed %d, golden %s (%d instrs, %d output \
+       bytes)\n\n"
+      label campaign cfg.Campaign.seed report.Campaign.golden_status
+      report.Campaign.golden_instrs report.Campaign.golden_output_bytes;
+    print_string (Campaign.coverage_table report);
+    (match campaign_json with
+     | None -> ()
+     | Some path ->
+       let oc = open_out path in
+       output_string oc (Json.to_string_pretty (Campaign.to_json report));
+       output_char oc '\n';
+       close_out oc);
+    (match metrics_json with
+     | None -> ()
+     | Some path ->
+       let reg = Metrics.create () in
+       Campaign.export_metrics report reg;
+       let oc = open_out path in
+       output_string oc (Json.to_string_pretty (Metrics.snapshot reg));
+       output_char oc '\n';
+       close_out oc);
+    finish 0
+  end
+  else begin
+    let spec = Option.get inject in
+    let s = Campaign.stochastic_run ~mk spec in
+    List.iter
+      (fun (at, i) ->
+        Printf.printf "injected @%-10d %s\n" at (Injector.describe i))
+      s.Campaign.injections;
+    Printf.printf "%d injections over %d instrs: %s (%s)\n"
+      (List.length s.Campaign.injections)
+      s.Campaign.s_instrs
+      (Hb_fault.Outcome.name s.Campaign.s_outcome)
+      s.Campaign.s_status;
+    finish 0
+  end
+
+let run file workload mode scheme temporal stats stats_format asm emit_asm
+    fuel trace_instrs trace_file trace_format trace_events trace_retires
+    profile metrics_json inject campaign campaign_json campaign_checkpoints =
   try
-    let source = read_file file in
+    let source, label, asm =
+      match (file, workload) with
+      | Some _, Some _ ->
+        Printf.eprintf "error: give either FILE or --workload, not both\n";
+        exit 2
+      | None, None ->
+        Printf.eprintf "error: need a FILE argument or --workload NAME\n";
+        exit 2
+      | Some f, None -> (read_file f, Filename.basename f, asm)
+      | None, Some w ->
+        ((Hb_workloads.Workloads.find w).Hb_workloads.Workloads.source, w,
+         false)
+    in
     if emit_asm then begin
       if asm then
         print_string
@@ -206,6 +360,12 @@ let run file mode scheme temporal stats stats_format asm emit_asm fuel
         end
       in
       Hardbound.Checker.reset_tally ();
+      if campaign > 0 || inject <> None then
+        run_fault
+          ~mk_plain:(fun () -> Machine.create ~config ~globals image)
+          ~label ~inject ~campaign ~campaign_json ~campaign_checkpoints
+          ~trace_file ~trace_format ~trace_retires ~metrics_json
+      else begin
       let m = Machine.create ~config ~globals image in
       let close_trace =
         setup_obs m ~trace_file ~trace_format ~trace_events ~trace_retires
@@ -221,6 +381,7 @@ let run file mode scheme temporal stats stats_format asm emit_asm fuel
       close_trace ();
       report m status ~mode ~scheme ~stats ~stats_format ~profile
         ~metrics_json
+      end
     end
   with
   | Hb_minic.Driver.Compile_error msg ->
@@ -228,6 +389,11 @@ let run file mode scheme temporal stats stats_format asm emit_asm fuel
     1
   | Hb_isa.Parser.Parse_error (line, msg) ->
     Printf.eprintf "assembly parse error at line %d: %s\n" line msg;
+    1
+  | Hb_error.Hb_error (ctx, msg) ->
+    (* typed simulator error: unknown workload, bad address, campaign
+       preconditions, ... — rendered with its pc/instr/addr context *)
+    Printf.eprintf "error: %s\n" (Hb_error.to_string (ctx, msg));
     1
   | Sys_error msg ->
     (* unreadable input, unwritable --trace / --metrics-json path, ... *)
@@ -238,8 +404,10 @@ let cmd =
   let doc = "compile and run a program on the simulated HardBound machine" in
   Cmd.v
     (Cmd.info "hardbound_run" ~doc)
-    Term.(const run $ file $ mode $ scheme $ temporal $ stats $ stats_format
-          $ asm $ emit_asm $ fuel $ trace_instrs $ trace_file $ trace_format
-          $ trace_events $ trace_retires $ profile $ metrics_json)
+    Term.(const run $ file $ workload $ mode $ scheme $ temporal $ stats
+          $ stats_format $ asm $ emit_asm $ fuel $ trace_instrs $ trace_file
+          $ trace_format $ trace_events $ trace_retires $ profile
+          $ metrics_json $ inject $ campaign $ campaign_json
+          $ campaign_checkpoints)
 
 let () = exit (Cmd.eval' cmd)

@@ -54,8 +54,8 @@ let () =
   | Some n ->
     let w =
       try Hb_workloads.Workloads.find n
-      with Invalid_argument m ->
-        prerr_endline m;
+      with Hb_error.Hb_error (ctx, msg) ->
+        Printf.eprintf "error: %s\n" (Hb_error.to_string (ctx, msg));
         exit 1
     in
     let r = Run.measure ~scheme ~mode w in

@@ -76,7 +76,8 @@ let encode scheme ~value (m : Meta.t) : encoded =
       if value >= 0x80000000 then
         (* The flag bit doubles as the shadow-space address bit; data
            pointers into that region cannot exist (Section 4.3). *)
-        invalid_arg "Intern4: pointer into shadow half of address space";
+        Hb_error.fail ~component:"encoding" ~addr:value
+          "intern-4: pointer into shadow half of address space";
       match size_code ~value m with
       | Some c when value < Hb_mem.Layout.internal_region_limit ->
         Enc_inline

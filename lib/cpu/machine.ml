@@ -772,6 +772,9 @@ let run_traced m ~n ~(out : string -> unit) : status option =
   | Machine_fault s ->
     m.halted <- Some (Fault s);
     m.halted
+  | Hb_error.Hb_error (ctx, msg) ->
+    m.halted <- Some (Fault (Hb_error.to_string (ctx, msg)));
+    m.halted
 
 (** Run to completion.  Exceptions raised by checks become statuses. *)
 let run m =
@@ -796,6 +799,7 @@ let run m =
     | Software_abort_exn n -> Software_abort n
     | Temporal.Temporal_violation f -> Temporal_violation f
     | Machine_fault s -> Fault s
+    | Hb_error.Hb_error (ctx, msg) -> Fault (Hb_error.to_string (ctx, msg))
   in
   m.halted <- Some st;
   st

@@ -1,0 +1,166 @@
+(** Lightweight architectural snapshot / compare for {!Machine}.
+
+    A snapshot captures the state a program can observe: registers (with
+    their base/bound metadata), pc, break, halt status, program output,
+    the Intern11 side store and every non-zero memory page.  It does NOT
+    capture microarchitectural state (caches, TLBs, statistics, the
+    temporal word map): restoring and re-stepping replays architectural
+    results exactly, while timing counters keep accumulating.
+
+    The fault-injection campaign runner uses {!digest} for cheap golden
+    divergence checks at checkpoints, and {!capture}/{!restore} for
+    replay-style tests. *)
+
+module Physmem = Hb_mem.Physmem
+
+type t = {
+  pc : int;
+  brk : int;
+  halted : Machine.status option;
+  regs : int array;
+  rbase : int array;
+  rbound : int array;
+  aux : (int * int) list;         (* Intern11 side store, sorted by address *)
+  pages : (int * Bytes.t) array;  (* non-zero pages, sorted by index *)
+  output : string;
+}
+
+let is_zero_page (b : Bytes.t) =
+  let n = Bytes.length b in
+  let rec go i = i >= n || (Bytes.unsafe_get b i = '\000' && go (i + 1)) in
+  go 0
+
+(* All-zero pages are dropped: a page materialized by reading fresh memory
+   is architecturally indistinguishable from an untouched one, so two
+   machines that probed different cold addresses still compare equal. *)
+let live_pages mem =
+  Array.of_seq
+    (Seq.filter
+       (fun (_, b) -> not (is_zero_page b))
+       (Array.to_seq (Physmem.export_pages mem)))
+
+let capture (m : Machine.t) : t =
+  {
+    pc = m.Machine.pc;
+    brk = m.Machine.brk;
+    halted = m.Machine.halted;
+    regs = Array.copy m.Machine.regs;
+    rbase = Array.copy m.Machine.rbase;
+    rbound = Array.copy m.Machine.rbound;
+    aux =
+      List.sort compare
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) m.Machine.aux_bits []);
+    pages = live_pages m.Machine.mem;
+    output = Buffer.contents m.Machine.out;
+  }
+
+let restore (m : Machine.t) (s : t) =
+  m.Machine.pc <- s.pc;
+  m.Machine.brk <- s.brk;
+  m.Machine.halted <- s.halted;
+  Array.blit s.regs 0 m.Machine.regs 0 (Array.length s.regs);
+  Array.blit s.rbase 0 m.Machine.rbase 0 (Array.length s.rbase);
+  Array.blit s.rbound 0 m.Machine.rbound 0 (Array.length s.rbound);
+  Hashtbl.reset m.Machine.aux_bits;
+  List.iter (fun (k, v) -> Hashtbl.replace m.Machine.aux_bits k v) s.aux;
+  Physmem.import_pages m.Machine.mem s.pages;
+  Buffer.clear m.Machine.out;
+  Buffer.add_string m.Machine.out s.output
+
+let status_key = function
+  | None -> "running"
+  | Some st -> Machine.status_name st
+
+let equal (a : t) (b : t) =
+  a.pc = b.pc && a.brk = b.brk
+  && status_key a.halted = status_key b.halted
+  && a.regs = b.regs && a.rbase = b.rbase && a.rbound = b.rbound
+  && a.aux = b.aux && a.output = b.output
+  && Array.length a.pages = Array.length b.pages
+  && Array.for_all2
+       (fun (i, p) (j, q) -> i = j && Bytes.equal p q)
+       a.pages b.pages
+
+(** Human-readable divergence summary, one line per differing component. *)
+let diff (a : t) (b : t) : string list =
+  let out = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> out := s :: !out) fmt in
+  if a.pc <> b.pc then note "pc: %d vs %d" a.pc b.pc;
+  if a.brk <> b.brk then note "brk: 0x%x vs 0x%x" a.brk b.brk;
+  if status_key a.halted <> status_key b.halted then
+    note "status: %s vs %s" (status_key a.halted) (status_key b.halted);
+  Array.iteri
+    (fun r v ->
+      if v <> b.regs.(r) then note "reg %d: 0x%x vs 0x%x" r v b.regs.(r);
+      if a.rbase.(r) <> b.rbase.(r) || a.rbound.(r) <> b.rbound.(r) then
+        note "reg %d meta: [0x%x,0x%x) vs [0x%x,0x%x)" r a.rbase.(r)
+          a.rbound.(r) b.rbase.(r) b.rbound.(r))
+    a.regs;
+  if a.aux <> b.aux then note "intern11 side store differs";
+  if a.output <> b.output then
+    note "output: %d vs %d bytes" (String.length a.output)
+      (String.length b.output);
+  let pageset p = Array.to_list (Array.map fst p) in
+  if pageset a.pages <> pageset b.pages then
+    note "page sets differ (%d vs %d non-zero pages)" (Array.length a.pages)
+      (Array.length b.pages)
+  else
+    Array.iter2
+      (fun (i, p) (_, q) ->
+        if not (Bytes.equal p q) then note "page 0x%x contents differ" i)
+      a.pages b.pages;
+  List.rev !out
+
+(* ---- Streaming digest ------------------------------------------------ *)
+
+(* FNV-1a over the architectural state, computed without copying pages:
+   cheap enough to run at campaign checkpoints. *)
+let fnv_prime = 0x100000001B3L
+let fnv_offset = 0xCBF29CE484222325L
+
+let mix h byte =
+  Int64.mul (Int64.logxor h (Int64.of_int (byte land 0xFF))) fnv_prime
+
+let mix_int h v =
+  let h = ref h in
+  for shift = 0 to 7 do
+    h := mix !h ((v lsr (shift * 8)) land 0xFF)
+  done;
+  !h
+
+let mix_bytes h (b : Bytes.t) =
+  let h = ref h in
+  for i = 0 to Bytes.length b - 1 do
+    h := mix !h (Char.code (Bytes.unsafe_get b i))
+  done;
+  !h
+
+let mix_string h s =
+  let h = ref h in
+  String.iter (fun c -> h := mix !h (Char.code c)) s;
+  !h
+
+(** Digest of the machine's current architectural state.  Equal states
+    hash equal; the campaign runner compares digests against the golden
+    run's at checkpoints. *)
+let digest (m : Machine.t) : int64 =
+  let h = ref fnv_offset in
+  h := mix_int !h m.Machine.pc;
+  h := mix_int !h m.Machine.brk;
+  h := mix_string !h (status_key m.Machine.halted);
+  Array.iter (fun v -> h := mix_int !h v) m.Machine.regs;
+  Array.iter (fun v -> h := mix_int !h v) m.Machine.rbase;
+  Array.iter (fun v -> h := mix_int !h v) m.Machine.rbound;
+  List.iter
+    (fun (k, v) ->
+      h := mix_int !h k;
+      h := mix_int !h v)
+    (List.sort compare
+       (Hashtbl.fold (fun k v acc -> (k, v) :: acc) m.Machine.aux_bits []));
+  h :=
+    Physmem.fold_pages m.Machine.mem ~init:!h ~f:(fun h idx bytes ->
+        if is_zero_page bytes then h else mix_bytes (mix_int h idx) bytes);
+  h := mix_string !h (Buffer.contents m.Machine.out);
+  !h
+
+let hex d = Printf.sprintf "%016Lx" d

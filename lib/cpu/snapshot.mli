@@ -1,0 +1,29 @@
+(** Lightweight architectural snapshot / compare for {!Machine}.
+
+    Captures program-observable state only (registers + metadata, pc, brk,
+    halt status, output, Intern11 side store, non-zero memory pages) —
+    not microarchitectural state (caches, TLBs, statistics, temporal
+    map).  [restore] then [Machine.step] replays the same architectural
+    results; timing counters keep accumulating. *)
+
+type t
+
+val capture : Machine.t -> t
+
+val restore : Machine.t -> t -> unit
+(** Overwrite the machine's architectural state with the snapshot's. *)
+
+val equal : t -> t -> bool
+(** Architectural equality.  All-zero pages are ignored, so machines that
+    probed different cold addresses still compare equal. *)
+
+val diff : t -> t -> string list
+(** Human-readable divergence summary, one line per differing component;
+    empty iff {!equal}. *)
+
+val digest : Machine.t -> int64
+(** Streaming FNV-1a digest of the machine's current architectural state
+    (no copies) — the campaign runner's checkpoint comparison. *)
+
+val hex : int64 -> string
+(** Digest rendered as 16 hex digits. *)

@@ -1,0 +1,40 @@
+(** Typed error reporting for failures reachable from user input.
+
+    Libraries historically raised bare [Failure]/[Invalid_argument], which
+    the CLI could only surface as a raw backtrace.  [Hb_error] carries the
+    machine context a user needs to act on the report — which component
+    failed, and where (pc, instruction, faulting address) — and is rendered
+    uniformly by the front ends with a non-zero exit code.
+
+    Internal invariant violations (programming errors) should keep using
+    [assert]/[invalid_arg]; this exception is for conditions a user can
+    trigger with their own program, assembly, or command line. *)
+
+type context = {
+  component : string;     (** which subsystem raised: "physmem", "encoding", ... *)
+  pc : int option;        (** linked code index, when executing *)
+  instr : string option;  (** disassembled faulting instruction *)
+  addr : int option;      (** faulting address or pointer value *)
+}
+
+exception Hb_error of context * string
+
+let fail ?pc ?instr ?addr ~component fmt =
+  Printf.ksprintf
+    (fun msg -> raise (Hb_error ({ component; pc; instr; addr }, msg)))
+    fmt
+
+(** One-line rendering: [component: message (pc=…, instr=…, addr=0x…)]. *)
+let to_string (ctx, msg) =
+  let extras =
+    List.filter_map
+      (fun x -> x)
+      [
+        Option.map (Printf.sprintf "pc=%d") ctx.pc;
+        Option.map (Printf.sprintf "instr=%s") ctx.instr;
+        Option.map (Printf.sprintf "addr=0x%x") ctx.addr;
+      ]
+  in
+  match extras with
+  | [] -> Printf.sprintf "%s: %s" ctx.component msg
+  | xs -> Printf.sprintf "%s: %s (%s)" ctx.component msg (String.concat ", " xs)

@@ -1,0 +1,25 @@
+(** Typed error for failures reachable from user input, carrying machine
+    context (component, pc, instruction, faulting address).  Rendered
+    uniformly by the CLI front ends with a non-zero exit code instead of a
+    raw backtrace. *)
+
+type context = {
+  component : string;
+  pc : int option;
+  instr : string option;
+  addr : int option;
+}
+
+exception Hb_error of context * string
+
+val fail :
+  ?pc:int ->
+  ?instr:string ->
+  ?addr:int ->
+  component:string ->
+  ('a, unit, string, 'b) format4 ->
+  'a
+(** [fail ~component fmt ...] raises {!Hb_error} with a formatted message. *)
+
+val to_string : context * string -> string
+(** One-line rendering: [component: message (pc=…, addr=0x…)]. *)

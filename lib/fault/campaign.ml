@@ -1,0 +1,488 @@
+(** Deterministic fault-injection campaign runner.
+
+    Strategy: run the workload once uninjected (the *golden* run) to
+    learn its instruction count, output and checkpoint digests; then for
+    each of the N planned injections, fast-forward to the injection
+    point by restoring an architectural snapshot of the golden prefix
+    (valid because execution is deterministic from architectural state),
+    apply exactly one corruption, and run the suffix under a watchdog.
+
+    Two optimizations keep thousand-run campaigns on multi-million
+    instruction workloads tractable, neither affecting classification:
+
+    - the golden prefix is never re-executed (runs are executed in
+      injection-point order so one replay machine streams forward once);
+    - a suffix whose digest matches golden's at a checkpoint has
+      *converged*: the remainder is deterministic and identical, so the
+      run is classified immediately ([Masked], or [Divergence] if it had
+      strayed earlier).
+
+    Both shortcuts are disabled when the machine runs the temporal or
+    tripwire extensions, whose allocation maps live outside the
+    architectural snapshot; those campaigns re-execute every prefix. *)
+
+module Machine = Hb_cpu.Machine
+module Stats = Hb_cpu.Stats
+module Snapshot = Hb_cpu.Snapshot
+module Json = Hb_obs.Json
+module Metrics = Hb_obs.Metrics
+
+type config = {
+  label : string;
+  runs : int;
+  seed : int;
+  sites : Injector.site list;
+  checkpoints : int;
+  watchdog_factor : int;
+  keep_run_records : bool;
+}
+
+let default =
+  {
+    label = "campaign";
+    runs = 100;
+    seed = 1;
+    sites = Injector.all_sites;
+    checkpoints = 16;
+    watchdog_factor = 3;
+    keep_run_records = true;
+  }
+
+type record = {
+  idx : int;
+  run_seed : int;
+  site : Injector.site;
+  at_instr : int;
+  injection : Injector.injection;
+  outcome : Outcome.t;
+  status : string;
+  latency : int option;
+  diverged_at : int option;
+}
+
+type report = {
+  config : config;
+  golden_status : string;
+  golden_instrs : int;
+  golden_output_bytes : int;
+  golden_digest : int64;
+  checkpoint_interval : int;
+  records : record list;
+}
+
+(* ---- golden reference ------------------------------------------------ *)
+
+type golden = {
+  g_status : string;
+  g_exit : int;
+  g_output : string;
+  g_instrs : int;
+  g_interval : int;
+  g_digests : (int, int64) Hashtbl.t;
+  g_digest : int64;
+}
+
+let instrs_of m = m.Machine.stats.Stats.instructions
+
+(* Two passes: the first learns the instruction count (needed to place
+   checkpoints), the second records a digest at each checkpoint. *)
+let golden_of ~(cfg : config) ~mk : golden =
+  let m = mk () in
+  let st = Machine.run m in
+  let g_exit =
+    match st with
+    | Machine.Exited n -> n
+    | st ->
+      Hb_error.fail ~component:"campaign"
+        "golden run of %s did not exit cleanly: %s" cfg.label
+        (Machine.status_name st)
+  in
+  let g_instrs = instrs_of m in
+  if g_instrs < 2 then
+    Hb_error.fail ~component:"campaign" "golden run of %s too short (%d instrs)"
+      cfg.label g_instrs;
+  let g_interval = max 1 (g_instrs / (cfg.checkpoints + 1)) in
+  let g_digests = Hashtbl.create 64 in
+  let m2 = mk () in
+  let record m =
+    let n = instrs_of m in
+    if n < g_instrs && n mod g_interval = 0 then
+      Hashtbl.replace g_digests n (Snapshot.digest m)
+  in
+  (match Watchdog.run ~on_step:record ~limit:(g_instrs + 1) m2 with
+  | Watchdog.Completed (Machine.Exited n) when n = g_exit -> ()
+  | r ->
+    Hb_error.fail ~component:"campaign" "golden replay of %s diverged: %s"
+      cfg.label (Watchdog.result_name r));
+  {
+    g_status = Machine.status_name st;
+    g_exit;
+    g_output = Machine.output m;
+    g_instrs;
+    g_interval;
+    g_digests;
+    g_digest = Snapshot.digest m2;
+  }
+
+(* ---- campaign execution ---------------------------------------------- *)
+
+exception Converged
+(** Raised from the checkpoint hook when the suffix digest matches
+    golden's: the remainder of the run is provably identical. *)
+
+let run ~mk (cfg : config) : report =
+  if cfg.runs <= 0 then
+    Hb_error.fail ~component:"campaign" "runs must be positive (got %d)"
+      cfg.runs;
+  if cfg.sites = [] then
+    Hb_error.fail ~component:"campaign" "no fault sites selected";
+  let golden = golden_of ~cfg ~mk in
+  (* Plan every injection up front from the master stream, so execution
+     order (sorted by injection point) cannot influence the draws. *)
+  let master = Prng.create ~seed:cfg.seed in
+  let site_arr = Array.of_list cfg.sites in
+  let plan =
+    List.init cfg.runs (fun idx ->
+        let run_seed = Prng.derive_seed master in
+        let site = site_arr.(Prng.below master (Array.length site_arr)) in
+        let at_instr = 1 + Prng.below master (golden.g_instrs - 1) in
+        (idx, run_seed, site, at_instr))
+  in
+  let by_point =
+    List.stable_sort
+      (fun (_, _, _, a) (_, _, _, b) -> compare a b)
+      plan
+  in
+  let replay = mk () in
+  let fast =
+    not (replay.Machine.cfg.Machine.temporal || replay.Machine.cfg.Machine.tripwire)
+  in
+  let scratch = if fast then mk () else replay in
+  let limit = (cfg.watchdog_factor * golden.g_instrs) + 4096 in
+  (* digest-compare against golden at checkpoint boundaries *)
+  let checkpoint ~early_exit diverged m =
+    let n = instrs_of m in
+    if n < golden.g_instrs && n mod golden.g_interval = 0 then
+      match Hashtbl.find_opt golden.g_digests n with
+      | None -> ()
+      | Some d ->
+        if Snapshot.digest m = d then begin
+          if early_exit then raise Converged
+        end
+        else if !diverged = None then diverged := Some n
+  in
+  let last_snap = ref None in
+  let snapshot_at at =
+    match !last_snap with
+    | Some (a, s) when a = at -> s
+    | _ ->
+      while instrs_of replay < at && replay.Machine.halted = None do
+        Machine.step replay
+      done;
+      let s = Snapshot.capture replay in
+      last_snap := Some (at, s);
+      s
+  in
+  let exec (idx, run_seed, site, at_instr) : record =
+    let rng = Prng.create ~seed:run_seed in
+    let diverged = ref None in
+    let inj = ref None in
+    let result, final_m =
+      if fast then begin
+        Snapshot.restore scratch (snapshot_at at_instr);
+        scratch.Machine.stats.Stats.instructions <- at_instr;
+        inj := Some (Injector.inject rng scratch site);
+        let r =
+          try
+            `R
+              (Watchdog.run
+                 ~on_step:(checkpoint ~early_exit:true diverged)
+                 ~limit scratch)
+          with
+          | Converged -> `Converged
+          | e -> `Crash (Printexc.to_string e)
+        in
+        (r, scratch)
+      end
+      else begin
+        (* temporal/tripwire state is not snapshot-capturable: re-run
+           the prefix and inject on the fly *)
+        let m = mk () in
+        let on_step m =
+          let n = instrs_of m in
+          if n = at_instr then inj := Some (Injector.inject rng m site)
+          else if n > at_instr then checkpoint ~early_exit:false diverged m
+        in
+        let r =
+          try `R (Watchdog.run ~on_step ~limit m)
+          with e -> `Crash (Printexc.to_string e)
+        in
+        (r, m)
+      end
+    in
+    let outcome, status, latency =
+      match result with
+      | `Crash msg -> (Outcome.Crash, "exception: " ^ msg, None)
+      | `Converged -> (
+        match !diverged with
+        | None -> (Outcome.Masked, "converged", None)
+        | Some _ -> (Outcome.Divergence, "converged-after-divergence", None))
+      | `R (Watchdog.Hang { instrs }) ->
+        (Outcome.Hang, Printf.sprintf "hang(@%d instrs)" instrs, None)
+      | `R (Watchdog.Completed st) -> (
+        match st with
+        | Machine.Bounds_violation _ | Machine.Non_pointer_violation _
+        | Machine.Temporal_violation _ | Machine.Software_abort _ ->
+          ( Outcome.Detected,
+            Machine.status_name st,
+            Some (instrs_of final_m - at_instr) )
+        | Machine.Fault _ -> (Outcome.Crash, Machine.status_name st, None)
+        | Machine.Out_of_fuel -> (Outcome.Hang, "out-of-fuel", None)
+        | Machine.Exited n ->
+          let visible_match =
+            n = golden.g_exit && Machine.output final_m = golden.g_output
+          in
+          if not visible_match then
+            (Outcome.Silent_corruption, Machine.status_name st, None)
+          else if
+            !diverged <> None
+            || Snapshot.digest final_m <> golden.g_digest
+          then (Outcome.Divergence, Machine.status_name st, None)
+          else (Outcome.Masked, Machine.status_name st, None))
+    in
+    let injection =
+      match !inj with
+      | Some i -> i
+      | None ->
+        Hb_error.fail ~component:"campaign"
+          "run %d never reached injection point %d" idx at_instr
+    in
+    {
+      idx;
+      run_seed;
+      site;
+      at_instr;
+      injection;
+      outcome;
+      status;
+      latency;
+      diverged_at = !diverged;
+    }
+  in
+  let records =
+    List.sort
+      (fun a b -> compare a.idx b.idx)
+      (List.map exec by_point)
+  in
+  {
+    config = cfg;
+    golden_status = golden.g_status;
+    golden_instrs = golden.g_instrs;
+    golden_output_bytes = String.length golden.g_output;
+    golden_digest = golden.g_digest;
+    checkpoint_interval = golden.g_interval;
+    records;
+  }
+
+(* ---- reporting ------------------------------------------------------- *)
+
+let count (r : report) site outcome =
+  List.fold_left
+    (fun acc rec_ ->
+      if rec_.outcome = outcome
+         && (match site with None -> true | Some s -> rec_.site = s)
+      then acc + 1
+      else acc)
+    0 r.records
+
+let site_total (r : report) site =
+  List.fold_left
+    (fun acc rec_ -> if rec_.site = site then acc + 1 else acc)
+    0 r.records
+
+let coverage site_runs detected =
+  if site_runs = 0 then 0. else float_of_int detected /. float_of_int site_runs
+
+let coverage_table (r : report) : string =
+  let b = Buffer.create 512 in
+  Printf.bprintf b "%-10s %6s" "site" "runs";
+  List.iter
+    (fun o -> Printf.bprintf b " %9s" (Outcome.name o))
+    Outcome.all;
+  Printf.bprintf b " %9s\n" "coverage";
+  let row name total site =
+    Printf.bprintf b "%-10s %6d" name total;
+    List.iter (fun o -> Printf.bprintf b " %9d" (count r site o)) Outcome.all;
+    Printf.bprintf b " %8.1f%%\n"
+      (100. *. coverage total (count r site Outcome.Detected))
+  in
+  List.iter
+    (fun s -> row (Injector.site_name s) (site_total r s) (Some s))
+    r.config.sites;
+  row "total" (List.length r.records) None;
+  Buffer.contents b
+
+let record_json (rec_ : record) : Json.t =
+  let opt = function None -> Json.Null | Some n -> Json.Int n in
+  Json.Obj
+    [
+      ("run", Json.Int rec_.idx);
+      ("seed", Json.Int rec_.run_seed);
+      ("site", Json.String (Injector.site_name rec_.site));
+      ("at", Json.Int rec_.at_instr);
+      ("target", Json.Int rec_.injection.Injector.target);
+      ("bit", Json.Int rec_.injection.Injector.bit);
+      ("before", Json.Int rec_.injection.Injector.before);
+      ("after", Json.Int rec_.injection.Injector.after);
+      ("outcome", Json.String (Outcome.name rec_.outcome));
+      ("status", Json.String rec_.status);
+      ("latency", opt rec_.latency);
+      ("diverged_at", opt rec_.diverged_at);
+    ]
+
+let to_json (r : report) : Json.t =
+  let cfg = r.config in
+  let coverage_rows =
+    List.map
+      (fun site ->
+        let total = site_total r site in
+        Json.Obj
+          (("site", Json.String (Injector.site_name site))
+           :: ("runs", Json.Int total)
+           :: List.map
+                (fun o -> (Outcome.name o, Json.Int (count r (Some site) o)))
+                Outcome.all
+           @ [
+               ( "coverage",
+                 Json.Float (coverage total (count r (Some site) Outcome.Detected))
+               );
+             ]))
+      cfg.sites
+    @ [
+        (let total = List.length r.records in
+         Json.Obj
+           (("site", Json.String "total")
+            :: ("runs", Json.Int total)
+            :: List.map
+                 (fun o -> (Outcome.name o, Json.Int (count r None o)))
+                 Outcome.all
+            @ [
+                ( "coverage",
+                  Json.Float (coverage total (count r None Outcome.Detected)) );
+              ]));
+      ]
+  in
+  Json.Obj
+    ([
+       ( "campaign",
+         Json.Obj
+           [
+             ("label", Json.String cfg.label);
+             ("runs", Json.Int cfg.runs);
+             ("seed", Json.Int cfg.seed);
+             ( "sites",
+               Json.List
+                 (List.map
+                    (fun s -> Json.String (Injector.site_name s))
+                    cfg.sites) );
+             ("checkpoints", Json.Int cfg.checkpoints);
+             ("watchdog_factor", Json.Int cfg.watchdog_factor);
+           ] );
+       ( "golden",
+         Json.Obj
+           [
+             ("status", Json.String r.golden_status);
+             ("instrs", Json.Int r.golden_instrs);
+             ("output_bytes", Json.Int r.golden_output_bytes);
+             ("digest", Json.String (Snapshot.hex r.golden_digest));
+             ("checkpoint_interval", Json.Int r.checkpoint_interval);
+           ] );
+       ("coverage", Json.List coverage_rows);
+     ]
+    @
+    if cfg.keep_run_records then
+      [ ("runs", Json.List (List.map record_json r.records)) ]
+    else [])
+
+let export_metrics (r : report) (reg : Metrics.t) =
+  let wl = ("workload", r.config.label) in
+  Metrics.set_counter reg ~labels:[ wl ] "fault.golden_instrs" r.golden_instrs;
+  List.iter
+    (fun site ->
+      List.iter
+        (fun o ->
+          Metrics.set_counter reg
+            ~labels:
+              [ wl; ("site", Injector.site_name site); ("outcome", Outcome.name o) ]
+            "fault.runs"
+            (count r (Some site) o))
+        Outcome.all)
+    r.config.sites;
+  let h = Metrics.histogram reg ~labels:[ wl ] "fault.detect_latency" in
+  List.iter
+    (fun rec_ ->
+      match rec_.latency with Some l -> Metrics.observe h l | None -> ())
+    r.records
+
+(* ---- stochastic single-run mode -------------------------------------- *)
+
+type stochastic = {
+  injections : (int * Injector.injection) list;
+  s_outcome : Outcome.t;
+  s_status : string;
+  s_instrs : int;
+}
+
+let stochastic_run ~mk (spec : Injector.spec) : stochastic =
+  let g = mk () in
+  let g_exit =
+    match Machine.run g with
+    | Machine.Exited n -> n
+    | st ->
+      Hb_error.fail ~component:"campaign"
+        "reference run did not exit cleanly: %s" (Machine.status_name st)
+  in
+  let g_instrs = instrs_of g in
+  let g_output = Machine.output g in
+  let g_digest = Snapshot.digest g in
+  let rng = Prng.create ~seed:spec.Injector.seed in
+  let sites = Array.of_list spec.Injector.sites in
+  let m = mk () in
+  let injections = ref [] in
+  let on_step m =
+    if Prng.float rng < spec.Injector.rate then begin
+      let site = sites.(Prng.below rng (Array.length sites)) in
+      let i = Injector.inject rng m site in
+      injections := (instrs_of m, i) :: !injections
+    end
+  in
+  let limit = (4 * g_instrs) + 4096 in
+  let result =
+    try `R (Watchdog.run ~on_step ~limit m)
+    with e -> `Crash (Printexc.to_string e)
+  in
+  let s_outcome, s_status =
+    match result with
+    | `Crash msg -> (Outcome.Crash, "exception: " ^ msg)
+    | `R (Watchdog.Hang { instrs }) ->
+      (Outcome.Hang, Printf.sprintf "hang(@%d instrs)" instrs)
+    | `R (Watchdog.Completed st) -> (
+      match st with
+      | Machine.Bounds_violation _ | Machine.Non_pointer_violation _
+      | Machine.Temporal_violation _ | Machine.Software_abort _ ->
+        (Outcome.Detected, Machine.status_name st)
+      | Machine.Fault _ -> (Outcome.Crash, Machine.status_name st)
+      | Machine.Out_of_fuel -> (Outcome.Hang, "out-of-fuel")
+      | Machine.Exited n ->
+        if n <> g_exit || Machine.output m <> g_output then
+          (Outcome.Silent_corruption, Machine.status_name st)
+        else if Snapshot.digest m <> g_digest then
+          (Outcome.Divergence, Machine.status_name st)
+        else (Outcome.Masked, Machine.status_name st))
+  in
+  {
+    injections = List.rev !injections;
+    s_outcome;
+    s_status;
+    s_instrs = instrs_of m;
+  }

@@ -1,0 +1,86 @@
+(** Deterministic fault-injection campaigns.
+
+    A campaign answers the paper's robustness question — *what fraction
+    of injected corruptions does the HardBound checker catch?* — by
+    running N single-fault injections of a workload against a golden
+    (uninjected) reference and classifying every run into exactly one
+    {!Outcome} bucket.  Everything derives from one explicit seed: the
+    same [config] and workload produce a byte-identical JSON report. *)
+
+module Machine := Hb_cpu.Machine
+module Metrics := Hb_obs.Metrics
+module Json := Hb_obs.Json
+
+type config = {
+  label : string;  (** workload name, for reports *)
+  runs : int;
+  seed : int;
+  sites : Injector.site list;
+  checkpoints : int;
+      (** intermediate golden-divergence checkpoints across the run
+          (digest compares at [instrs / (checkpoints+1)] intervals) *)
+  watchdog_factor : int;
+      (** hang budget, as a multiple of the golden instruction count *)
+  keep_run_records : bool;  (** include per-run records in the JSON *)
+}
+
+val default : config
+(** 100 runs, seed 1, all sites, 16 checkpoints, watchdog x3. *)
+
+type record = {
+  idx : int;
+  run_seed : int;  (** reproduces this run's target/bit choices alone *)
+  site : Injector.site;
+  at_instr : int;  (** injected after this many retired instructions *)
+  injection : Injector.injection;
+  outcome : Outcome.t;
+  status : string;  (** final machine status / hang / exception detail *)
+  latency : int option;
+      (** instructions from injection to trap ([Detected] only) *)
+  diverged_at : int option;
+      (** first checkpoint where the architectural digest left golden *)
+}
+
+type report = {
+  config : config;
+  golden_status : string;
+  golden_instrs : int;
+  golden_output_bytes : int;
+  golden_digest : int64;
+  checkpoint_interval : int;
+  records : record list;  (** one per run, in plan order *)
+}
+
+val run : mk:(unit -> Machine.t) -> config -> report
+(** Execute a campaign.  [mk] builds a fresh machine for the workload
+    (the library deliberately does not know how to compile programs).
+    Raises {!Hb_error.Hb_error} if the golden run does not exit cleanly
+    or the config is vacuous. *)
+
+val count : report -> Injector.site option -> Outcome.t -> int
+(** Runs of [site] (all sites if [None]) that landed in the bucket. *)
+
+val coverage_table : report -> string
+(** Per-site outcome counts and detection coverage, as aligned text. *)
+
+val to_json : report -> Json.t
+(** Deterministic report: same seed in, byte-identical JSON out. *)
+
+val export_metrics : report -> Metrics.t -> unit
+(** Publish [fault.*] counters and the detection-latency histogram into
+    an [hb_obs] metrics registry. *)
+
+(** {2 Stochastic single-run mode}
+
+    The CLI's [--inject SITES:RATE:SEED] without [--campaign]: one run,
+    each retired instruction injecting with probability [rate]. *)
+
+type stochastic = {
+  injections : (int * Injector.injection) list;
+      (** (instruction count, corruption), in program order *)
+  s_outcome : Outcome.t;
+  s_status : string;
+  s_instrs : int;
+}
+
+val stochastic_run : mk:(unit -> Machine.t) -> Injector.spec -> stochastic

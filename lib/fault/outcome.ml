@@ -1,0 +1,34 @@
+(** The campaign taxonomy: every injected run lands in exactly one
+    bucket.  Classification priority (applied by {!Campaign}):
+    trap > crash > hang > wrong output > internal divergence > masked. *)
+
+type t =
+  | Detected  (** the checker trapped (bounds / non-pointer / temporal /
+                  software abort) after the injection *)
+  | Masked  (** ran to completion with output, exit code and final
+                architectural state identical to the golden run *)
+  | Silent_corruption  (** ran to completion, no trap, but output or exit
+                           code differs from golden — the scary bucket *)
+  | Divergence  (** output and exit identical, but architectural state
+                    differed from golden at a checkpoint or at exit *)
+  | Hang  (** still running when the watchdog budget expired *)
+  | Crash  (** the simulator itself faulted (decode error, internal
+               invariant, [Hb_error]) instead of trapping cleanly *)
+
+let all = [ Detected; Masked; Silent_corruption; Divergence; Hang; Crash ]
+
+let name = function
+  | Detected -> "detected"
+  | Masked -> "masked"
+  | Silent_corruption -> "silent_corruption"
+  | Divergence -> "divergence"
+  | Hang -> "hang"
+  | Crash -> "crash"
+
+let describe = function
+  | Detected -> "checker trapped after the injection"
+  | Masked -> "outcome identical to the golden run"
+  | Silent_corruption -> "wrong output or exit code, no trap"
+  | Divergence -> "same output, architectural state diverged"
+  | Hang -> "watchdog budget expired"
+  | Crash -> "simulator fault instead of a clean trap"

@@ -1,0 +1,45 @@
+(** The one pseudo-random source of the fault-injection subsystem.
+
+    SplitMix64 (Steele, Lea & Flood 2014): tiny state, excellent mixing,
+    and — the property everything here depends on — fully deterministic
+    from an explicit integer seed.  Nothing in the simulator may use
+    [Random] or wall-clock entropy (enforced by [test_hygiene]); every
+    randomized decision threads through a value of this type. *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let next t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Non-negative 62-bit draw (an OCaml [int] on 64-bit systems). *)
+let int t = Int64.to_int (Int64.shift_right_logical (next t) 2)
+
+(** Uniform draw in [0, n).  The modulo bias is < 2^-30 for every [n] the
+    injector uses (addresses, registers, bit positions). *)
+let below t n =
+  if n <= 0 then invalid_arg "Prng.below: bound must be positive";
+  int t mod n
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+(** Uniform in [0, 1): the top 53 bits scaled by 2^-53. *)
+let float t =
+  Int64.to_float (Int64.shift_right_logical (next t) 11) *. 0x1p-53
+
+(** A fresh seed derived from this stream — used to give every campaign
+    run its own independent, individually-reproducible generator. *)
+let derive_seed t = int t

@@ -1,0 +1,25 @@
+(** Seeded, fully deterministic PRNG (SplitMix64) — the one pseudo-random
+    source of the fault-injection subsystem.  No module on the simulation
+    path may use [Random] or wall-clock entropy (see [test_hygiene]). *)
+
+type t
+
+val create : seed:int -> t
+
+val next : t -> int64
+(** Next 64-bit draw. *)
+
+val int : t -> int
+(** Non-negative 62-bit draw. *)
+
+val below : t -> int -> int
+(** Uniform in [0, n); raises [Invalid_argument] if [n <= 0]. *)
+
+val bool : t -> bool
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val derive_seed : t -> int
+(** A fresh seed for an independent, individually-reproducible child
+    generator. *)

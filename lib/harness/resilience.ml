@@ -1,0 +1,31 @@
+(** Fault-campaign harness: glue between the workload registry and the
+    [hb_fault] campaign runner.
+
+    [hb_fault] deliberately takes an opaque machine factory; this module
+    supplies one — compile a workload (or arbitrary MiniC source) once,
+    then stamp out identical machines per run. *)
+
+module Build = Hb_runtime.Build
+module Codegen = Hb_minic.Codegen
+module Machine = Hb_cpu.Machine
+module Campaign = Hb_fault.Campaign
+
+(** Compile [source] once; the returned thunk stamps out fresh,
+    identically-configured machines — the [mk] a campaign needs. *)
+let machine_maker ?scheme ?temporal ?tripwire ?max_instrs
+    ?(mode = Codegen.Hardbound) source =
+  let image, globals = Build.compile ~mode source in
+  let config =
+    Build.config_for ?scheme ?temporal ?tripwire ?max_instrs mode
+  in
+  fun () -> Machine.create ~config ~globals image
+
+(** Run a campaign over a named Olden workload.  [config.label] is
+    overridden with the workload name. *)
+let campaign ?scheme ?temporal ?tripwire ?max_instrs ?mode
+    (config : Campaign.config) name =
+  let w = Hb_workloads.Workloads.find name in
+  let mk =
+    machine_maker ?scheme ?temporal ?tripwire ?max_instrs ?mode w.source
+  in
+  Campaign.run ~mk { config with Campaign.label = name }

@@ -36,9 +36,9 @@ let measure ?(scheme = Encoding.Extern4) ?(checked_deref_uop = false)
   (match status with
    | Machine.Exited 0 -> ()
    | st ->
-     failwith
-       (Printf.sprintf "%s [%s/%s]: %s" w.name (Codegen.mode_name mode)
-          (Encoding.scheme_name scheme) (Machine.status_name st)));
+     Hb_error.fail ~component:"harness" "%s [%s/%s]: %s" w.name
+       (Codegen.mode_name mode) (Encoding.scheme_name scheme)
+       (Machine.status_name st));
   let s = m.Machine.stats in
   let pages r = Physmem.pages_touched_in m.Machine.mem r in
   {

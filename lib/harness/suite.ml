@@ -43,7 +43,8 @@ let collect ?(software = true) ?(progress = fun _ -> ()) () :
       List.iter
         (fun (r' : Run.record) ->
           if r'.Run.output <> baseline.Run.output then
-            failwith (w.name ^ ": output diverged under instrumentation"))
+            Hb_error.fail ~component:"harness"
+              "%s: output diverged under instrumentation" w.name)
         ([ r.hb_extern4; r.hb_intern4; r.hb_intern11 ]
         @ (match r.softfat with Some x -> [ x ] | None -> [])
         @ (match r.objtable with Some x -> [ x ] | None -> []));

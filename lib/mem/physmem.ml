@@ -31,7 +31,7 @@ let page_of t addr =
 
 let check_addr addr =
   if addr < Layout.null_guard_limit || addr > 0xFFFFFFFF then
-    failwith (Printf.sprintf "physmem: invalid address 0x%x" addr)
+    Hb_error.fail ~component:"physmem" ~addr "invalid physical address"
 
 let read_u8 t addr =
   check_addr addr;
@@ -86,6 +86,36 @@ let write_bits t addr shift mask v =
 let pages_touched t = Hashtbl.length t.pages
 
 let pages_touched_in t region = !(List.assq region t.touched_by_region)
+
+(* ---- Whole-memory access (snapshots, fault injection) ---------------- *)
+
+let sorted_page_indices t =
+  Hashtbl.fold (fun idx _ acc -> idx :: acc) t.pages []
+  |> List.sort compare
+
+(** Iterate live pages in increasing page-index order (deterministic). *)
+let fold_pages t ~init ~f =
+  List.fold_left
+    (fun acc idx -> f acc idx (Hashtbl.find t.pages idx))
+    init (sorted_page_indices t)
+
+let export_pages t =
+  Array.of_list
+    (List.map (fun idx -> (idx, Bytes.copy (Hashtbl.find t.pages idx)))
+       (sorted_page_indices t))
+
+(** Replace the entire memory contents with a previously exported page
+    set.  The per-region touched-page counters are recomputed from the
+    imported set, so pages that were materialized after the export (e.g.
+    zero pages touched by later probing) stop being counted. *)
+let import_pages t pages =
+  Hashtbl.reset t.pages;
+  List.iter (fun (_, r) -> r := 0) t.touched_by_region;
+  Array.iter
+    (fun (idx, bytes) ->
+      Hashtbl.replace t.pages idx (Bytes.copy bytes);
+      incr (List.assq (Layout.region_of (idx * Layout.page_size)) t.touched_by_region))
+    pages
 
 (** Bulk helpers used by the program loader. *)
 let write_bytes t addr (s : string) =

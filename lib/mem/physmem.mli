@@ -25,6 +25,19 @@ val pages_touched : t -> int
 
 val pages_touched_in : t -> Layout.region -> int
 
+val fold_pages : t -> init:'a -> f:('a -> int -> Bytes.t -> 'a) -> 'a
+(** Iterate live pages as [(page_index, bytes)] in increasing page-index
+    order (deterministic).  The callback must not mutate the pages. *)
+
+val export_pages : t -> (int * Bytes.t) array
+(** Deep-copied live pages, sorted by page index — the raw material of a
+    machine snapshot. *)
+
+val import_pages : t -> (int * Bytes.t) array -> unit
+(** Replace the entire memory contents with a previously exported set;
+    recomputes the per-region touched-page counters from the imported
+    pages. *)
+
 val write_bytes : t -> int -> string -> unit
 (** Bulk store (program loader). *)
 

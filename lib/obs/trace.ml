@@ -22,6 +22,13 @@ type kind =
   | Metadata_uop of { addr : int; is_store : bool }
   | Cache_miss of { cls : string; level : string; addr : int; penalty : int }
   | Violation of { what : string; addr : int; base : int; bound : int }
+  | Fault_injected of {
+      site : string;    (* "mem" | "tag" | "shadow" | "reg" | "regbounds" *)
+      target : int;     (* byte address, or register number for reg sites *)
+      bit : int;
+      before : int;
+      after : int;
+    }
 
 type event = { seq : int; cycle : int; pc : int; fn : string; kind : kind }
 
@@ -77,6 +84,7 @@ let kind_name = function
   | Metadata_uop _ -> "metadata_uop"
   | Cache_miss _ -> "cache_miss"
   | Violation _ -> "violation"
+  | Fault_injected _ -> "fault_injected"
 
 let pretty e =
   let details =
@@ -94,6 +102,9 @@ let pretty e =
       Printf.sprintf "%s %s @0x%x (+%d cyc)" level cls addr penalty
     | Violation { what; addr; base; bound } ->
       Printf.sprintf "%s @0x%x meta [0x%x, 0x%x)" what addr base bound
+    | Fault_injected { site; target; bit; before; after } ->
+      Printf.sprintf "%s @0x%x bit %d: 0x%x -> 0x%x" site target bit before
+        after
   in
   Printf.sprintf "%10d cyc=%-10d %-14s %-12s %s" e.seq e.cycle
     (kind_name e.kind) e.fn details
@@ -126,6 +137,14 @@ let kind_fields = function
       ("addr", Json.Int addr);
       ("base", Json.Int base);
       ("bound", Json.Int bound);
+    ]
+  | Fault_injected { site; target; bit; before; after } ->
+    [
+      ("site", Json.String site);
+      ("target", Json.Int target);
+      ("bit", Json.Int bit);
+      ("before", Json.Int before);
+      ("after", Json.Int after);
     ]
 
 let to_json e =

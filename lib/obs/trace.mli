@@ -18,6 +18,13 @@ type kind =
   | Metadata_uop of { addr : int; is_store : bool }
   | Cache_miss of { cls : string; level : string; addr : int; penalty : int }
   | Violation of { what : string; addr : int; base : int; bound : int }
+  | Fault_injected of {
+      site : string;    (** "mem" | "tag" | "shadow" | "reg" | "regbounds" *)
+      target : int;     (** byte address, or register number for reg sites *)
+      bit : int;
+      before : int;
+      after : int;
+    }  (** one injected corruption, emitted by the [hb_fault] injector *)
 
 type event = { seq : int; cycle : int; pc : int; fn : string; kind : kind }
 

@@ -33,6 +33,8 @@ let all : t list =
 let find name =
   match List.find_opt (fun w -> w.name = name) all with
   | Some w -> w
-  | None -> invalid_arg ("unknown workload: " ^ name)
+  | None ->
+    Hb_error.fail ~component:"workloads" "unknown workload %S (have: %s)" name
+      (String.concat ", " (List.map (fun w -> w.name) all))
 
 let names = List.map (fun w -> w.name) all

@@ -1,0 +1,327 @@
+(* Fault-injection subsystem tests: the seeded PRNG, machine snapshots,
+   the watchdog, the injector, and full campaign determinism. *)
+
+module Build = Hb_runtime.Build
+module Codegen = Hb_minic.Codegen
+module Machine = Hb_cpu.Machine
+module Stats = Hb_cpu.Stats
+module Snapshot = Hb_cpu.Snapshot
+module Json = Hb_obs.Json
+module Trace = Hb_obs.Trace
+module Prng = Hb_fault.Prng
+module Injector = Hb_fault.Injector
+module Watchdog = Hb_fault.Watchdog
+module Outcome = Hb_fault.Outcome
+module Campaign = Hb_fault.Campaign
+
+(* A workload small enough for sub-second campaigns yet doing real
+   pointer work: builds a linked list on the heap, sums it, prints. *)
+let little_src =
+  {|
+int main() {
+  int *cells[40];
+  int i;
+  int sum;
+  for (i = 0; i < 40; i++) {
+    cells[i] = (int*)malloc(8);
+    cells[i][0] = i * 3;
+    cells[i][1] = i;
+  }
+  sum = 0;
+  for (i = 0; i < 40; i++) {
+    sum = sum + cells[i][0];
+  }
+  print_int(sum);
+  return 0;
+}
+|}
+
+let maker ?max_instrs () =
+  let image, globals = Build.compile ~mode:Codegen.Hardbound little_src in
+  let config = Build.config_for ?max_instrs Codegen.Hardbound in
+  fun () -> Machine.create ~config ~globals image
+
+(* ---- PRNG -------------------------------------------------------------- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same seed, same stream" (Prng.next a) (Prng.next b)
+  done;
+  let c = Prng.create ~seed:43 in
+  let distinct = ref false in
+  for _ = 1 to 10 do
+    if Prng.next a <> Prng.next c then distinct := true
+  done;
+  Alcotest.(check bool) "different seed diverges" true !distinct
+
+let test_prng_ranges () =
+  let r = Prng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let n = Prng.below r 17 in
+    if n < 0 || n >= 17 then Alcotest.failf "below out of range: %d" n;
+    let f = Prng.float r in
+    if not (f >= 0. && f < 1.) then Alcotest.failf "float out of range: %g" f
+  done;
+  Alcotest.check_raises "below 0 rejected"
+    (Invalid_argument "Prng.below: bound must be positive") (fun () ->
+      ignore (Prng.below r 0))
+
+(* ---- snapshot ---------------------------------------------------------- *)
+
+(* snapshot m; step; restore; step must replay identically *)
+let test_snapshot_roundtrip () =
+  let mk = maker () in
+  let m = mk () in
+  for _ = 1 to 500 do
+    Machine.step m
+  done;
+  let snap = Snapshot.capture m in
+  let digests_of m =
+    List.init 200 (fun _ ->
+        Machine.step m;
+        Snapshot.digest m)
+  in
+  let first = digests_of m in
+  Snapshot.restore m snap;
+  Alcotest.(check bool) "restore returns to captured state" true
+    (Snapshot.equal snap (Snapshot.capture m));
+  let second = digests_of m in
+  Alcotest.(check bool) "replay after restore is identical" true
+    (first = second);
+  (* a fresh machine fast-forwarded by restore also replays identically *)
+  let m2 = mk () in
+  Snapshot.restore m2 snap;
+  let third = digests_of m2 in
+  Alcotest.(check bool) "replay on a fresh machine is identical" true
+    (first = third)
+
+let test_snapshot_diff () =
+  let m = maker () () in
+  for _ = 1 to 100 do
+    Machine.step m
+  done;
+  let a = Snapshot.capture m in
+  m.Machine.regs.(5) <- m.Machine.regs.(5) lxor 1;
+  let b = Snapshot.capture m in
+  Alcotest.(check bool) "corruption breaks equality" false (Snapshot.equal a b);
+  Alcotest.(check bool) "diff names the register" true
+    (List.exists
+       (fun line ->
+         (* reg 5 value line *)
+         String.length line >= 5 && String.sub line 0 5 = "reg 5")
+       (Snapshot.diff a b))
+
+(* ---- watchdog & fuel --------------------------------------------------- *)
+
+let spin_forever_src = {|
+int main() {
+  int x;
+  x = 1;
+  while (x) { x = 2; }
+  return 0;
+}
+|}
+
+let test_watchdog_hang () =
+  let image, globals = Build.compile ~mode:Codegen.Hardbound spin_forever_src in
+  let config = Build.config_for Codegen.Hardbound in
+  let m = Machine.create ~config ~globals image in
+  match Watchdog.run ~limit:10_000 m with
+  | Watchdog.Hang { instrs } ->
+    Alcotest.(check int) "watchdog fires exactly at its budget" 10_000 instrs
+  | Watchdog.Completed st ->
+    Alcotest.failf "expected a hang, got %s" (Machine.status_name st)
+
+let test_watchdog_completion_matches_run () =
+  let mk = maker () in
+  let m1 = mk () and m2 = mk () in
+  let st1 = Machine.run m1 in
+  (match Watchdog.run ~limit:max_int m2 with
+  | Watchdog.Completed st2 ->
+    Alcotest.(check string) "watchdogged run agrees with Machine.run"
+      (Machine.status_name st1) (Machine.status_name st2)
+  | Watchdog.Hang _ -> Alcotest.fail "unexpected hang");
+  Alcotest.(check string) "same output" (Machine.output m1)
+    (Machine.output m2)
+
+let test_out_of_fuel () =
+  let m = maker ~max_instrs:100 () () in
+  match Machine.run m with
+  | Machine.Out_of_fuel ->
+    Alcotest.(check int) "stopped at the fuel limit" 100
+      m.Machine.stats.Stats.instructions
+  | st -> Alcotest.failf "expected out-of-fuel, got %s" (Machine.status_name st)
+
+(* ---- injector ---------------------------------------------------------- *)
+
+let test_injector_sites () =
+  let mk = maker () in
+  List.iter
+    (fun site ->
+      let m = mk () in
+      Machine.attach_tracer m (Trace.create ~capacity:8 ());
+      for _ = 1 to 2_000 do
+        Machine.step m
+      done;
+      let rng = Prng.create ~seed:11 in
+      let i = Injector.inject rng m site in
+      Alcotest.(check bool)
+        (Injector.site_name site ^ " flips state")
+        true
+        (i.Injector.before <> i.Injector.after);
+      (* exactly one bit flipped *)
+      Alcotest.(check int)
+        (Injector.site_name site ^ " flips one bit")
+        (i.Injector.before lxor i.Injector.after)
+        (1 lsl (i.Injector.bit mod 32));
+      let tracer = Option.get m.Machine.tracer in
+      let seen =
+        List.exists
+          (fun (e : Trace.event) ->
+            match e.Trace.kind with
+            | Trace.Fault_injected { site = s; _ } ->
+              s = Injector.site_name site
+            | _ -> false)
+          (Trace.recent tracer)
+      in
+      Alcotest.(check bool)
+        (Injector.site_name site ^ " emits a trace event")
+        true seen)
+    Injector.all_sites
+
+let test_spec_parsing () =
+  (match Injector.parse_spec "mem,tag:0.5:9" with
+  | Ok s ->
+    Alcotest.(check int) "two sites" 2 (List.length s.Injector.sites);
+    Alcotest.(check (float 0.)) "rate" 0.5 s.Injector.rate;
+    Alcotest.(check int) "seed" 9 s.Injector.seed
+  | Error e -> Alcotest.fail e);
+  (match Injector.parse_spec "all:0:3" with
+  | Ok s ->
+    Alcotest.(check int) "all sites" 5 (List.length s.Injector.sites)
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun bad ->
+      match Injector.parse_spec bad with
+      | Ok _ -> Alcotest.failf "accepted %S" bad
+      | Error _ -> ())
+    [ "bogus:0:1"; "mem:2.0:1"; "mem:0:x"; "mem"; ":0:1" ]
+
+(* ---- campaign ---------------------------------------------------------- *)
+
+let campaign_cfg =
+  { Campaign.default with Campaign.label = "little"; runs = 40; seed = 5 }
+
+let test_campaign_deterministic () =
+  let mk = maker () in
+  let r1 = Campaign.run ~mk campaign_cfg in
+  let r2 = Campaign.run ~mk campaign_cfg in
+  Alcotest.(check string) "same seed, byte-identical JSON"
+    (Json.to_string_pretty (Campaign.to_json r1))
+    (Json.to_string_pretty (Campaign.to_json r2));
+  let r3 =
+    Campaign.run ~mk { campaign_cfg with Campaign.seed = 6 }
+  in
+  Alcotest.(check bool) "different seed, different plan" false
+    (Json.to_string (Campaign.to_json r1) = Json.to_string (Campaign.to_json r3))
+
+let test_campaign_partition () =
+  let mk = maker () in
+  let r = Campaign.run ~mk campaign_cfg in
+  (* every run lands in exactly one taxonomy bucket *)
+  Alcotest.(check int) "one record per run" campaign_cfg.Campaign.runs
+    (List.length r.Campaign.records);
+  let total =
+    List.fold_left
+      (fun acc o -> acc + Campaign.count r None o)
+      0 Outcome.all
+  in
+  Alcotest.(check int) "outcome counts partition the runs"
+    campaign_cfg.Campaign.runs total;
+  List.iter
+    (fun (rec_ : Campaign.record) ->
+      (match rec_.Campaign.outcome with
+      | Outcome.Detected ->
+        if rec_.Campaign.latency = None then
+          Alcotest.fail "detected run must report a latency"
+      | _ ->
+        if rec_.Campaign.latency <> None then
+          Alcotest.fail "only detected runs report a latency");
+      if
+        rec_.Campaign.at_instr < 1
+        || rec_.Campaign.at_instr >= r.Campaign.golden_instrs
+      then Alcotest.fail "injection point outside the golden run")
+    r.Campaign.records
+
+let test_campaign_detects_bounds_faults () =
+  (* with enough bounds-metadata corruptions, some must trap *)
+  let mk = maker () in
+  let cfg =
+    { campaign_cfg with
+      Campaign.runs = 60;
+      sites = [ Injector.Shadow_entry; Injector.Reg_bounds ] }
+  in
+  let r = Campaign.run ~mk cfg in
+  Alcotest.(check bool) "bounds-metadata faults are detected" true
+    (Campaign.count r None Outcome.Detected > 0)
+
+let test_campaign_slow_path_matches_fast () =
+  (* temporal mode disables snapshot fast-forward; the classification must
+     still be a partition and the report deterministic *)
+  let image, globals = Build.compile ~mode:Codegen.Hardbound little_src in
+  let config = Build.config_for ~temporal:true Codegen.Hardbound in
+  let mk () = Machine.create ~config ~globals image in
+  let cfg = { campaign_cfg with Campaign.runs = 10 } in
+  let r1 = Campaign.run ~mk cfg in
+  let r2 = Campaign.run ~mk cfg in
+  Alcotest.(check string) "temporal campaign is deterministic too"
+    (Json.to_string_pretty (Campaign.to_json r1))
+    (Json.to_string_pretty (Campaign.to_json r2))
+
+let test_stochastic_rate_zero_is_masked () =
+  let mk = maker () in
+  let spec = { Injector.sites = Injector.all_sites; rate = 0.; seed = 3 } in
+  let s = Campaign.stochastic_run ~mk spec in
+  Alcotest.(check int) "no injections at rate 0" 0
+    (List.length s.Campaign.injections);
+  Alcotest.(check string) "uninjected run is masked" "masked"
+    (Outcome.name s.Campaign.s_outcome)
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "ranges" `Quick test_prng_ranges;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_snapshot_roundtrip;
+          Alcotest.test_case "diff" `Quick test_snapshot_diff;
+        ] );
+      ( "watchdog",
+        [
+          Alcotest.test_case "hang" `Quick test_watchdog_hang;
+          Alcotest.test_case "completion" `Quick
+            test_watchdog_completion_matches_run;
+          Alcotest.test_case "out-of-fuel" `Quick test_out_of_fuel;
+        ] );
+      ( "injector",
+        [
+          Alcotest.test_case "sites" `Quick test_injector_sites;
+          Alcotest.test_case "spec" `Quick test_spec_parsing;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "deterministic" `Quick test_campaign_deterministic;
+          Alcotest.test_case "partition" `Quick test_campaign_partition;
+          Alcotest.test_case "detects-bounds-faults" `Quick
+            test_campaign_detects_bounds_faults;
+          Alcotest.test_case "temporal-slow-path" `Quick
+            test_campaign_slow_path_matches_fast;
+          Alcotest.test_case "stochastic-rate-zero" `Quick
+            test_stochastic_rate_zero_is_masked;
+        ] );
+    ]

@@ -1,0 +1,106 @@
+(* Determinism hygiene gate.
+
+   Everything under lib/ is on (or reachable from) the simulation path,
+   and the fault-injection campaigns promise byte-identical reports from
+   a given seed.  That promise dies the moment any module reaches for
+   ambient entropy, so this test greps every lib/ source for the stdlib's
+   entropy points.  All randomness must flow through the one seeded PRNG,
+   [Hb_fault.Prng]. *)
+
+let lib_root = "../lib"
+
+(* substrings forbidden in lib/ sources (checked outside comments) *)
+let forbidden =
+  [
+    "Random.";         (* incl. Random.self_init — unseeded global state *)
+    "Unix.time";
+    "Unix.gettimeofday";
+    "Sys.time";
+  ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Strip OCaml comments so prose mentioning [Random] doesn't trip the
+   gate; string literals are kept (a "Random." in user-facing text would
+   be strange enough to flag anyway). *)
+let strip_comments src =
+  let b = Buffer.create (String.length src) in
+  let n = String.length src in
+  let rec go i depth =
+    if i >= n then ()
+    else if i + 1 < n && src.[i] = '(' && src.[i + 1] = '*' then
+      go (i + 2) (depth + 1)
+    else if i + 1 < n && src.[i] = '*' && src.[i + 1] = ')' && depth > 0 then
+      go (i + 2) (depth - 1)
+    else begin
+      if depth = 0 then Buffer.add_char b src.[i];
+      go (i + 1) depth
+    end
+  in
+  go 0 0;
+  Buffer.contents b
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec at i = i + nl <= hl && (String.sub hay i nl = needle || at (i + 1)) in
+  at 0
+
+let rec source_files dir =
+  Array.to_list (Sys.readdir dir)
+  |> List.concat_map (fun entry ->
+         let path = Filename.concat dir entry in
+         if Sys.is_directory path then source_files path
+         else if
+           Filename.check_suffix entry ".ml"
+           || Filename.check_suffix entry ".mli"
+         then [ path ]
+         else [])
+
+let test_no_ambient_entropy () =
+  let files = source_files lib_root in
+  if List.length files < 20 then
+    Alcotest.failf "suspiciously few lib sources found (%d) — wrong cwd?"
+      (List.length files);
+  let offenders =
+    List.concat_map
+      (fun path ->
+        let code = strip_comments (read_file path) in
+        List.filter_map
+          (fun needle ->
+            if contains ~needle code then Some (path ^ " uses " ^ needle)
+            else None)
+          forbidden)
+      files
+  in
+  match offenders with
+  | [] -> ()
+  | off ->
+    Alcotest.failf
+      "ambient entropy on the simulation path (route it through \
+       Hb_fault.Prng):\n%s"
+      (String.concat "\n" off)
+
+(* The gate must actually be able to see the code it polices. *)
+let test_scanner_sees_the_prng () =
+  let files = source_files lib_root in
+  Alcotest.(check bool) "lib/fault/prng.ml is in view" true
+    (List.exists
+       (fun p -> Filename.basename p = "prng.ml")
+       files)
+
+let () =
+  Alcotest.run "hygiene"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "no ambient entropy in lib/" `Quick
+            test_no_ambient_entropy;
+          Alcotest.test_case "scanner coverage" `Quick
+            test_scanner_sees_the_prng;
+        ] );
+    ]

@@ -114,10 +114,12 @@ let test_bulk_helpers () =
 let test_invalid_addresses () =
   let m = Physmem.create () in
   (match Physmem.read_u8 m 0x10 with
-   | exception Failure _ -> ()
+   | exception Hb_error.Hb_error ({ Hb_error.addr = Some 0x10; _ }, _) -> ()
+   | exception Hb_error.Hb_error _ ->
+     Alcotest.fail "null page read should carry the faulting address"
    | _ -> Alcotest.fail "null page read should fail");
   match Physmem.write_u8 m 0x800000000 1 with
-  | exception Failure _ -> ()
+  | exception Hb_error.Hb_error _ -> ()
   | _ -> Alcotest.fail "out-of-space write should fail"
 
 (* property: u32 write/read identity at arbitrary aligned data addresses *)
