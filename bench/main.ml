@@ -27,6 +27,7 @@ let experiments =
     ("redzone", "Section 2.1: red-zone tripwire baseline");
     ("temporal", "Section 6.2: temporal-tracking extension");
     ("fault", "Fault-injection campaigns: checker detection coverage");
+    ("attr", "Per-PC attribution: top hotspots + differential overhead");
     ("bechamel", "Micro-benchmarks of the simulator itself");
   ]
 
@@ -111,6 +112,58 @@ let rec run_experiment name =
         [ "power"; "perimeter" ]
     in
     note_json name (Json.Obj reports)
+  | "attr" ->
+    banner "Per-PC attribution: hotspots and differential overhead";
+    let module Machine = Hb_cpu.Machine in
+    let module Attr = Hb_obs.Attr in
+    let module Diff = Hb_obs.Diff in
+    (* One attributed run; the attribution must reconcile with the global
+       counters or the experiment itself is untrustworthy. *)
+    let run_attr ~mode ~scheme (wl : Hb_workloads.Workloads.t) =
+      let image, globals = Hb_runtime.Build.compile ~mode wl.source in
+      let config = Hb_runtime.Build.config_for ~scheme mode in
+      let m = Machine.create ~config ~globals image in
+      Machine.enable_attr ~line_base:Hb_runtime.Build.runtime_lines m;
+      (match Machine.run m with
+       | Machine.Exited 0 -> ()
+       | st ->
+         Hb_error.fail ~component:"bench" "%s did not exit cleanly: %s"
+           wl.name (Machine.status_name st));
+      let a = Option.get (Machine.attr m) in
+      (match Attr.check a ~expect:(Hb_cpu.Stats.fields m.Machine.stats) with
+       | Ok () -> ()
+       | Error msg -> Hb_error.fail ~component:"bench" "%s: %s" wl.name msg);
+      a
+    in
+    let label wl cfg = Printf.sprintf "%s/%s" wl cfg in
+    let dump lbl a =
+      Diff.of_json (Attr.to_json ~meta:[ ("label", Json.String lbl) ] a)
+    in
+    let reports =
+      List.map
+        (fun (wl : Hb_workloads.Workloads.t) ->
+          Printf.eprintf "[attr] attributing %s...\n%!" wl.name;
+          let base =
+            run_attr ~mode:Codegen.Nochecks ~scheme:Encoding.Uncompressed wl
+          in
+          let hb =
+            run_attr ~mode:Codegen.Hardbound ~scheme:Encoding.Intern4 wl
+          in
+          let report =
+            Diff.diff
+              (dump (label wl.name "baseline") base)
+              (dump (label wl.name "hb-intern-4") hb)
+          in
+          Printf.printf "---- %s: top sites under hardbound/intern-4 ----\n"
+            wl.name;
+          print_string (Attr.to_table ~top:10 hb);
+          print_newline ();
+          print_string (Diff.to_table ~top:10 report);
+          print_newline ();
+          (wl.name, Diff.to_json report))
+        Hb_workloads.Workloads.all
+    in
+    note_json name (Json.Obj reports)
   | "bechamel" -> bechamel ()
   | other ->
     Printf.eprintf "unknown experiment %s; use --list\n" other;
@@ -152,11 +205,13 @@ and bechamel () =
   in
   (* whole-machine throughput on treeadd, baseline vs hardbound *)
   let treeadd = Hb_workloads.Workloads.find "treeadd" in
-  let mk_machine mode =
+  let mk_machine ?(attr = false) mode =
     let image, globals = Hb_runtime.Build.compile ~mode treeadd.source in
     fun () ->
       let config = Hb_runtime.Build.config_for mode in
       let m = Hb_cpu.Machine.create ~config ~globals image in
+      if attr then
+        Hb_cpu.Machine.enable_attr ~line_base:Hb_runtime.Build.runtime_lines m;
       (* run a slice: enough to measure steady-state step cost *)
       (try
          for _ = 1 to 200_000 do
@@ -171,6 +226,10 @@ and bechamel () =
         (Staged.stage (mk_machine Codegen.Nochecks));
       Test.make ~name:"machine 200k steps (hardbound)"
         (Staged.stage (mk_machine Codegen.Hardbound));
+      (* the attribution-off guarantee's counterpart: how much turning it
+         ON costs relative to the row above *)
+      Test.make ~name:"machine 200k steps (hardbound+attr)"
+        (Staged.stage (mk_machine ~attr:true Codegen.Hardbound));
     ]
   in
   let compile_test =
@@ -225,21 +284,62 @@ let write_json path =
   close_out oc;
   Printf.eprintf "[bench] wrote %s\n%!" path
 
+let read_json path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  Json.of_string s
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  (* peel off a trailing/leading `--json FILE` anywhere in the args *)
-  let rec split_json acc = function
-    | "--json" :: path :: rest -> (Some path, List.rev_append acc rest)
-    | x :: rest -> split_json (x :: acc) rest
-    | [] -> (None, List.rev acc)
+  (* peel off a `KEY FILE` option pair anywhere in the args *)
+  let split_opt key args =
+    let rec go acc = function
+      | k :: path :: rest when k = key -> (Some path, List.rev_append acc rest)
+      | x :: rest -> go (x :: acc) rest
+      | [] -> (None, List.rev acc)
+    in
+    go [] args
   in
-  let json_path, args = split_json [] args in
+  let json_path, args = split_opt "--json" args in
+  let baseline_write, args = split_opt "--baseline-write" args in
+  let baseline_path, args = split_opt "--baseline" args in
+  let gating = baseline_write <> None || baseline_path <> None in
   (match args with
    | [ "--list" ] ->
      List.iter (fun (k, d) -> Printf.printf "%-12s %s\n" k d) experiments
    | [ "--exp"; name ] -> run_experiment name
+   | [] when gating -> ()
    | [] -> List.iter (fun (k, _) -> run_experiment k) experiments
    | _ ->
-     prerr_endline "usage: main.exe [--list | --exp <name>] [--json FILE]";
+     prerr_endline
+       "usage: main.exe [--list | --exp <name>] [--json FILE] \
+        [--baseline FILE] [--baseline-write FILE]";
      exit 1);
+  (* Perf-trajectory gate: record / compare the committed
+     BENCH_hardbound.json snapshot (cycle drift > 2% fails). *)
+  (match baseline_write with
+   | None -> ()
+   | Some path ->
+     let oc = open_out path in
+     output_string oc
+       (Json.to_string_pretty (Suite.snapshot_json (Lazy.force suite)));
+     output_char oc '\n';
+     close_out oc;
+     Printf.eprintf "[bench] wrote baseline %s\n%!" path);
+  (match baseline_path with
+   | None -> ()
+   | Some path ->
+     (match
+        Suite.check_baseline ~baseline:(read_json path) (Lazy.force suite)
+      with
+      | Ok () -> Printf.printf "[bench] baseline %s: all within 2%%\n" path
+      | Error msgs ->
+        List.iter (fun m -> Printf.eprintf "[bench] DRIFT %s\n" m) msgs;
+        Printf.eprintf
+          "[bench] cycle counts drifted from %s; if intentional, \
+           regenerate it with --baseline-write in the same change\n"
+          path;
+        exit 1));
   match json_path with None -> () | Some path -> write_json path

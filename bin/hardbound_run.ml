@@ -23,6 +23,8 @@ module Json = Hb_obs.Json
 module Trace = Hb_obs.Trace
 module Metrics = Hb_obs.Metrics
 module Profile = Hb_obs.Profile
+module Attr = Hb_obs.Attr
+module Diff = Hb_obs.Diff
 
 let mode_conv =
   let parse s =
@@ -131,6 +133,38 @@ let metrics_json =
            ~doc:"Write a JSON snapshot of every metric (stats, caches, \
                  checker tally, profile) to FILE")
 
+let metrics_prom =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-prom" ] ~docv:"FILE"
+           ~doc:"Write the same metric snapshot in Prometheus/OpenMetrics \
+                 text exposition format to FILE")
+
+let attr_flag =
+  Arg.(value & flag
+       & info [ "attr" ]
+           ~doc:"Print a per-PC cost attribution table (cycles, Figure-5 \
+                 stall decomposition, check/metadata micro-ops per source \
+                 line)")
+
+let attr_json =
+  Arg.(value & opt (some string) None
+       & info [ "attr-json" ] ~docv:"FILE"
+           ~doc:"Write the full per-PC attribution dump to FILE (implies \
+                 attribution; feed two dumps to --diff)")
+
+let attr_top =
+  Arg.(value & opt int 10
+       & info [ "attr-top" ] ~docv:"N"
+           ~doc:"Rows shown in the --attr and --diff tables (N <= 0 shows \
+                 every site)")
+
+let diff_arg =
+  Arg.(value & opt (some (pair ~sep:',' file file)) None
+       & info [ "diff" ] ~docv:"A.json,B.json"
+           ~doc:"Standalone mode: load two --attr-json dumps, print the \
+                 ranked per-source-line overhead delta (B minus A) and the \
+                 Figure-5 decomposition, and exit")
+
 let inject_conv =
   let parse s =
     match Hb_fault.Injector.parse_spec s with
@@ -180,6 +214,14 @@ let read_file path =
   close_in ic;
   s
 
+(* Write [s] to [path], closing the channel even when the write raises
+   (partial files on a full disk still get their descriptor back). *)
+let write_file path s =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s)
+
 (* Attach the requested observability hooks to a freshly-created machine.
    Returns the finalizer that flushes/closes the trace sink. *)
 let setup_obs m ~trace_file ~trace_format ~trace_events ~trace_retires
@@ -203,8 +245,9 @@ let setup_obs m ~trace_file ~trace_format ~trace_events ~trace_retires
   close
 
 (* Everything printed after the run: status, violation report, stats,
-   profile, metrics snapshot. *)
-let report m status ~mode ~scheme ~stats ~stats_format ~profile ~metrics_json =
+   profile, attribution, metrics snapshots. *)
+let report m status ~label ~mode ~scheme ~stats ~stats_format ~profile
+    ~attr_show ~attr_json ~attr_top ~metrics_json ~metrics_prom =
   print_string (Machine.output m);
   Printf.printf "\n[%s] (mode=%s, encoding=%s)\n"
     (Machine.status_name status) (Codegen.mode_name mode)
@@ -220,14 +263,45 @@ let report m status ~mode ~scheme ~stats ~stats_format ~profile ~metrics_json =
     (match Machine.profile m with
      | Some p -> print_string (Profile.to_table p)
      | None -> ());
+  (* Per-PC attribution: table, dump, and the accounting identity — the
+     per-PC sums must equal the global counters or the instrumentation
+     itself is lying. *)
+  let attr_leak =
+    match Machine.attr m with
+    | None -> None
+    | Some a ->
+      if attr_show then print_string (Attr.to_table ~top:attr_top a);
+      (match attr_json with
+       | None -> ()
+       | Some path ->
+         let meta =
+           [
+             ("label", Json.String label);
+             ("mode", Json.String (Codegen.mode_name mode));
+             ("scheme", Json.String (Encoding.scheme_name scheme));
+             ("status", Json.String (Machine.status_name status));
+           ]
+         in
+         write_file path
+           (Json.to_string_pretty (Attr.to_json ~meta a) ^ "\n"));
+      (match Attr.check a ~expect:(Stats.fields m.Machine.stats) with
+       | Ok () -> None
+       | Error msg -> Some msg)
+  in
   (match metrics_json with
    | None -> ()
    | Some path ->
-     let oc = open_out path in
-     output_string oc (Json.to_string_pretty (Metrics.snapshot (Machine.metrics m)));
-     output_char oc '\n';
-     close_out oc);
-  match status with Machine.Exited n -> n | _ -> 42
+     write_file path
+       (Json.to_string_pretty (Metrics.snapshot (Machine.metrics m)) ^ "\n"));
+  (match metrics_prom with
+   | None -> ()
+   | Some path -> write_file path (Metrics.to_prometheus (Machine.metrics m)));
+  let code = match status with Machine.Exited n -> n | _ -> 42 in
+  match attr_leak with
+  | None -> code
+  | Some msg ->
+    Printf.eprintf "error: %s\n" msg;
+    if code = 0 then 3 else code
 
 (* Fault-injection entry points: campaign mode (N single-fault runs
    classified against a golden reference) and stochastic single-run mode.
@@ -257,11 +331,8 @@ let run_fault ~mk_plain ~label ~inject ~campaign ~campaign_json
             ~capacity:64 ()));
     m
   in
-  let finish code =
-    (match !sink with Some s -> s.Trace.close () | None -> ());
-    code
-  in
-  if campaign > 0 then begin
+  let body () =
+    if campaign > 0 then begin
     let spec =
       match inject with
       | Some s -> s
@@ -287,20 +358,15 @@ let run_fault ~mk_plain ~label ~inject ~campaign ~campaign_json
     (match campaign_json with
      | None -> ()
      | Some path ->
-       let oc = open_out path in
-       output_string oc (Json.to_string_pretty (Campaign.to_json report));
-       output_char oc '\n';
-       close_out oc);
+       write_file path
+         (Json.to_string_pretty (Campaign.to_json report) ^ "\n"));
     (match metrics_json with
      | None -> ()
      | Some path ->
        let reg = Metrics.create () in
        Campaign.export_metrics report reg;
-       let oc = open_out path in
-       output_string oc (Json.to_string_pretty (Metrics.snapshot reg));
-       output_char oc '\n';
-       close_out oc);
-    finish 0
+       write_file path (Json.to_string_pretty (Metrics.snapshot reg) ^ "\n"));
+    0
   end
   else begin
     let spec = Option.get inject in
@@ -314,13 +380,29 @@ let run_fault ~mk_plain ~label ~inject ~campaign ~campaign_json
       s.Campaign.s_instrs
       (Hb_fault.Outcome.name s.Campaign.s_outcome)
       s.Campaign.s_status;
-    finish 0
+    0
   end
+  in
+  (* Close the trace sink (Chrome traces need their closing bracket) even
+     when a run aborts through [Hb_error]. *)
+  Fun.protect
+    ~finally:(fun () ->
+      match !sink with Some s -> s.Trace.close () | None -> ())
+    body
 
 let run file workload mode scheme temporal stats stats_format asm emit_asm
     fuel trace_instrs trace_file trace_format trace_events trace_retires
-    profile metrics_json inject campaign campaign_json campaign_checkpoints =
+    profile metrics_json metrics_prom attr_flag attr_json attr_top diff_pair
+    inject campaign campaign_json campaign_checkpoints =
   try
+    match diff_pair with
+    | Some (a_path, b_path) ->
+      (* Standalone differential report: no program runs. *)
+      let r = Diff.diff (Diff.load a_path) (Diff.load b_path) in
+      print_string (Diff.to_table ~top:attr_top r);
+      0
+    | None ->
+    let want_attr = attr_flag || attr_json <> None in
     let source, label, asm =
       match (file, workload) with
       | Some _, Some _ ->
@@ -345,18 +427,20 @@ let run file workload mode scheme temporal stats stats_format asm emit_asm
       0
     end
     else begin
-      let image, globals, config =
+      let image, globals, config, line_base =
         if asm then
           ( Hb_isa.Program.link (Hb_isa.Parser.parse_program source),
             "",
             { Machine.scheme; mode = Codegen.machine_mode mode;
               checked_deref_uop = false; temporal; tripwire = false;
-              max_instrs = fuel } )
+              max_instrs = fuel },
+            0 )
         else begin
           let image, globals = Hb_runtime.Build.compile ~mode source in
           ( image, globals,
             Hb_runtime.Build.config_for ~scheme ~temporal ~max_instrs:fuel
-              mode )
+              mode,
+            Hb_runtime.Build.runtime_lines )
         end
       in
       Hardbound.Checker.reset_tally ();
@@ -371,16 +455,22 @@ let run file workload mode scheme temporal stats stats_format asm emit_asm
         setup_obs m ~trace_file ~trace_format ~trace_events ~trace_retires
           ~profile
       in
-      let status =
-        if trace_instrs > 0 then
-          match Machine.run_traced m ~n:trace_instrs ~out:print_endline with
-          | Some st -> st
-          | None -> Machine.run m
-        else Machine.run m
-      in
-      close_trace ();
-      report m status ~mode ~scheme ~stats ~stats_format ~profile
-        ~metrics_json
+      if want_attr then Machine.enable_attr ~line_base m;
+      (* The trace sink must be closed (Chrome traces need their closing
+         bracket) even when the run dies with Hb_error / Sys_error. *)
+      Fun.protect ~finally:close_trace (fun () ->
+          let status =
+            if trace_instrs > 0 then
+              match
+                Machine.run_traced m ~n:trace_instrs ~out:print_endline
+              with
+              | Some st -> st
+              | None -> Machine.run m
+            else Machine.run m
+          in
+          report m status ~label ~mode ~scheme ~stats ~stats_format ~profile
+            ~attr_show:attr_flag ~attr_json ~attr_top ~metrics_json
+            ~metrics_prom)
       end
     end
   with
@@ -395,6 +485,10 @@ let run file workload mode scheme temporal stats stats_format asm emit_asm
        preconditions, ... — rendered with its pc/instr/addr context *)
     Printf.eprintf "error: %s\n" (Hb_error.to_string (ctx, msg));
     1
+  | Json.Parse_error msg ->
+    (* --diff fed something that is not an attribution dump *)
+    Printf.eprintf "error: %s\n" msg;
+    1
   | Sys_error msg ->
     (* unreadable input, unwritable --trace / --metrics-json path, ... *)
     Printf.eprintf "error: %s\n" msg;
@@ -407,7 +501,8 @@ let cmd =
     Term.(const run $ file $ workload $ mode $ scheme $ temporal $ stats
           $ stats_format $ asm $ emit_asm $ fuel $ trace_instrs $ trace_file
           $ trace_format $ trace_events $ trace_retires $ profile
-          $ metrics_json $ inject $ campaign $ campaign_json
+          $ metrics_json $ metrics_prom $ attr_flag $ attr_json $ attr_top
+          $ diff_arg $ inject $ campaign $ campaign_json
           $ campaign_checkpoints)
 
 let () = exit (Cmd.eval' cmd)

@@ -19,6 +19,7 @@ module Checker = Hardbound.Checker
 module Propagate = Hardbound.Propagate
 module Trace = Hb_obs.Trace
 module Profile = Hb_obs.Profile
+module Attr = Hb_obs.Attr
 
 type config = {
   scheme : Encoding.scheme;
@@ -92,10 +93,11 @@ type t = {
   mutable pc : int;
   mutable brk : int;
   mutable halted : status option;
-  (* Observability hooks: both default to off and cost a single [None] /
+  (* Observability hooks: all default to off and cost a single [None] /
      [Off] check on their hot paths until attached. *)
   mutable tracer : Trace.t option;
   mutable profile : prof option;
+  mutable attr : Attr.t option;
 }
 
 (** Per-function profile plus the pc → function-id map driving it. *)
@@ -140,6 +142,7 @@ let create ?(config = default_config) ~globals (image : Hb_isa.Program.image) =
       halted = None;
       tracer = None;
       profile = None;
+      attr = None;
     }
   in
   m.regs.(sp) <- Layout.stack_top;
@@ -194,6 +197,26 @@ let enable_profile m =
   m.profile <- Some { prof = Profile.create ~names; fn_ids }
 
 let profile m = Option.map (fun p -> p.prof) m.profile
+
+(** Start per-PC cost attribution, one accumulator slot per linked code
+    index.  [line_base] is the 1-based unit line where user source starts
+    (the runtime prelude's line count plus one, see
+    {!Hb_runtime.Build.runtime_lines}); raw debug-map lines at or below it
+    are runtime-prelude lines and are stored negated so reports render
+    them [fn:rt.N] while user lines match the user's own source.
+    Idempotent; all counts restart from zero. *)
+let enable_attr ?(line_base = 0) m =
+  let lines =
+    Array.map
+      (fun raw ->
+        if raw = 0 then 0
+        else if raw > line_base then raw - line_base
+        else -raw)
+      m.image.line_of_index
+  in
+  m.attr <- Some (Attr.create ~fns:m.image.fn_of_index ~lines)
+
+let attr m = m.attr
 
 let emit m kind =
   match m.tracer with
@@ -304,14 +327,31 @@ let[@inline never] trace_hier_misses m cls addr =
   if mask land Hierarchy.miss_l2 <> 0 then
     miss "L2" p.Hierarchy.l2_miss_penalty
 
+(* Cold path of [hier_access]: charge the last-access miss mask to the
+   per-PC attribution slot of the instruction that issued the access
+   ([m.pc] still points at it — [exec] updates the pc last). *)
+let[@inline never] attr_hier_misses m (a : Attr.t) =
+  let mask = m.hier.Hierarchy.last_mask in
+  let pc = m.pc in
+  if mask land Hierarchy.miss_tlb <> 0 then
+    a.Attr.tlb_misses.(pc) <- a.Attr.tlb_misses.(pc) + 1;
+  if mask land Hierarchy.miss_l1 <> 0 then
+    a.Attr.l1_misses.(pc) <- a.Attr.l1_misses.(pc) + 1;
+  if mask land Hierarchy.miss_l2 <> 0 then
+    a.Attr.l2_misses.(pc) <- a.Attr.l2_misses.(pc) + 1
+
 (* Route one access through the hierarchy; when a tracer is attached,
    expand any misses into per-level events using the hierarchy's
-   last-access mask. *)
+   last-access mask, and when attribution is on, charge the same mask to
+   the issuing PC's miss counters. *)
 let[@inline] hier_access m cls addr =
   let stall = Hierarchy.access m.hier cls addr in
   (match m.tracer with
    | None -> ()
    | Some _ -> if stall > 0 then trace_hier_misses m cls addr);
+  (match m.attr with
+   | None -> ()
+   | Some a -> if m.hier.Hierarchy.last_mask <> 0 then attr_hier_misses m a);
   stall
 
 let tag_loc m word_addr =
@@ -662,6 +702,7 @@ let exec m i next =
      do_syscall m s;
      m.pc <- next
    | Label _ -> fault m "unresolved label in code"
+   | Line _ -> fault m "unstripped line marker in code"
    | Nop -> m.pc <- next)
 
 let step m =
@@ -673,15 +714,16 @@ let step m =
    | Some tr when Trace.trace_retires tr ->
      emit m (Trace.Retire { instr = Hb_isa.Printer.instr_str i })
    | _ -> ());
-  match m.profile with
-  | None ->
+  match m.profile, m.attr with
+  | None, None ->
     m.stats.instructions <- m.stats.instructions + 1;
     m.stats.uops <- m.stats.uops + 1;
     exec m i next
-  | Some { prof = p; fn_ids } ->
+  | prof, at ->
     (* Snapshot the attributable counters, execute, charge the deltas to
-       the function the instruction belongs to. *)
-    let fid = fn_ids.(m.pc) in
+       the function (profile) and/or the PC (attribution) the instruction
+       belongs to. *)
+    let pc0 = m.pc in
     let s = m.stats in
     let uops0 = s.Stats.uops
     and data0 = s.Stats.charged_data_stalls
@@ -694,20 +736,48 @@ let step m =
     s.Stats.instructions <- s.Stats.instructions + 1;
     s.Stats.uops <- s.Stats.uops + 1;
     (* [finally]: a faulting instruction's uops and stalls must still be
-       attributed, or the profile totals drift from [Stats.cycles]. *)
+       attributed, or the totals drift from [Stats.cycles]. *)
     Fun.protect
       ~finally:(fun () ->
-        let open Profile in
-        let add (a : int array) d = if d <> 0 then a.(fid) <- a.(fid) + d in
-        p.instrs.(fid) <- p.instrs.(fid) + 1;
-        add p.uops (s.Stats.uops - uops0);
-        add p.data_stalls (s.Stats.charged_data_stalls - data0);
-        add p.tag_stalls (s.Stats.charged_tag_stalls - tag0);
-        add p.bb_stalls (s.Stats.charged_bb_stalls - bb0);
-        add p.check_uops (s.Stats.check_uops - chk0);
-        add p.metadata_uops (s.Stats.metadata_uops - meta0);
-        add p.checked_derefs (s.Stats.checked_derefs - deref0);
-        add p.setbounds (s.Stats.setbound_instrs - sb0))
+        let duops = s.Stats.uops - uops0
+        and ddata = s.Stats.charged_data_stalls - data0
+        and dtag = s.Stats.charged_tag_stalls - tag0
+        and dbb = s.Stats.charged_bb_stalls - bb0
+        and dchk = s.Stats.check_uops - chk0
+        and dmeta = s.Stats.metadata_uops - meta0
+        and dderef = s.Stats.checked_derefs - deref0
+        and dsb = s.Stats.setbound_instrs - sb0 in
+        (match prof with
+         | None -> ()
+         | Some { prof = p; fn_ids } ->
+           let fid = fn_ids.(pc0) in
+           let open Profile in
+           let add (a : int array) d = if d <> 0 then a.(fid) <- a.(fid) + d in
+           p.instrs.(fid) <- p.instrs.(fid) + 1;
+           add p.uops duops;
+           add p.data_stalls ddata;
+           add p.tag_stalls dtag;
+           add p.bb_stalls dbb;
+           add p.check_uops dchk;
+           add p.metadata_uops dmeta;
+           add p.checked_derefs dderef;
+           add p.setbounds dsb);
+        (match at with
+         | None -> ()
+         | Some a ->
+           let open Attr in
+           let add (arr : int array) d =
+             if d <> 0 then arr.(pc0) <- arr.(pc0) + d
+           in
+           a.instrs.(pc0) <- a.instrs.(pc0) + 1;
+           add a.uops duops;
+           add a.data_stalls ddata;
+           add a.tag_stalls dtag;
+           add a.bb_stalls dbb;
+           add a.check_uops dchk;
+           add a.metadata_uops dmeta;
+           add a.checked_derefs dderef;
+           add a.setbounds dsb))
       (fun () -> exec m i next)
 
 (** One line of execution trace: pc, enclosing function, instruction, and

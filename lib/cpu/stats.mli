@@ -34,8 +34,12 @@ val cycles : t -> int
 
 val to_string : t -> string
 
+val fields : t -> (string * int) list
+(** Every field (plus derived [cycles]) as a flat association list — the
+    [expect] side of [Hb_obs.Attr.check] / [Hb_obs.Profile.check]. *)
+
 val to_json : t -> Hb_obs.Json.t
-(** Every field (plus derived [cycles]) as a flat JSON object. *)
+(** {!fields} as a flat JSON object. *)
 
 val export : t -> Hb_obs.Metrics.t -> unit
 (** Report every field into a metrics registry as [cpu.*] counters. *)

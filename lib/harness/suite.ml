@@ -55,3 +55,122 @@ let geo_mean xs =
   exp (List.fold_left (fun a x -> a +. log x) 0.0 xs /. float_of_int (List.length xs))
 
 let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+(* ---- performance-trajectory snapshot -------------------------------- *)
+
+module Json = Hb_obs.Json
+
+(* The configurations the committed baseline tracks.  Software baselines
+   are excluded on purpose: they are comparison points, not the simulator
+   surface this gate protects. *)
+let snapshot_runs w =
+  [
+    ("baseline", w.baseline);
+    ("hb-extern-4", w.hb_extern4);
+    ("hb-intern-4", w.hb_intern4);
+    ("hb-intern-11", w.hb_intern11);
+  ]
+
+(** Deterministic perf-trajectory snapshot of the suite: instructions,
+    micro-ops and cycles for the baseline and each HardBound encoding of
+    every workload.  Committed as [BENCH_hardbound.json] and compared by
+    {!check_baseline} in CI. *)
+let snapshot_json (suite : per_workload list) =
+  Json.Obj
+    [
+      ( "workloads",
+        Json.List
+          (List.map
+             (fun w ->
+               Json.Obj
+                 [
+                   ("name", Json.String w.name);
+                   ( "runs",
+                     Json.List
+                       (List.map
+                          (fun (config, (r : Run.record)) ->
+                            Json.Obj
+                              [
+                                ("config", Json.String config);
+                                ("instructions", Json.Int r.Run.instructions);
+                                ("uops", Json.Int r.Run.uops);
+                                ("cycles", Json.Int r.Run.cycles);
+                              ])
+                          (snapshot_runs w)) );
+                 ])
+             suite) );
+    ]
+
+let snap_fail fmt =
+  Printf.ksprintf (fun m -> raise (Json.Parse_error ("baseline: " ^ m))) fmt
+
+(* (workload, config) -> cycles of a parsed snapshot document. *)
+let snapshot_cycles json =
+  let tbl = Hashtbl.create 64 in
+  let geti obj key =
+    match Option.bind (Json.member key obj) Json.to_int with
+    | Some v -> v
+    | None -> snap_fail "missing int field %S" key
+  in
+  let gets obj key =
+    match Json.member key obj with
+    | Some (Json.String s) -> s
+    | _ -> snap_fail "missing string field %S" key
+  in
+  let workloads =
+    match Option.bind (Json.member "workloads" json) Json.to_list with
+    | Some l -> l
+    | None -> snap_fail "missing \"workloads\" list"
+  in
+  List.iter
+    (fun w ->
+      let name = gets w "name" in
+      let runs =
+        match Option.bind (Json.member "runs" w) Json.to_list with
+        | Some l -> l
+        | None -> snap_fail "%s: missing \"runs\" list" name
+      in
+      List.iter
+        (fun r -> Hashtbl.replace tbl (name, gets r "config") (geti r "cycles"))
+        runs)
+    workloads;
+  tbl
+
+(** Compare a freshly measured suite against a committed snapshot
+    document.  [Error] lists every (workload, config) whose cycle count
+    drifted by more than [tolerance] (a fraction, default 2%) from the
+    recorded value, and every pair the snapshot does not cover — an
+    unexplained perf regression *or* an unrecorded improvement both fail,
+    forcing the baseline update into the same change.  Raises
+    {!Hb_obs.Json.Parse_error} when [baseline] is not a snapshot. *)
+let check_baseline ?(tolerance = 0.02) ~baseline (suite : per_workload list) =
+  let recorded = snapshot_cycles baseline in
+  let drifts =
+    List.concat_map
+      (fun w ->
+        List.filter_map
+          (fun (config, (r : Run.record)) ->
+            match Hashtbl.find_opt recorded (w.name, config) with
+            | None ->
+              Some
+                (Printf.sprintf "%s/%s: not in the committed baseline" w.name
+                   config)
+            | Some expect ->
+              let drift =
+                if expect = 0 then (if r.Run.cycles = 0 then 0.0 else infinity)
+                else
+                  abs_float (float_of_int (r.Run.cycles - expect))
+                  /. float_of_int expect
+              in
+              if drift > tolerance then
+                Some
+                  (Printf.sprintf
+                     "%s/%s: cycles %d drifted %.2f%% from baseline %d \
+                      (tolerance %.1f%%)"
+                     w.name config r.Run.cycles (100.0 *. drift) expect
+                     (100.0 *. tolerance))
+              else None)
+          (snapshot_runs w))
+      suite
+  in
+  match drifts with [] -> Ok () | msgs -> Error msgs

@@ -21,3 +21,19 @@ val collect :
 
 val geo_mean : float list -> float
 val mean : float list -> float
+
+val snapshot_json : per_workload list -> Hb_obs.Json.t
+(** Deterministic perf-trajectory snapshot (instructions / uops / cycles
+    for the baseline and each HardBound encoding of every workload) — the
+    document committed as [BENCH_hardbound.json]. *)
+
+val check_baseline :
+  ?tolerance:float ->
+  baseline:Hb_obs.Json.t ->
+  per_workload list ->
+  (unit, string list) result
+(** Compare a freshly measured suite against a committed {!snapshot_json}
+    document.  [Error] lists every (workload, config) whose cycle count
+    drifted by more than [tolerance] (fraction of the recorded value,
+    default 0.02) and every pair the snapshot does not cover.  Raises
+    [Hb_obs.Json.Parse_error] when [baseline] is not a snapshot. *)

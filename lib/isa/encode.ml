@@ -133,6 +133,9 @@ let encode_instr ?(target = -1) (i : instr) : int list =
   | Ret -> [ word ~op:op_ret () ]
   | Syscall s -> [ word ~op:op_syscall ~sub:(index_of syscalls s) () ]
   | Label l -> raise (Encode_error ("cannot encode pseudo-label " ^ l))
+  | Line n ->
+    raise (Encode_error ("cannot encode pseudo-directive .line "
+                         ^ string_of_int n))
 
 type decoded = { instr : instr; target : int; words : int }
 (** [target] is the resolved code index for control transfers (-1
@@ -253,6 +256,7 @@ let decode_image (s : string) : Program.image =
     Program.code;
     target;
     fn_of_index = Array.make count "binary";
+    line_of_index = Array.make count 0;
     entry;
     fn_entry;
   }

@@ -152,6 +152,10 @@ let parse_instr line mnemonic ops =
     (match List.assoc_opt s syscalls with
      | Some sc -> Syscall sc
      | None -> fail line ("unknown syscall: " ^ s))
+  | ".line" ->
+    (match int_of_string_opt (op1 ()) with
+     | Some n when n >= 0 -> Line n
+     | _ -> fail line "bad .line operand")
   | m -> fail line ("unknown mnemonic: " ^ m)
 
 (* Strip a ';' or '#' comment. *)

@@ -77,6 +77,7 @@ let instr_str = function
   | Ret -> "ret"
   | Syscall s -> Printf.sprintf "syscall %s" (syscall_name s)
   | Label l -> l ^ ":"
+  | Line n -> Printf.sprintf ".line %d" n
   | Nop -> "nop"
 
 let func_str (f : func) =

@@ -11,9 +11,11 @@ open Types
 let code_base = 0x00010000
 
 type image = {
-  code : instr array;          (* Label pseudo-instrs removed *)
+  code : instr array;          (* Label/Line pseudo-instrs removed *)
   target : int array;          (* branch/jmp/call target index, or -1 *)
   fn_of_index : string array;  (* enclosing function name, for diagnostics *)
+  line_of_index : int array;   (* source line of the translation unit, 0 if
+                                  the compiler emitted no [Line] markers *)
   entry : int;                 (* index of entry function's first instr *)
   fn_entry : (string, int) Hashtbl.t;
 }
@@ -26,16 +28,17 @@ let index_of_addr a =
 
 let link (p : program) : image =
   let fn_entry = Hashtbl.create 64 in
-  (* First pass: compute instruction counts (labels are pseudo). *)
+  (* First pass: compute instruction counts (labels/lines are pseudo). *)
   let count f =
     List.fold_left
-      (fun n i -> match i with Label _ -> n | _ -> n + 1)
+      (fun n i -> match i with Label _ | Line _ -> n | _ -> n + 1)
       0 f.body
   in
   let total = List.fold_left (fun n f -> n + count f) 0 p.funcs in
   let code = Array.make total Nop in
   let target = Array.make total (-1) in
   let fn_of_index = Array.make total "" in
+  let line_of_index = Array.make total 0 in
   (* Second pass: place instructions, record label positions. *)
   let labels = Hashtbl.create 256 in
   let pos = ref 0 in
@@ -44,6 +47,8 @@ let link (p : program) : image =
       if Hashtbl.mem fn_entry f.name then
         raise (Invalid_program ("duplicate function: " ^ f.name));
       Hashtbl.replace fn_entry f.name !pos;
+      (* the current [Line] marker carries forward within its function *)
+      let cur_line = ref 0 in
       List.iter
         (fun i ->
           match i with
@@ -52,9 +57,11 @@ let link (p : program) : image =
             if Hashtbl.mem labels key then
               raise (Invalid_program ("duplicate label " ^ l ^ " in " ^ f.name));
             Hashtbl.replace labels key !pos
+          | Line n -> cur_line := n
           | _ ->
             code.(!pos) <- i;
             fn_of_index.(!pos) <- f.name;
+            line_of_index.(!pos) <- !cur_line;
             incr pos)
         f.body)
     p.funcs;
@@ -83,7 +90,7 @@ let link (p : program) : image =
     | Some e -> e
     | None -> raise (Invalid_program ("undefined entry: " ^ p.entry))
   in
-  { code; target; fn_of_index; entry; fn_entry }
+  { code; target; fn_of_index; line_of_index; entry; fn_entry }
 
 (** Static sanity checks run before linking: register ranges, r0 never
     written, operands in 32-bit range. *)
@@ -127,6 +134,7 @@ let validate (p : program) : (unit, string) result =
             check_operand f.name size
           | Branch (_, r1, r2, _) -> check_reg f.name r1; check_reg f.name r2
           | Call_reg r -> check_reg f.name r
+          | Line n -> if n < 0 then err (f.name ^ ": negative .line")
           | Jmp _ | Call _ | Ret | Syscall _ | Label _ | Nop -> ())
         f.body)
     p.funcs;

@@ -7,10 +7,14 @@ val code_base : int
     pointers can never pass a data bounds check (Section 6.1). *)
 
 type image = {
-  code : Types.instr array;          (** label pseudo-instructions removed *)
+  code : Types.instr array;          (** label/line pseudo-instructions
+                                         removed *)
   target : int array;                (** resolved branch/jmp/call/licode
                                          target index, or -1 *)
   fn_of_index : string array;        (** enclosing function, diagnostics *)
+  line_of_index : int array;         (** source line of the translation
+                                         unit ([Types.Line] markers carried
+                                         forward), 0 when unknown *)
   entry : int;                       (** first instruction of the entry *)
   fn_entry : (string, int) Hashtbl.t;
 }

@@ -116,6 +116,10 @@ type instr =
   | Ret
   | Syscall of syscall
   | Label of label                           (* pseudo-instruction *)
+  | Line of int
+      (* pseudo-instruction: subsequent instructions come from this
+         1-based source line of the MiniC translation unit.  Stripped by
+         the linker into the image's [line_of_index] debug map. *)
   | Nop
 
 (** A function is a named instruction sequence; labels are function-local. *)

@@ -58,6 +58,10 @@ type stmt =
   | Sbreak
   | Scontinue
   | Sblock of stmt list
+  | Sline of int
+      (* parser-inserted marker: the following statement starts on this
+         1-based source line.  Flows through to the ISA [Line] directive
+         so the linker can build the PC→line debug map. *)
 
 (** Static initializers for globals (written into the data image by the
     loader, except pointer initializers which become startup code). *)

@@ -755,6 +755,7 @@ let rec gen_stmt ctx (s : tstmt) =
     | l :: _ -> emit ctx (Jmp l)
     | [] -> err "%s: continue outside loop" ctx.fname)
   | Tblock b -> List.iter (gen_stmt ctx) b
+  | Tline n -> emit ctx (Line n)
 
 (* ---- functions --------------------------------------------------------- *)
 
@@ -778,7 +779,7 @@ let rec collect_decls acc stmts =
         let acc = match i with Some s -> collect_decls acc [ s ] | None -> acc in
         collect_decls acc b
       | Tblock b -> collect_decls acc b
-      | Texpr _ | Treturn _ | Tbreak | Tcontinue -> acc)
+      | Texpr _ | Treturn _ | Tbreak | Tcontinue | Tline _ -> acc)
     acc stmts
 
 let gen_fun ~mode ~globals ~strings ~sizeof (f : tfun) : func =
@@ -904,7 +905,7 @@ let collect_strings (p : tprogram) =
   let rec in_stmt = function
     | Texpr e -> in_expr e
     | Tdecl (_, _, Some e) -> in_expr e
-    | Tdecl (_, _, None) | Tbreak | Tcontinue | Treturn None -> ()
+    | Tdecl (_, _, None) | Tbreak | Tcontinue | Treturn None | Tline _ -> ()
     | Treturn (Some e) -> in_expr e
     | Tif (c, a, b) ->
       in_expr c;

@@ -356,13 +356,19 @@ and parse_decl_stmt p =
   Sdecl (ty, name, init)
 
 and parse_stmt_as_block p =
-  match parse_stmt p with Sblock b -> b | s -> [ s ]
+  (* Interleave a [Sline] marker so the debug map covers single-statement
+     bodies as well as braced blocks. *)
+  let line = Lexer.token_line p.lx in
+  match parse_stmt p with Sblock b -> b | s -> [ Sline line; s ]
 
 and parse_block p =
   expect_punct p "{";
   let rec go acc =
     if accept_punct p "}" then List.rev acc
-    else go (parse_stmt p :: acc)
+    else begin
+      let line = Lexer.token_line p.lx in
+      go (parse_stmt p :: Sline line :: acc)
+    end
   in
   go []
 

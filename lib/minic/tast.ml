@@ -65,6 +65,7 @@ and tstmt =
   | Tbreak
   | Tcontinue
   | Tblock of tstmt list
+  | Tline of int  (* source-line marker, becomes the ISA [Line] directive *)
 
 type tglobal = {
   tg_name : string;

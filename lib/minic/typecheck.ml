@@ -511,6 +511,7 @@ let rec check_stmt env (s : stmt) : tstmt =
   | Sbreak -> Tbreak
   | Scontinue -> Tcontinue
   | Sblock b -> Tblock (check_block env b)
+  | Sline n -> Tline n
 
 and check_block env stmts =
   let saved = push_scope env in

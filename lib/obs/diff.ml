@@ -1,0 +1,268 @@
+(** Differential overhead reports: load two attribution dumps
+    ({!Attr.to_json} files — e.g. the unbounded baseline vs. a HardBound
+    encoding, or two encodings) and rank where the cycles went.
+
+    PCs do not line up across instrumentation modes (setbound insertion
+    shifts every subsequent index), so sites are aggregated by
+    (function, source line) before subtracting.  Aggregation preserves
+    sums, so the ranked table still adds up exactly to the global [Stats]
+    deltas, and the report's aggregate decomposition reproduces the
+    Figure-5 segments when side A is the unbounded baseline. *)
+
+type site = {
+  fn : string;
+  line : int;
+  instrs : int;
+  uops : int;
+  cycles : int;
+  data_stalls : int;
+  tag_stalls : int;
+  bb_stalls : int;
+  check_uops : int;
+  metadata_uops : int;
+  checked_derefs : int;
+  setbounds : int;
+}
+
+type dump = { label : string; sites : site list }
+
+let parse_fail fmt =
+  Printf.ksprintf (fun m -> raise (Json.Parse_error ("attr dump: " ^ m))) fmt
+
+let geti obj key =
+  match Option.bind (Json.member key obj) Json.to_int with
+  | Some v -> v
+  | None -> parse_fail "missing int field %S" key
+
+let site_of_json j =
+  let fn =
+    match Json.member "fn" j with
+    | Some (Json.String s) -> s
+    | _ -> parse_fail "site missing \"fn\""
+  in
+  {
+    fn;
+    line = geti j "line";
+    instrs = geti j "instrs";
+    uops = geti j "uops";
+    cycles = geti j "cycles";
+    data_stalls = geti j "data_stalls";
+    tag_stalls = geti j "tag_stalls";
+    bb_stalls = geti j "bb_stalls";
+    check_uops = geti j "check_uops";
+    metadata_uops = geti j "metadata_uops";
+    checked_derefs = geti j "checked_derefs";
+    setbounds = geti j "setbounds";
+  }
+
+let add_sites a b =
+  {
+    a with
+    instrs = a.instrs + b.instrs;
+    uops = a.uops + b.uops;
+    cycles = a.cycles + b.cycles;
+    data_stalls = a.data_stalls + b.data_stalls;
+    tag_stalls = a.tag_stalls + b.tag_stalls;
+    bb_stalls = a.bb_stalls + b.bb_stalls;
+    check_uops = a.check_uops + b.check_uops;
+    metadata_uops = a.metadata_uops + b.metadata_uops;
+    checked_derefs = a.checked_derefs + b.checked_derefs;
+    setbounds = a.setbounds + b.setbounds;
+  }
+
+(** Aggregate per-PC sites by (fn, line) — the key that survives
+    re-compilation under a different mode. *)
+let aggregate sites =
+  let tbl = Hashtbl.create 256 in
+  List.iter
+    (fun s ->
+      let key = (s.fn, s.line) in
+      match Hashtbl.find_opt tbl key with
+      | Some prev -> Hashtbl.replace tbl key (add_sites prev s)
+      | None -> Hashtbl.replace tbl key s)
+    sites;
+  Hashtbl.fold (fun _ s acc -> s :: acc) tbl []
+  |> List.sort (fun a b -> compare (a.fn, a.line) (b.fn, b.line))
+
+let of_json j =
+  let label =
+    match Json.member "label" j with Some (Json.String s) -> s | _ -> "?"
+  in
+  let sites =
+    match Option.bind (Json.member "sites" j) Json.to_list with
+    | Some l -> List.map site_of_json l
+    | None -> parse_fail "missing \"sites\" list"
+  in
+  { label; sites = aggregate sites }
+
+let load path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  of_json (Json.of_string s)
+
+(* ---- differencing --------------------------------------------------- *)
+
+(** Per-(fn, line) delta, B minus A. *)
+type delta = {
+  d_fn : string;
+  d_line : int;
+  a_cycles : int;
+  b_cycles : int;
+  d_cycles : int;
+  d_instrs : int;
+  d_uops : int;
+  d_data : int;
+  d_tag : int;
+  d_bb : int;
+  d_check : int;
+  d_meta : int;
+  d_setbounds : int;
+}
+
+type report = {
+  a_label : string;
+  b_label : string;
+  deltas : delta list;  (* largest cycle delta first *)
+  total : delta;        (* sums exactly to the global Stats deltas *)
+}
+
+let zero_site fn line =
+  {
+    fn; line; instrs = 0; uops = 0; cycles = 0; data_stalls = 0;
+    tag_stalls = 0; bb_stalls = 0; check_uops = 0; metadata_uops = 0;
+    checked_derefs = 0; setbounds = 0;
+  }
+
+let delta_of a b =
+  {
+    d_fn = b.fn;
+    d_line = b.line;
+    a_cycles = a.cycles;
+    b_cycles = b.cycles;
+    d_cycles = b.cycles - a.cycles;
+    d_instrs = b.instrs - a.instrs;
+    d_uops = b.uops - a.uops;
+    d_data = b.data_stalls - a.data_stalls;
+    d_tag = b.tag_stalls - a.tag_stalls;
+    d_bb = b.bb_stalls - a.bb_stalls;
+    d_check = b.check_uops - a.check_uops;
+    d_meta = b.metadata_uops - a.metadata_uops;
+    d_setbounds = b.setbounds - a.setbounds;
+  }
+
+let diff (a : dump) (b : dump) : report =
+  let tbl = Hashtbl.create 256 in
+  List.iter (fun s -> Hashtbl.replace tbl (s.fn, s.line) (Some s, None)) a.sites;
+  List.iter
+    (fun s ->
+      match Hashtbl.find_opt tbl (s.fn, s.line) with
+      | Some (sa, _) -> Hashtbl.replace tbl (s.fn, s.line) (sa, Some s)
+      | None -> Hashtbl.replace tbl (s.fn, s.line) (None, Some s))
+    b.sites;
+  let deltas =
+    Hashtbl.fold
+      (fun (fn, line) (sa, sb) acc ->
+        let za = Option.value sa ~default:(zero_site fn line) in
+        let zb = Option.value sb ~default:(zero_site fn line) in
+        delta_of za { zb with fn; line } :: acc)
+      tbl []
+    |> List.sort (fun x y ->
+           compare (y.d_cycles, (x.d_fn, x.d_line))
+             (x.d_cycles, (y.d_fn, y.d_line)))
+  in
+  let total =
+    List.fold_left
+      (fun t d ->
+        {
+          t with
+          a_cycles = t.a_cycles + d.a_cycles;
+          b_cycles = t.b_cycles + d.b_cycles;
+          d_cycles = t.d_cycles + d.d_cycles;
+          d_instrs = t.d_instrs + d.d_instrs;
+          d_uops = t.d_uops + d.d_uops;
+          d_data = t.d_data + d.d_data;
+          d_tag = t.d_tag + d.d_tag;
+          d_bb = t.d_bb + d.d_bb;
+          d_check = t.d_check + d.d_check;
+          d_meta = t.d_meta + d.d_meta;
+          d_setbounds = t.d_setbounds + d.d_setbounds;
+        })
+      (delta_of (zero_site "TOTAL" 0) (zero_site "TOTAL" 0))
+      deltas
+  in
+  { a_label = a.label; b_label = b.label; deltas; total }
+
+let loc d =
+  if d.d_line > 0 then Printf.sprintf "%s:%d" d.d_fn d.d_line
+  else if d.d_line < 0 then Printf.sprintf "%s:rt.%d" d.d_fn (-d.d_line)
+  else d.d_fn
+
+(** Ranked overhead-delta table plus the Figure-5 aggregate decomposition
+    of the delta as fractions of side A's cycles. *)
+let to_table ?(top = 20) r =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "overhead delta: %s -> %s (total %+d cycles, %+.1f%%)\n\n"
+    r.a_label r.b_label r.total.d_cycles
+    (if r.total.a_cycles = 0 then 0.0
+     else
+       100.0 *. float_of_int r.total.d_cycles
+       /. float_of_int r.total.a_cycles);
+  Printf.bprintf b "%-28s %10s %10s %8s %8s %8s %8s %6s %6s %5s\n" "location"
+    "A-cycles" "B-cycles" "d-cyc" "d-data" "d-tag" "d-bb" "d-chk" "d-meta"
+    "d-sb";
+  let shown =
+    if top > 0 then List.filteri (fun i _ -> i < top) r.deltas else r.deltas
+  in
+  List.iter
+    (fun d ->
+      Printf.bprintf b "%-28s %10d %10d %+8d %+8d %+8d %+8d %+6d %+6d %+5d\n"
+        (loc d) d.a_cycles d.b_cycles d.d_cycles d.d_data d.d_tag d.d_bb
+        d.d_check d.d_meta d.d_setbounds)
+    shown;
+  let omitted = List.length r.deltas - List.length shown in
+  if omitted > 0 then Printf.bprintf b "... (%d more sites)\n" omitted;
+  Printf.bprintf b "%-28s %10d %10d %+8d %+8d %+8d %+8d %+6d %+6d %+5d\n"
+    "TOTAL" r.total.a_cycles r.total.b_cycles r.total.d_cycles r.total.d_data
+    r.total.d_tag r.total.d_bb r.total.d_check r.total.d_meta
+    r.total.d_setbounds;
+  if r.total.a_cycles > 0 then begin
+    let pct v = 100.0 *. float_of_int v /. float_of_int r.total.a_cycles in
+    Buffer.add_string b "\nFigure-5 decomposition of the delta (% of A):\n";
+    Printf.bprintf b "  setbound instrs   %+6.2f%%\n" (pct r.total.d_setbounds);
+    Printf.bprintf b "  meta/check uops   %+6.2f%%\n"
+      (pct (r.total.d_meta + r.total.d_check));
+    Printf.bprintf b "  meta stalls       %+6.2f%%\n"
+      (pct (r.total.d_tag + r.total.d_bb));
+    Printf.bprintf b "  data pollution    %+6.2f%%\n" (pct r.total.d_data);
+    Printf.bprintf b "  total overhead    %+6.2f%%\n" (pct r.total.d_cycles)
+  end;
+  Buffer.contents b
+
+let delta_json d =
+  Json.Obj
+    [
+      ("fn", Json.String d.d_fn);
+      ("line", Json.Int d.d_line);
+      ("a_cycles", Json.Int d.a_cycles);
+      ("b_cycles", Json.Int d.b_cycles);
+      ("d_cycles", Json.Int d.d_cycles);
+      ("d_instrs", Json.Int d.d_instrs);
+      ("d_uops", Json.Int d.d_uops);
+      ("d_data_stalls", Json.Int d.d_data);
+      ("d_tag_stalls", Json.Int d.d_tag);
+      ("d_bb_stalls", Json.Int d.d_bb);
+      ("d_check_uops", Json.Int d.d_check);
+      ("d_metadata_uops", Json.Int d.d_meta);
+      ("d_setbounds", Json.Int d.d_setbounds);
+    ]
+
+let to_json r =
+  Json.Obj
+    [
+      ("a", Json.String r.a_label);
+      ("b", Json.String r.b_label);
+      ("total", delta_json r.total);
+      ("deltas", Json.List (List.map delta_json r.deltas));
+    ]

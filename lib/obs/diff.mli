@@ -1,0 +1,66 @@
+(** Differential overhead reports over two {!Attr.to_json} dumps.
+
+    Sites are aggregated by (function, source line) — the key that
+    survives re-compilation under a different instrumentation mode — so
+    the ranked delta table sums exactly to the global [Stats] deltas, and
+    the aggregate decomposition reproduces the Figure-5 segments when
+    side A is the unbounded baseline. *)
+
+type site = {
+  fn : string;
+  line : int;
+  instrs : int;
+  uops : int;
+  cycles : int;
+  data_stalls : int;
+  tag_stalls : int;
+  bb_stalls : int;
+  check_uops : int;
+  metadata_uops : int;
+  checked_derefs : int;
+  setbounds : int;
+}
+
+type dump = { label : string; sites : site list }
+(** Sites already aggregated by (fn, line), in (fn, line) order. *)
+
+val of_json : Json.t -> dump
+(** Raises {!Json.Parse_error} when the document is not an attribution
+    dump. *)
+
+val load : string -> dump
+(** Read and parse a dump file ({!Sys_error} on unreadable paths). *)
+
+type delta = {
+  d_fn : string;
+  d_line : int;
+  a_cycles : int;
+  b_cycles : int;
+  d_cycles : int;
+  d_instrs : int;
+  d_uops : int;
+  d_data : int;
+  d_tag : int;
+  d_bb : int;
+  d_check : int;
+  d_meta : int;
+  d_setbounds : int;
+}
+(** Per-(fn, line) counters of B minus A. *)
+
+type report = {
+  a_label : string;
+  b_label : string;
+  deltas : delta list;  (** largest cycle delta first, deterministic *)
+  total : delta;        (** sums of every delta row *)
+}
+
+val diff : dump -> dump -> report
+(** [diff a b] ranks where B spends cycles A did not (sites missing on
+    one side count as zero there). *)
+
+val to_table : ?top:int -> report -> string
+(** Ranked table ([top] rows, default 20; [top <= 0] = all) plus the
+    Figure-5 decomposition of the total delta as fractions of A. *)
+
+val to_json : report -> Json.t

@@ -130,3 +130,87 @@ let snapshot t =
       ( "histograms",
         Json.List (List.map histogram_json (sorted_values t.histograms)) );
     ]
+
+(* ---- OpenMetrics / Prometheus text exposition ----------------------- *)
+
+(* Metric names here use dots ("cpu.cycles"); Prometheus names admit only
+   [a-zA-Z0-9_:]. *)
+let prom_name name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let prom_label_value v =
+  let b = Buffer.create (String.length v + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let prom_labels ?extra labels =
+  let labels =
+    labels @ (match extra with Some kv -> [ kv ] | None -> [])
+  in
+  if labels = [] then ""
+  else
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) ->
+             Printf.sprintf "%s=\"%s\"" (prom_name k) (prom_label_value v))
+           labels)
+    ^ "}"
+
+(** Render the registry in the Prometheus/OpenMetrics text format:
+    counters become gauges (they are set-at-snapshot absolutes, not
+    monotonic processes), histograms expose cumulative [_bucket{le=...}]
+    series plus [_sum]/[_count].  Series order matches {!snapshot}, so
+    identical runs produce byte-identical expositions. *)
+let to_prometheus t =
+  let b = Buffer.create 4096 in
+  let typed = Hashtbl.create 64 in
+  let declare name kind =
+    if not (Hashtbl.mem typed name) then begin
+      Hashtbl.replace typed name ();
+      Printf.bprintf b "# TYPE %s %s\n" name kind
+    end
+  in
+  List.iter
+    (fun c ->
+      let name = prom_name c.c_name in
+      declare name "gauge";
+      Printf.bprintf b "%s%s %d\n" name (prom_labels c.c_labels) c.value)
+    (sorted_values t.counters);
+  List.iter
+    (fun h ->
+      let name = prom_name h.h_name in
+      declare name "histogram";
+      let cum = ref 0 in
+      Array.iteri
+        (fun i n ->
+          if n > 0 then begin
+            cum := !cum + n;
+            let upper =
+              if i = 0 then "1" else string_of_int (1 lsl i)
+            in
+            Printf.bprintf b "%s_bucket%s %d\n" name
+              (prom_labels ~extra:("le", upper) h.h_labels)
+              !cum
+          end)
+        h.buckets;
+      Printf.bprintf b "%s_bucket%s %d\n" name
+        (prom_labels ~extra:("le", "+Inf") h.h_labels)
+        h.count;
+      Printf.bprintf b "%s_sum%s %d\n" name (prom_labels h.h_labels) h.sum;
+      Printf.bprintf b "%s_count%s %d\n" name (prom_labels h.h_labels) h.count)
+    (sorted_values t.histograms);
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b

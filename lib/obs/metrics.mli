@@ -32,3 +32,10 @@ val observe : histogram -> int -> unit
 val snapshot : t -> Json.t
 (** [{"counters": [...], "histograms": [...]}], deterministically
     ordered. *)
+
+val to_prometheus : t -> string
+(** Prometheus/OpenMetrics text exposition of the registry: counters as
+    gauges (set-at-snapshot absolutes), histograms as cumulative
+    [_bucket{le=...}] series plus [_sum]/[_count], terminated by
+    [# EOF].  Deterministically ordered like {!snapshot}; metric names
+    are sanitized ([cpu.cycles] -> [cpu_cycles]). *)

@@ -51,6 +51,41 @@ type row = {
 let cycles_of (t : t) i =
   t.uops.(i) + t.data_stalls.(i) + t.tag_stalls.(i) + t.bb_stalls.(i)
 
+(** Sums over every function, keyed by the [Stats] field each column must
+    reconcile with (same accounting identity as [Attr.totals]). *)
+let totals (t : t) =
+  let sum a = Array.fold_left ( + ) 0 a in
+  let uops = sum t.uops in
+  let stalls = sum t.data_stalls + sum t.tag_stalls + sum t.bb_stalls in
+  [
+    ("instructions", sum t.instrs);
+    ("uops", uops);
+    ("cycles", uops + stalls);
+    ("charged_data_stalls", sum t.data_stalls);
+    ("charged_tag_stalls", sum t.tag_stalls);
+    ("charged_bb_stalls", sum t.bb_stalls);
+    ("check_uops", sum t.check_uops);
+    ("metadata_uops", sum t.metadata_uops);
+    ("checked_derefs", sum t.checked_derefs);
+    ("setbound_instrs", sum t.setbounds);
+  ]
+
+(** Compare {!totals} against the global counters (e.g. [Stats.fields]);
+    every key present on both sides must agree exactly. *)
+let check t ~expect =
+  let bad =
+    List.filter_map
+      (fun (k, v) ->
+        match List.assoc_opt k expect with
+        | Some e when e <> v ->
+          Some (Printf.sprintf "%s: attributed %d <> global %d" k v e)
+        | _ -> None)
+      (totals t)
+  in
+  match bad with
+  | [] -> Ok ()
+  | msgs -> Error ("per-function profile leak: " ^ String.concat "; " msgs)
+
 (** Non-empty rows, hottest (most cycles) first. *)
 let rows (t : t) =
   let out = ref [] in

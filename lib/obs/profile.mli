@@ -34,6 +34,16 @@ type row = {
   setbounds : int;
 }
 
+val totals : t -> (string * int) list
+(** Sums over every function, keyed by the [Stats] field each column must
+    reconcile with ([instructions], [uops], [cycles], the charged stall
+    decomposition, [check_uops], [metadata_uops], [checked_derefs],
+    [setbound_instrs]). *)
+
+val check : t -> expect:(string * int) list -> (unit, string) result
+(** Compare {!totals} against the global counters (e.g. [Stats.fields]);
+    [Error] names every key whose attributed sum disagrees. *)
+
 val rows : t -> row list
 (** Functions that executed at least one instruction, hottest first.
     [cycles = uops + data + tag + bb stalls] per function. *)

@@ -10,6 +10,14 @@ module Encoding = Hardbound.Encoding
 let compile ~(mode : Codegen.mode) (user_source : string) =
   Driver.build ~mode (Runtime_src.source ^ "\n" ^ user_source)
 
+(** Number of translation-unit lines occupied by the runtime prelude:
+    user-source line L sits at unit line [runtime_lines + L].  Pass as
+    [line_base] to [Machine.enable_attr] so attribution reports show the
+    user's own line numbers. *)
+let runtime_lines =
+  String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 1
+    Runtime_src.source
+
 let default_fuel = 400_000_000
 
 let config_for ?(scheme = Encoding.Extern4) ?(temporal = false)

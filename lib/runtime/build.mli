@@ -6,6 +6,12 @@ val compile :
 (** Compile runtime + user source as one translation unit; returns the
     linked image and the globals byte image. *)
 
+val runtime_lines : int
+(** Translation-unit lines occupied by the runtime prelude: user-source
+    line L sits at unit line [runtime_lines + L].  Pass as [line_base] to
+    [Hb_cpu.Machine.enable_attr] so attribution reports show user line
+    numbers (runtime lines render as [fn:rt.N]). *)
+
 val default_fuel : int
 
 val config_for :
