@@ -28,6 +28,7 @@ let experiments =
     ("temporal", "Section 6.2: temporal-tracking extension");
     ("fault", "Fault-injection campaigns: checker detection coverage");
     ("attr", "Per-PC attribution: top hotspots + differential overhead");
+    ("timeline", "Timeline: windowed phase samples + shadow census");
     ("bechamel", "Micro-benchmarks of the simulator itself");
   ]
 
@@ -164,6 +165,52 @@ let rec run_experiment name =
         Hb_workloads.Workloads.all
     in
     note_json name (Json.Obj reports)
+  | "timeline" ->
+    banner "Timeline: windowed phase samples + shadow-metadata census";
+    let module Machine = Hb_cpu.Machine in
+    let module Timeline = Hb_obs.Timeline in
+    (* One sampled run per workload; each must satisfy the window-sum
+       identity (deltas reconcile with the global counters) or the
+       telemetry itself is untrustworthy. *)
+    let run_timeline (wl : Hb_workloads.Workloads.t) =
+      let mode = Codegen.Hardbound in
+      let image, globals = Hb_runtime.Build.compile ~mode wl.source in
+      let config = Hb_runtime.Build.config_for ~scheme:Encoding.Extern4 mode in
+      let m = Machine.create ~config ~globals image in
+      Machine.enable_timeline ~interval:10_000 m;
+      (match Machine.run m with
+       | Machine.Exited 0 -> ()
+       | st ->
+         Hb_error.fail ~component:"bench" "%s did not exit cleanly: %s"
+           wl.name (Machine.status_name st));
+      Machine.timeline_flush m;
+      let tl = Option.get (Machine.timeline m) in
+      (match Timeline.check tl ~expect:(Machine.timeline_fields m) with
+       | Ok () -> ()
+       | Error msg -> Hb_error.fail ~component:"bench" "%s: %s" wl.name msg);
+      tl
+    in
+    let reports =
+      List.map
+        (fun (wl : Hb_workloads.Workloads.t) ->
+          Printf.eprintf "[timeline] sampling %s...\n%!" wl.name;
+          let tl = run_timeline wl in
+          let windows = Timeline.windows tl in
+          Printf.printf "%s: %d windows of %d cycles\n" wl.name
+            (List.length windows) (Timeline.interval tl);
+          if wl.name = "treeadd" then print_string (Timeline.report tl);
+          ( wl.name,
+            Json.Obj
+              [
+                ("windows", Json.Int (List.length windows));
+                ("sums", Json.Obj
+                   (List.map
+                      (fun (k, v) -> (k, Json.Int v))
+                      (Timeline.sums tl)));
+              ] ))
+        Hb_workloads.Workloads.all
+    in
+    note_json name (Json.Obj reports)
   | "bechamel" -> bechamel ()
   | other ->
     Printf.eprintf "unknown experiment %s; use --list\n" other;
@@ -205,13 +252,14 @@ and bechamel () =
   in
   (* whole-machine throughput on treeadd, baseline vs hardbound *)
   let treeadd = Hb_workloads.Workloads.find "treeadd" in
-  let mk_machine ?(attr = false) mode =
+  let mk_machine ?(attr = false) ?(timeline = false) mode =
     let image, globals = Hb_runtime.Build.compile ~mode treeadd.source in
     fun () ->
       let config = Hb_runtime.Build.config_for mode in
       let m = Hb_cpu.Machine.create ~config ~globals image in
       if attr then
         Hb_cpu.Machine.enable_attr ~line_base:Hb_runtime.Build.runtime_lines m;
+      if timeline then Hb_cpu.Machine.enable_timeline ~interval:10_000 m;
       (* run a slice: enough to measure steady-state step cost *)
       (try
          for _ = 1 to 200_000 do
@@ -230,6 +278,9 @@ and bechamel () =
          ON costs relative to the row above *)
       Test.make ~name:"machine 200k steps (hardbound+attr)"
         (Staged.stage (mk_machine ~attr:true Codegen.Hardbound));
+      (* ditto for sampling: the cost of the per-window census *)
+      Test.make ~name:"machine 200k steps (hardbound+timeline)"
+        (Staged.stage (mk_machine ~timeline:true Codegen.Hardbound));
     ]
   in
   let compile_test =

@@ -25,6 +25,7 @@ module Metrics = Hb_obs.Metrics
 module Profile = Hb_obs.Profile
 module Attr = Hb_obs.Attr
 module Diff = Hb_obs.Diff
+module Timeline = Hb_obs.Timeline
 
 let mode_conv =
   let parse s =
@@ -158,6 +159,31 @@ let attr_top =
            ~doc:"Rows shown in the --attr and --diff tables (N <= 0 shows \
                  every site)")
 
+let timeline_flag =
+  Arg.(value & flag
+       & info [ "timeline" ]
+           ~doc:"Print the windowed timeline phase report (per-window \
+                 counter sparklines, windows x counters heatmap, shadow \
+                 census evolution)")
+
+let timeline_jsonl =
+  Arg.(value & opt (some string) None
+       & info [ "timeline-jsonl" ] ~docv:"FILE"
+           ~doc:"Stream one JSON object per timeline window to FILE \
+                 (implies sampling)")
+
+let timeline_csv =
+  Arg.(value & opt (some string) None
+       & info [ "timeline-csv" ] ~docv:"FILE"
+           ~doc:"Write the timeline windows as CSV to FILE (implies \
+                 sampling)")
+
+let sample_interval =
+  Arg.(value & opt int 10_000
+       & info [ "sample-interval" ] ~docv:"CYCLES"
+           ~doc:"Timeline window width in simulated cycles (must be \
+                 positive)")
+
 let diff_arg =
   Arg.(value & opt (some (pair ~sep:',' file file)) None
        & info [ "diff" ] ~docv:"A.json,B.json"
@@ -247,7 +273,8 @@ let setup_obs m ~trace_file ~trace_format ~trace_events ~trace_retires
 (* Everything printed after the run: status, violation report, stats,
    profile, attribution, metrics snapshots. *)
 let report m status ~label ~mode ~scheme ~stats ~stats_format ~profile
-    ~attr_show ~attr_json ~attr_top ~metrics_json ~metrics_prom =
+    ~attr_show ~attr_json ~attr_top ~timeline_show ~metrics_json
+    ~metrics_prom =
   print_string (Machine.output m);
   Printf.printf "\n[%s] (mode=%s, encoding=%s)\n"
     (Machine.status_name status) (Codegen.mode_name mode)
@@ -288,6 +315,19 @@ let report m status ~label ~mode ~scheme ~stats ~stats_format ~profile
        | Ok () -> None
        | Error msg -> Some msg)
   in
+  (* Timeline: flush the final partial window, print the phase report,
+     and enforce the same accounting identity the per-PC attribution
+     enjoys — the window deltas must sum to the global totals. *)
+  let timeline_leak =
+    match Machine.timeline m with
+    | None -> None
+    | Some tl ->
+      Machine.timeline_flush m;
+      if timeline_show then print_string (Timeline.report tl);
+      (match Timeline.check tl ~expect:(Machine.timeline_fields m) with
+       | Ok () -> None
+       | Error msg -> Some msg)
+  in
   (match metrics_json with
    | None -> ()
    | Some path ->
@@ -297,10 +337,14 @@ let report m status ~label ~mode ~scheme ~stats ~stats_format ~profile
    | None -> ()
    | Some path -> write_file path (Metrics.to_prometheus (Machine.metrics m)));
   let code = match status with Machine.Exited n -> n | _ -> 42 in
-  match attr_leak with
-  | None -> code
-  | Some msg ->
-    Printf.eprintf "error: %s\n" msg;
+  match (attr_leak, timeline_leak) with
+  | None, None -> code
+  | leaks ->
+    List.iter
+      (function
+        | Some msg -> Printf.eprintf "error: %s\n" msg
+        | None -> ())
+      [ fst leaks; snd leaks ];
     if code = 0 then 3 else code
 
 (* Fault-injection entry points: campaign mode (N single-fault runs
@@ -392,7 +436,8 @@ let run_fault ~mk_plain ~label ~inject ~campaign ~campaign_json
 
 let run file workload mode scheme temporal stats stats_format asm emit_asm
     fuel trace_instrs trace_file trace_format trace_events trace_retires
-    profile metrics_json metrics_prom attr_flag attr_json attr_top diff_pair
+    profile metrics_json metrics_prom attr_flag attr_json attr_top
+    timeline_flag timeline_jsonl timeline_csv sample_interval diff_pair
     inject campaign campaign_json campaign_checkpoints =
   try
     match diff_pair with
@@ -456,9 +501,31 @@ let run file workload mode scheme temporal stats stats_format asm emit_asm
           ~profile
       in
       if want_attr then Machine.enable_attr ~line_base m;
+      let want_timeline =
+        timeline_flag || timeline_jsonl <> None || timeline_csv <> None
+      in
+      if want_timeline then begin
+        Machine.enable_timeline ~interval:sample_interval m;
+        match Machine.timeline m with
+        | None -> ()
+        | Some tl ->
+          (match timeline_jsonl with
+           | Some path -> Timeline.add_sink tl (Timeline.jsonl_sink path)
+           | None -> ());
+          (match timeline_csv with
+           | Some path -> Timeline.add_sink tl (Timeline.csv_sink path)
+           | None -> ())
+      end;
       (* The trace sink must be closed (Chrome traces need their closing
-         bracket) even when the run dies with Hb_error / Sys_error. *)
-      Fun.protect ~finally:close_trace (fun () ->
+         bracket) even when the run dies with Hb_error / Sys_error — and
+         the timeline's JSONL/CSV writers get the same guarantee. *)
+      let finalize () =
+        close_trace ();
+        match Machine.timeline m with
+        | Some tl -> Timeline.close_sinks tl
+        | None -> ()
+      in
+      Fun.protect ~finally:finalize (fun () ->
           let status =
             if trace_instrs > 0 then
               match
@@ -469,8 +536,8 @@ let run file workload mode scheme temporal stats stats_format asm emit_asm
             else Machine.run m
           in
           report m status ~label ~mode ~scheme ~stats ~stats_format ~profile
-            ~attr_show:attr_flag ~attr_json ~attr_top ~metrics_json
-            ~metrics_prom)
+            ~attr_show:attr_flag ~attr_json ~attr_top
+            ~timeline_show:timeline_flag ~metrics_json ~metrics_prom)
       end
     end
   with
@@ -502,6 +569,7 @@ let cmd =
           $ stats_format $ asm $ emit_asm $ fuel $ trace_instrs $ trace_file
           $ trace_format $ trace_events $ trace_retires $ profile
           $ metrics_json $ metrics_prom $ attr_flag $ attr_json $ attr_top
+          $ timeline_flag $ timeline_jsonl $ timeline_csv $ sample_interval
           $ diff_arg $ inject $ campaign $ campaign_json
           $ campaign_checkpoints)
 

@@ -169,6 +169,21 @@ let class_name = function
   | Base_bound -> "base_bound"
   | Tag_meta -> "tag_meta"
 
+(** Cumulative miss counters as a flat association list — the hierarchy's
+    contribution to the timeline's per-window deltas, alongside
+    [Stats.fields].  Data and base/bound accesses share the L1D and data
+    TLB (Figure 4); the tag metadata cache and its TLB are separate. *)
+let fields t =
+  let d = t.data_stats and b = t.bb_stats and g = t.tag_stats in
+  [
+    ("mem_accesses", d.accesses + b.accesses + g.accesses);
+    ("l1_misses", d.l1_misses + b.l1_misses);
+    ("tag_cache_misses", g.l1_misses);
+    ("l2_misses", d.l2_misses + b.l2_misses + g.l2_misses);
+    ("dtlb_misses", d.tlb_misses + b.tlb_misses);
+    ("ttlb_misses", g.tlb_misses);
+  ]
+
 (** Report per-class hierarchy counters (and the underlying cache/TLB
     structures) into a metrics registry. *)
 let export t (reg : Hb_obs.Metrics.t) =

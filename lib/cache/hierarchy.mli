@@ -68,6 +68,11 @@ val reset_stats : t -> unit
 
 val class_name : access_class -> string
 
+val fields : t -> (string * int) list
+(** Cumulative miss counters ([l1_misses], [tag_cache_misses],
+    [l2_misses], [dtlb_misses], [ttlb_misses], [mem_accesses]) as a flat
+    association list for the timeline's per-window deltas. *)
+
 val export : t -> Hb_obs.Metrics.t -> unit
 (** Report per-class counters ([hierarchy.*{class=...}]) and the
     underlying cache/TLB structures into a metrics registry. *)

@@ -116,6 +116,37 @@ let decode scheme ~word ~tag ~aux : decoded =
     else if aux <> 0 then Dec_inline (word, Meta.make ~base:word ~size:(4 * aux))
     else Dec_shadow word
 
+(** Where a register's metadata would live if stored — the total,
+    never-raising shape of {!encode} used by the timeline's
+    encoding-transition telemetry.  Unlike [encode], a pointer into the
+    shadow half of the address space under Intern4 classifies as [Wide]
+    instead of raising: the classifier only observes, it never stores. *)
+type kind = Non_pointer | Narrow | Wide
+
+let kind_name = function
+  | Non_pointer -> "non_pointer"
+  | Narrow -> "narrow"
+  | Wide -> "wide"
+
+let classify scheme ~value (m : Meta.t) : kind =
+  if not (Meta.is_pointer m) then Non_pointer
+  else
+    match scheme with
+    | Uncompressed -> Wide
+    | Extern4 -> (
+      match size_code ~value m with Some _ -> Narrow | None -> Wide)
+    | Intern4 -> (
+      if value >= 0x80000000 then Wide
+      else
+        match size_code ~value m with
+        | Some _ when value < Hb_mem.Layout.internal_region_limit -> Narrow
+        | _ -> Wide)
+    | Intern11 ->
+      let size = Meta.size m in
+      if m.Meta.base = value && size >= 4 && size mod 4 = 0 && size / 4 <= 2047
+      then Narrow
+      else Wide
+
 (** True if storing this register would need a shadow-space access (and the
     extra metadata micro-op of Section 5.4). *)
 let needs_shadow scheme ~value m =

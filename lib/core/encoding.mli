@@ -48,6 +48,18 @@ type decoded =
 
 val decode : scheme -> word:int -> tag:int -> aux:int -> decoded
 
+(** Where a register's metadata would live if stored: compressed inline
+    ([Narrow]) or in the base/bound shadow space ([Wide]). *)
+type kind = Non_pointer | Narrow | Wide
+
+val kind_name : kind -> string
+
+val classify : scheme -> value:int -> Meta.t -> kind
+(** Total (never-raising) shape of {!encode}: observes without storing,
+    so even addresses [encode] rejects (Intern4 shadow-half pointers)
+    classify as [Wide].  Drives the timeline's encoding-transition
+    counters. *)
+
 val needs_shadow : scheme -> value:int -> Meta.t -> bool
 (** Would storing this register need a shadow-space access (and the
     metadata micro-op of Section 5.4)? *)

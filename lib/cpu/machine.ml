@@ -20,6 +20,7 @@ module Propagate = Hardbound.Propagate
 module Trace = Hb_obs.Trace
 module Profile = Hb_obs.Profile
 module Attr = Hb_obs.Attr
+module Timeline = Hb_obs.Timeline
 
 type config = {
   scheme : Encoding.scheme;
@@ -98,6 +99,7 @@ type t = {
   mutable tracer : Trace.t option;
   mutable profile : prof option;
   mutable attr : Attr.t option;
+  mutable timeline : Timeline.t option;
 }
 
 (** Per-function profile plus the pc → function-id map driving it. *)
@@ -143,6 +145,7 @@ let create ?(config = default_config) ~globals (image : Hb_isa.Program.image) =
       tracer = None;
       profile = None;
       attr = None;
+      timeline = None;
     }
   in
   m.regs.(sp) <- Layout.stack_top;
@@ -218,6 +221,108 @@ let enable_attr ?(line_base = 0) m =
 
 let attr m = m.attr
 
+(* Point-in-time census of memory-resident bounded pointers, computed by
+   scanning the materialized tag-space pages: each non-zero tag is decoded
+   (with its word / side bits where the scheme needs them) and classified
+   into the encoding distribution; distinct (base, bound) pairs are the
+   live bounded objects.  Uses [Physmem.peek_*] exclusively — absent pages
+   read as zero and are never allocated — so taking a census perturbs
+   neither the Figure-6 touched-page counts nor the timing model. *)
+let census m : Timeline.census =
+  let scheme = m.cfg.scheme in
+  let bits = Encoding.tag_bits scheme in
+  let tag_mask = (1 lsl bits) - 1 in
+  let words_per_byte = 8 / bits in
+  let objects = Hashtbl.create 64 in
+  let live = ref 0
+  and ext4 = ref 0
+  and int4 = ref 0
+  and int11 = ref 0
+  and full = ref 0
+  and tag_bytes = ref 0 in
+  Physmem.fold_pages m.mem ~init:() ~f:(fun () idx page ->
+      let page_base = idx * Layout.page_size in
+      if Layout.region_of page_base = Layout.Tag_space then
+        Bytes.iteri
+          (fun i c ->
+            let byte = Char.code c in
+            if byte <> 0 then begin
+              incr tag_bytes;
+              let first_widx =
+                (page_base + i - Layout.tag_base) * words_per_byte
+              in
+              for slot = 0 to words_per_byte - 1 do
+                let tag = (byte lsr (slot * bits)) land tag_mask in
+                if tag <> 0 then begin
+                  let word_addr = (first_widx + slot) * Layout.word in
+                  let word = Physmem.peek_u32 m.mem word_addr in
+                  let aux =
+                    match Hashtbl.find_opt m.aux_bits word_addr with
+                    | Some a -> a
+                    | None -> 0
+                  in
+                  match Encoding.decode scheme ~word ~tag ~aux with
+                  | Encoding.Dec_non_pointer _ -> ()
+                  | Encoding.Dec_inline (_, md) ->
+                    incr live;
+                    (match scheme with
+                     | Encoding.Extern4 -> incr ext4
+                     | Encoding.Intern4 -> incr int4
+                     | Encoding.Intern11 -> incr int11
+                     | Encoding.Uncompressed -> ());
+                    Hashtbl.replace objects (md.Meta.base, md.Meta.bound) ()
+                  | Encoding.Dec_shadow _ ->
+                    incr live;
+                    incr full;
+                    let sa = Layout.shadow_addr word_addr in
+                    Hashtbl.replace objects
+                      ( Physmem.peek_u32 m.mem sa,
+                        Physmem.peek_u32 m.mem (sa + 4) )
+                      ()
+                end
+              done
+            end)
+          page);
+  {
+    Timeline.live_ptrs = !live;
+    live_objects = Hashtbl.length objects;
+    tag_bytes = !tag_bytes;
+    shadow_bytes = 8 * !full;
+    tag_pages = Physmem.pages_touched_in m.mem Layout.Tag_space;
+    shadow_pages = Physmem.pages_touched_in m.mem Layout.Shadow_space;
+    enc_ext4 = !ext4;
+    enc_int4 = !int4;
+    enc_int11 = !int11;
+    enc_full = !full;
+  }
+
+(** The cumulative counter set the timeline samples: every [Stats] field
+    plus the hierarchy's miss counters — also the [expect] side of
+    [Timeline.check]. *)
+let timeline_fields m = Stats.fields m.stats @ Hierarchy.fields m.hier
+
+(** Attach a cycle-windowed timeline sampling every [interval] cycles.
+    Raises {!Hb_error.Hb_error} when [interval <= 0].  Idempotent; the
+    recording restarts from zero. *)
+let enable_timeline ?(interval = 10_000) m =
+  m.timeline <- Some (Timeline.create ~interval)
+
+let timeline m = m.timeline
+
+(* Cold path of the per-step boundary check in [step]. *)
+let[@inline never] timeline_sample m (tl : Timeline.t) =
+  Timeline.record tl ~cycle:(Stats.cycles m.stats)
+    ~fields:(timeline_fields m) ~census:(census m)
+
+(** Close the final partial window (call after the run, before reading
+    windows or checking the accounting identity). *)
+let timeline_flush m =
+  match m.timeline with
+  | None -> ()
+  | Some tl ->
+    Timeline.flush tl ~cycle:(Stats.cycles m.stats)
+      ~fields:(timeline_fields m) ~census:(census m)
+
 let emit m kind =
   match m.tracer with
   | None -> ()
@@ -234,6 +339,9 @@ let metrics m =
   Stats.export m.stats reg;
   Hierarchy.export m.hier reg;
   Checker.export_tally reg;
+  (* metadata-footprint gauges: the census is peek-based (side-effect
+     free), so the exposition covers it whether or not a timeline ran *)
+  Timeline.export_census (census m) reg;
   (match m.profile with
    | Some p -> Profile.export p.prof reg
    | None -> ());
@@ -365,6 +473,26 @@ let write_tag m word_addr v =
   let addr, shift, mask = tag_loc m word_addr in
   Physmem.write_bits m.mem addr shift mask v
 
+(* Current encoding kind of the memory word an aligned store is about to
+   overwrite — the "before" side of the enc_promotions / enc_demotions
+   transition counters.  Reads only state the store itself is about to
+   touch (its tag and its word), so it perturbs neither the touched-page
+   counts nor the timing model; charges nothing. *)
+let stored_kind m word_addr =
+  let tag = read_tag m word_addr in
+  if tag = 0 then Encoding.Non_pointer
+  else
+    let word = Physmem.read_u32 m.mem word_addr in
+    let aux =
+      match Hashtbl.find_opt m.aux_bits word_addr with
+      | Some a -> a
+      | None -> 0
+    in
+    match Encoding.decode m.cfg.scheme ~word ~tag ~aux with
+    | Encoding.Dec_non_pointer _ -> Encoding.Non_pointer
+    | Encoding.Dec_inline _ -> Encoding.Narrow
+    | Encoding.Dec_shadow _ -> Encoding.Wide
+
 (* Perform the bounds check for a memory operation through register [r]
    with effective address [ea].  Returns unit or raises. *)
 let check_access m r ea width ~is_store =
@@ -490,6 +618,7 @@ let do_store m ~src ~basereg ~off ~width =
     charge_parallel m ~data:data_stall ~tag:tag_stall;
     if width = W4 && ea land 3 = 0 then begin
       let meta = reg_meta m src in
+      let old_kind = stored_kind m word_addr in
       match Encoding.encode m.cfg.scheme ~value:m.regs.(src) meta with
       | Encoding.Enc_non_pointer v ->
         raw_write m ea v W4;
@@ -497,6 +626,8 @@ let do_store m ~src ~basereg ~off ~width =
         Hashtbl.remove m.aux_bits word_addr
       | Encoding.Enc_inline { word; tag; aux } ->
         m.stats.ptr_stores <- m.stats.ptr_stores + 1;
+        if old_kind = Encoding.Wide then
+          m.stats.enc_demotions <- m.stats.enc_demotions + 1;
         raw_write m ea word W4;
         write_tag m word_addr tag;
         if aux <> 0 then Hashtbl.replace m.aux_bits word_addr aux
@@ -504,6 +635,8 @@ let do_store m ~src ~basereg ~off ~width =
       | Encoding.Enc_shadow { word; tag } ->
         m.stats.ptr_stores <- m.stats.ptr_stores + 1;
         m.stats.ptr_stores_shadow <- m.stats.ptr_stores_shadow + 1;
+        if old_kind = Encoding.Narrow then
+          m.stats.enc_promotions <- m.stats.enc_promotions + 1;
         m.stats.metadata_uops <- m.stats.metadata_uops + 1;
         m.stats.uops <- m.stats.uops + 1;
         raw_write m ea word W4;
@@ -566,15 +699,38 @@ let do_syscall m s =
 
 (* ---- Instruction dispatch ------------------------------------------ *)
 
+(* A pointer-propagating ALU op whose result no longer fits the scheme's
+   inline encoding (e.g. [p + 4] under Extern4, where only [ptr = base]
+   compresses) will force shadow traffic if it is ever stored — the
+   timeline's ptr_arith_promotions counter.  Callers guard on the result
+   being a pointer, so baseline modes never reach the classifier. *)
+let count_arith_promotion m ~src v md =
+  let scheme = m.cfg.scheme in
+  if
+    Encoding.classify scheme ~value:v md = Encoding.Wide
+    && Encoding.classify scheme ~value:m.regs.(src) (reg_meta m src)
+       = Encoding.Narrow
+  then m.stats.ptr_arith_promotions <- m.stats.ptr_arith_promotions + 1
+
+let count_setbound_compressible m v md =
+  if Encoding.classify m.cfg.scheme ~value:v md = Encoding.Narrow then
+    m.stats.setbound_compressible <- m.stats.setbound_compressible + 1
+
 let exec m i next =
   (match i with
    | Alu (op, rd, rs, Imm imm) ->
      let v = alu_eval m op m.regs.(rs) (mask32 imm) in
-     set_reg m rd v (Propagate.binop_imm op (reg_meta m rs));
+     let md = Propagate.binop_imm op (reg_meta m rs) in
+     if Meta.is_pointer md then count_arith_promotion m ~src:rs v md;
+     set_reg m rd v md;
      m.pc <- next
    | Alu (op, rd, rs, Reg rs2) ->
      let v = alu_eval m op m.regs.(rs) m.regs.(rs2) in
-     set_reg m rd v (Propagate.binop op (reg_meta m rs) (reg_meta m rs2));
+     let md = Propagate.binop op (reg_meta m rs) (reg_meta m rs2) in
+     (if Meta.is_pointer md then
+        let src = if Meta.is_pointer (reg_meta m rs) then rs else rs2 in
+        count_arith_promotion m ~src v md);
+     set_reg m rd v md;
      m.pc <- next
    | Falu (op, rd, r1, r2) ->
      set_reg m rd (falu_eval op m.regs.(r1) m.regs.(r2)) Meta.non_pointer;
@@ -615,6 +771,7 @@ let exec m i next =
      in
      let v = m.regs.(src) in
      let md = Propagate.setbound ~value:v ~size:sz in
+     count_setbound_compressible m v md;
      set_reg m dst v md;
      (match m.tracer with
       | None -> ()
@@ -635,6 +792,7 @@ let exec m i next =
          { Meta.base = max m0.Meta.base v; bound = min m0.Meta.bound (v + sz) }
        else Meta.make ~base:v ~size:sz
      in
+     count_setbound_compressible m v md;
      set_reg m dst v md;
      (match m.tracer with
       | None -> ()
@@ -714,7 +872,7 @@ let step m =
    | Some tr when Trace.trace_retires tr ->
      emit m (Trace.Retire { instr = Hb_isa.Printer.instr_str i })
    | _ -> ());
-  match m.profile, m.attr with
+  (match m.profile, m.attr with
   | None, None ->
     m.stats.instructions <- m.stats.instructions + 1;
     m.stats.uops <- m.stats.uops + 1;
@@ -778,7 +936,15 @@ let step m =
            add a.metadata_uops dmeta;
            add a.checked_derefs dderef;
            add a.setbounds dsb))
-      (fun () -> exec m i next)
+      (fun () -> exec m i next));
+  (* Timeline boundary: one [None] check on the fast path; the sample
+     itself (counter snapshot + shadow census) lives in the never-inlined
+     cold path. *)
+  match m.timeline with
+  | None -> ()
+  | Some tl ->
+    if Stats.cycles m.stats >= tl.Timeline.next_boundary then
+      timeline_sample m tl
 
 (** One line of execution trace: pc, enclosing function, instruction, and
     the accumulator registers with their metadata (debugging aid for the

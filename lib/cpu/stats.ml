@@ -32,6 +32,16 @@ type t = {
   mutable charged_data_stalls : int;
   mutable charged_tag_stalls : int;
   mutable charged_bb_stalls : int;
+  (* Encoding-transition telemetry (Section 4's compression claim is a
+     claim about these).  Bookkeeping only: none of them charges cycles. *)
+  mutable enc_promotions : int;
+      (* stores that widened a memory word's encoding (narrow -> shadow) *)
+  mutable enc_demotions : int;
+      (* stores that narrowed it back (shadow -> inline) *)
+  mutable ptr_arith_promotions : int;
+      (* ALU ops whose pointer result left the narrow encoding *)
+  mutable setbound_compressible : int;
+      (* setbounds whose result fits the scheme's inline encoding *)
 }
 
 let create () =
@@ -52,6 +62,10 @@ let create () =
     charged_data_stalls = 0;
     charged_tag_stalls = 0;
     charged_bb_stalls = 0;
+    enc_promotions = 0;
+    enc_demotions = 0;
+    ptr_arith_promotions = 0;
+    setbound_compressible = 0;
   }
 
 let cycles s = s.uops + s.stall_cycles
@@ -84,6 +98,10 @@ let fields s =
     ("charged_data_stalls", s.charged_data_stalls);
     ("charged_tag_stalls", s.charged_tag_stalls);
     ("charged_bb_stalls", s.charged_bb_stalls);
+    ("enc_promotions", s.enc_promotions);
+    ("enc_demotions", s.enc_demotions);
+    ("ptr_arith_promotions", s.ptr_arith_promotions);
+    ("setbound_compressible", s.setbound_compressible);
   ]
 
 let to_json s =
@@ -97,8 +115,12 @@ let export s (reg : Hb_obs.Metrics.t) =
 
 (** The accounting identities the timing model promises (header comment
     and Section 5.1): charged-stall attribution partitions the stalls,
-    and cycles decompose into micro-ops plus stalls. *)
-let check_invariants s =
+    cycles decompose into micro-ops plus stalls, and the transition
+    telemetry stays bounded by the events it rides on.  When
+    [window_sums] is given (the timeline's per-window delta sums), every
+    key shared with {!fields} must match the global total exactly —
+    the same accounting identity [Attr.check] enforces per PC. *)
+let check_invariants ?window_sums s =
   if
     s.charged_data_stalls + s.charged_tag_stalls + s.charged_bb_stalls
     <> s.stall_cycles
@@ -116,4 +138,30 @@ let check_invariants s =
     Error
       (Printf.sprintf "more metadata/check uops (%d+%d) than uops (%d)"
          s.check_uops s.metadata_uops s.uops)
-  else Ok ()
+  else if s.enc_promotions + s.enc_demotions > s.stores then
+    Error
+      (Printf.sprintf
+         "more encoding transitions (%d+%d) than stores (%d)"
+         s.enc_promotions s.enc_demotions s.stores)
+  else if s.setbound_compressible > s.setbound_instrs then
+    Error
+      (Printf.sprintf
+         "more compressible setbounds (%d) than setbounds (%d)"
+         s.setbound_compressible s.setbound_instrs)
+  else
+    match window_sums with
+    | None -> Ok ()
+    | Some sums -> (
+      let expect = fields s in
+      let bad =
+        List.filter_map
+          (fun (k, v) ->
+            match List.assoc_opt k expect with
+            | Some e when e <> v ->
+              Some (Printf.sprintf "%s: windows %d <> global %d" k v e)
+            | _ -> None)
+          sums
+      in
+      match bad with
+      | [] -> Ok ()
+      | msgs -> Error ("window-sum leak: " ^ String.concat "; " msgs))

@@ -25,6 +25,20 @@ type t = {
   mutable charged_bb_stalls : int;
       (** ...and sequential base/bound accesses are fully charged here.
           The three sum exactly to [stall_cycles]. *)
+  mutable enc_promotions : int;
+      (** stores that widened a memory word's pointer encoding from the
+          scheme's inline (narrow) form to the shadow-space (wide) form —
+          bookkeeping for the timeline's transition telemetry; charges no
+          cycles *)
+  mutable enc_demotions : int;
+      (** stores that narrowed a word's encoding back to the inline form *)
+  mutable ptr_arith_promotions : int;
+      (** pointer-propagating ALU ops whose result no longer fits the
+          inline encoding (e.g. [p + 4] under Extern4, where only
+          [ptr = base] compresses) *)
+  mutable setbound_compressible : int;
+      (** setbound results that fit the scheme's inline encoding
+          (Section 4's common case) *)
 }
 
 val create : unit -> t
@@ -44,8 +58,12 @@ val to_json : t -> Hb_obs.Json.t
 val export : t -> Hb_obs.Metrics.t -> unit
 (** Report every field into a metrics registry as [cpu.*] counters. *)
 
-val check_invariants : t -> (unit, string) result
+val check_invariants :
+  ?window_sums:(string * int) list -> t -> (unit, string) result
 (** The accounting identities the timing model promises:
     [charged_data + charged_tag + charged_bb = stall_cycles],
-    [cycles = uops + stall_cycles], and metadata/check micro-ops never
-    exceed total micro-ops. *)
+    [cycles = uops + stall_cycles], metadata/check micro-ops never
+    exceed total micro-ops, and encoding transitions stay bounded by the
+    stores/setbounds they ride on.  [window_sums] (the timeline's
+    per-window delta sums) additionally must match {!fields} exactly on
+    every shared key. *)

@@ -35,6 +35,10 @@ type config = {
   checkpoints : int;
   watchdog_factor : int;
   keep_run_records : bool;
+  window_interval : int;
+      (* instruction width of the timeline windows each injection is
+         binned into in the JSON report; purely a reporting concern, so
+         it cannot perturb the planned injection draws *)
 }
 
 let default =
@@ -46,6 +50,7 @@ let default =
     checkpoints = 16;
     watchdog_factor = 3;
     keep_run_records = true;
+    window_interval = 10_000;
   }
 
 type record = {
@@ -136,6 +141,9 @@ let run ~mk (cfg : config) : report =
       cfg.runs;
   if cfg.sites = [] then
     Hb_error.fail ~component:"campaign" "no fault sites selected";
+  if cfg.window_interval <= 0 then
+    Hb_error.fail ~component:"campaign"
+      "window interval must be positive (got %d)" cfg.window_interval;
   let golden = golden_of ~cfg ~mk in
   (* Plan every injection up front from the master stream, so execution
      order (sorted by injection point) cannot influence the draws. *)
@@ -322,7 +330,7 @@ let coverage_table (r : report) : string =
   row "total" (List.length r.records) None;
   Buffer.contents b
 
-let record_json (rec_ : record) : Json.t =
+let record_json ~window_interval (rec_ : record) : Json.t =
   let opt = function None -> Json.Null | Some n -> Json.Int n in
   Json.Obj
     [
@@ -330,6 +338,7 @@ let record_json (rec_ : record) : Json.t =
       ("seed", Json.Int rec_.run_seed);
       ("site", Json.String (Injector.site_name rec_.site));
       ("at", Json.Int rec_.at_instr);
+      ("window", Json.Int (rec_.at_instr / window_interval));
       ("target", Json.Int rec_.injection.Injector.target);
       ("bit", Json.Int rec_.injection.Injector.bit);
       ("before", Json.Int rec_.injection.Injector.before);
@@ -387,6 +396,7 @@ let to_json (r : report) : Json.t =
                     cfg.sites) );
              ("checkpoints", Json.Int cfg.checkpoints);
              ("watchdog_factor", Json.Int cfg.watchdog_factor);
+             ("window_interval", Json.Int cfg.window_interval);
            ] );
        ( "golden",
          Json.Obj
@@ -401,7 +411,11 @@ let to_json (r : report) : Json.t =
      ]
     @
     if cfg.keep_run_records then
-      [ ("runs", Json.List (List.map record_json r.records)) ]
+      [ ("runs",
+         Json.List
+           (List.map
+              (record_json ~window_interval:cfg.window_interval)
+              r.records)) ]
     else [])
 
 let export_metrics (r : report) (reg : Metrics.t) =

@@ -22,10 +22,16 @@ type config = {
   watchdog_factor : int;
       (** hang budget, as a multiple of the golden instruction count *)
   keep_run_records : bool;  (** include per-run records in the JSON *)
+  window_interval : int;
+      (** instruction width of the timeline windows each injection is
+          binned into ([window = at / window_interval] in the per-run
+          JSON) — aligns campaign records with [Hb_obs.Timeline] phase
+          windows without perturbing the injection draws *)
 }
 
 val default : config
-(** 100 runs, seed 1, all sites, 16 checkpoints, watchdog x3. *)
+(** 100 runs, seed 1, all sites, 16 checkpoints, watchdog x3,
+    10k-instruction report windows. *)
 
 type record = {
   idx : int;

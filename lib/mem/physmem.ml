@@ -83,6 +83,20 @@ let write_bits t addr shift mask v =
   let old = read_u8 t addr in
   write_u8 t addr (old land lnot (mask lsl shift) lor ((v land mask) lsl shift))
 
+(* Non-materializing reads: absent pages read as zero and are NOT
+   allocated, so observers (the timeline's shadow-space census) never
+   inflate the per-region touched-page counts that drive Figure 6. *)
+let peek_u8 t addr =
+  match Hashtbl.find_opt t.pages (addr / Layout.page_size) with
+  | None -> 0
+  | Some p -> Char.code (Bytes.unsafe_get p (addr land (Layout.page_size - 1)))
+
+let peek_u32 t addr =
+  peek_u8 t addr
+  lor (peek_u8 t (addr + 1) lsl 8)
+  lor (peek_u8 t (addr + 2) lsl 16)
+  lor (peek_u8 t (addr + 3) lsl 24)
+
 let pages_touched t = Hashtbl.length t.pages
 
 let pages_touched_in t region = !(List.assq region t.touched_by_region)

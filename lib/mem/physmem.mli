@@ -20,6 +20,13 @@ val read_bits : t -> int -> int -> int -> int
 val write_bits : t -> int -> int -> int -> int -> unit
 (** [write_bits t addr shift mask v]: read-modify-write a bit field. *)
 
+val peek_u8 : t -> int -> int
+(** Non-materializing read: an absent page reads as zero and is not
+    allocated, so observers (e.g. the shadow-metadata census) never
+    perturb the touched-page counts. *)
+
+val peek_u32 : t -> int -> int
+
 val pages_touched : t -> int
 (** Distinct pages materialized so far. *)
 

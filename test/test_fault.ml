@@ -239,6 +239,27 @@ let test_campaign_partition () =
   in
   Alcotest.(check int) "outcome counts partition the runs"
     campaign_cfg.Campaign.runs total;
+  (* the JSON report bins every injection into its timeline window *)
+  (match Campaign.to_json r with
+   | Json.Obj kvs ->
+     (match List.assoc "runs" kvs with
+      | Json.List recs ->
+        List.iter
+          (fun rec_json ->
+            match rec_json with
+            | Json.Obj fields ->
+              (match
+                 (List.assoc "at" fields, List.assoc "window" fields)
+               with
+               | Json.Int at, Json.Int w ->
+                 Alcotest.(check int) "window = at / window_interval"
+                   (at / campaign_cfg.Campaign.window_interval)
+                   w
+               | _ -> Alcotest.fail "at/window are not ints")
+            | _ -> Alcotest.fail "run record is not an object")
+          recs
+      | _ -> Alcotest.fail "runs is not a list")
+   | _ -> Alcotest.fail "campaign JSON is not an object");
   List.iter
     (fun (rec_ : Campaign.record) ->
       (match rec_.Campaign.outcome with

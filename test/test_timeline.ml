@@ -1,0 +1,427 @@
+(* Timeline tests: the window-sum accounting identity (per-window deltas
+   reconcile with the global Stats/Hierarchy counters under every
+   encoding), golden determinism of the JSONL/CSV sinks, sink closure on
+   Hb_error exits, interval validation, the shadow-metadata census, and
+   the encoding-transition counters. *)
+
+module Json = Hb_obs.Json
+module Timeline = Hb_obs.Timeline
+module Metrics = Hb_obs.Metrics
+module Machine = Hb_cpu.Machine
+module Stats = Hb_cpu.Stats
+module Codegen = Hb_minic.Codegen
+module Encoding = Hardbound.Encoding
+
+(* Small pointer-heavy sample workload: heap allocation, a linked
+   traversal and array writes, so checks, metadata traffic, setbounds and
+   pointer stores all fire. *)
+let sample =
+  {|
+struct node { int v; struct node *next; };
+
+struct node *push(struct node *head, int v) {
+  struct node *n;
+  n = (struct node *)malloc(sizeof(struct node));
+  n->v = v;
+  n->next = head;
+  return n;
+}
+
+int total(struct node *head) {
+  int s;
+  s = 0;
+  while (head != 0) { s = s + head->v; head = head->next; }
+  return s;
+}
+
+int main() {
+  struct node *head;
+  int *a;
+  int i;
+  head = 0;
+  a = (int *)malloc(32 * sizeof(int));
+  for (i = 0; i < 32; i++) {
+    a[i] = i * 3;
+    head = push(head, a[i]);
+  }
+  print_int(total(head));
+  return 0;
+}
+|}
+
+(* Overwrites one heap cell with a compressible pointer, a non-base
+   (uncompressible) one, and the compressible one again: under Extern4
+   the middle store widens the word's encoding (promotion) and the last
+   narrows it back (demotion). *)
+let transitions_sample =
+  {|
+int main() {
+  int **s;
+  int *a;
+  s = (int **)malloc(sizeof(int *));
+  a = (int *)malloc(8 * sizeof(int));
+  *s = a;
+  *s = a + 1;
+  *s = a;
+  print_int(0);
+  return 0;
+}
+|}
+
+let run_timeline ?(interval = 1_000) ?(source = sample) ~mode ~scheme () =
+  Hardbound.Checker.reset_tally ();
+  let image, globals = Hb_runtime.Build.compile ~mode source in
+  let config = Hb_runtime.Build.config_for ~scheme mode in
+  let m = Machine.create ~config ~globals image in
+  Machine.enable_timeline ~interval m;
+  (match Machine.run m with
+   | Machine.Exited 0 -> ()
+   | st -> Alcotest.fail (Machine.status_name st));
+  Machine.timeline_flush m;
+  m
+
+let timeline_of m =
+  match Machine.timeline m with
+  | Some tl -> tl
+  | None -> Alcotest.fail "timeline not enabled"
+
+let encodings =
+  [
+    ("uncompressed", Encoding.Uncompressed);
+    ("extern-4", Encoding.Extern4);
+    ("intern-4", Encoding.Intern4);
+    ("intern-11", Encoding.Intern11);
+  ]
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* ---- accounting identity --------------------------------------------- *)
+
+(* The sum of every window's deltas must equal the global end-of-run
+   counters, for the unprotected baseline and every encoding; and the
+   Stats invariants must hold with the window sums threaded through. *)
+let test_window_sums_reconcile () =
+  let check_one name ~mode ~scheme =
+    let m = run_timeline ~mode ~scheme () in
+    let tl = timeline_of m in
+    Alcotest.(check bool) (name ^ ": sampled more than one window") true
+      (List.length (Timeline.windows tl) > 1);
+    (match Timeline.check tl ~expect:(Machine.timeline_fields m) with
+     | Ok () -> ()
+     | Error e -> Alcotest.fail (name ^ ": " ^ e));
+    match
+      Stats.check_invariants ~window_sums:(Timeline.sums tl) m.Machine.stats
+    with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail (name ^ ": " ^ e)
+  in
+  check_one "baseline" ~mode:Codegen.Nochecks ~scheme:Encoding.Uncompressed;
+  List.iter
+    (fun (name, scheme) ->
+      check_one ("hardbound/" ^ name) ~mode:Codegen.Hardbound ~scheme)
+    encodings
+
+(* A doctored window sum must be caught, both by Timeline.check and by
+   the Stats invariant. *)
+let test_leak_detected () =
+  let m = run_timeline ~mode:Codegen.Hardbound ~scheme:Encoding.Extern4 () in
+  let tl = timeline_of m in
+  let doctored =
+    List.map
+      (fun (k, v) -> if k = "loads" then (k, v + 1) else (k, v))
+      (Timeline.sums tl)
+  in
+  (match
+     Stats.check_invariants ~window_sums:doctored m.Machine.stats
+   with
+   | Ok () -> Alcotest.fail "doctored window sums passed check_invariants"
+   | Error e ->
+     Alcotest.(check bool) "error names the leaking key" true
+       (contains e "loads"));
+  match Timeline.check tl ~expect:doctored with
+  | Ok () -> Alcotest.fail "doctored expectation passed Timeline.check"
+  | Error e ->
+    Alcotest.(check bool) "error says window-sum leak" true
+      (contains e "window-sum leak")
+
+(* Window structure: contiguous cycle ranges ending at the global cycle
+   count, indexes in order. *)
+let test_window_structure () =
+  let m = run_timeline ~mode:Codegen.Hardbound ~scheme:Encoding.Extern4 () in
+  let tl = timeline_of m in
+  let ws = Timeline.windows tl in
+  List.iteri
+    (fun i (w : Timeline.window) ->
+      Alcotest.(check int) "index in order" i w.Timeline.index;
+      Alcotest.(check bool) "window advances" true
+        (w.Timeline.end_cycle > w.Timeline.start_cycle))
+    ws;
+  let rec last = function [ x ] -> x | _ :: tl -> last tl | [] -> assert false in
+  Alcotest.(check int) "last window closes at the global cycle count"
+    (Stats.cycles m.Machine.stats)
+    (last ws).Timeline.end_cycle;
+  ignore
+    (List.fold_left
+       (fun prev_end (w : Timeline.window) ->
+         Alcotest.(check int) "windows are contiguous" prev_end
+           w.Timeline.start_cycle;
+         w.Timeline.end_cycle)
+       0 ws)
+
+(* ---- golden determinism of the sinks ---------------------------------- *)
+
+let test_sinks_deterministic () =
+  let dump scheme =
+    let jsonl = Filename.temp_file "hb_tl" ".jsonl" in
+    let csv = Filename.temp_file "hb_tl" ".csv" in
+    Hardbound.Checker.reset_tally ();
+    let mode = Codegen.Hardbound in
+    let image, globals = Hb_runtime.Build.compile ~mode sample in
+    let config = Hb_runtime.Build.config_for ~scheme mode in
+    let m = Machine.create ~config ~globals image in
+    Machine.enable_timeline ~interval:1_000 m;
+    let tl = timeline_of m in
+    Timeline.add_sink tl (Timeline.jsonl_sink jsonl);
+    Timeline.add_sink tl (Timeline.csv_sink csv);
+    Fun.protect
+      ~finally:(fun () -> Timeline.close_sinks tl)
+      (fun () ->
+        (match Machine.run m with
+         | Machine.Exited 0 -> ()
+         | st -> Alcotest.fail (Machine.status_name st));
+        Machine.timeline_flush m);
+    let j = read_file jsonl and c = read_file csv in
+    Sys.remove jsonl;
+    Sys.remove csv;
+    (j, c)
+  in
+  List.iter
+    (fun (name, scheme) ->
+      let j1, c1 = dump scheme and j2, c2 = dump scheme in
+      Alcotest.(check string) (name ^ ": JSONL byte-identical") j1 j2;
+      Alcotest.(check string) (name ^ ": CSV byte-identical") c1 c2;
+      (* every JSONL line parses and carries the schema *)
+      String.split_on_char '\n' j1
+      |> List.filter (fun l -> l <> "")
+      |> List.iter (fun line ->
+             match Json.of_string line with
+             | Json.Obj kvs ->
+               List.iter
+                 (fun key ->
+                   Alcotest.(check bool)
+                     (name ^ ": line has " ^ key)
+                     true (List.mem_assoc key kvs))
+                 [ "window"; "start_cycle"; "end_cycle"; "deltas"; "census" ]
+             | _ -> Alcotest.fail "JSONL line is not an object");
+      (* CSV: a header plus one row per window *)
+      let lines =
+        String.split_on_char '\n' c1 |> List.filter (fun l -> l <> "")
+      in
+      Alcotest.(check bool) (name ^ ": CSV header first") true
+        (match lines with
+         | hdr :: _ -> contains hdr "window,start_cycle,end_cycle"
+         | [] -> false))
+    encodings
+
+(* ---- sink closure on Hb_error ----------------------------------------- *)
+
+(* The CLI wraps runs in [Fun.protect ~finally:close_sinks]; a run dying
+   with Hb_error must still leave a flushed, parseable partial file. *)
+let test_sinks_closed_on_error () =
+  let path = Filename.temp_file "hb_tl" ".jsonl" in
+  let tl = Timeline.create ~interval:100 in
+  Timeline.add_sink tl (Timeline.jsonl_sink path);
+  (try
+     Fun.protect
+       ~finally:(fun () -> Timeline.close_sinks tl)
+       (fun () ->
+         Timeline.record tl ~cycle:100
+           ~fields:[ ("instructions", 42); ("cycles", 100) ]
+           ~census:Timeline.empty_census;
+         Hb_error.fail ~component:"test" "simulated mid-run abort")
+   with Hb_error.Hb_error _ -> ());
+  let content = read_file path in
+  Sys.remove path;
+  let lines =
+    String.split_on_char '\n' content |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check int) "the pre-abort window was flushed" 1 (List.length lines);
+  match Json.of_string (List.hd lines) with
+  | Json.Obj kvs ->
+    Alcotest.(check bool) "flushed line has deltas" true
+      (List.mem_assoc "deltas" kvs)
+  | _ -> Alcotest.fail "flushed line is not a JSON object"
+
+(* close_sinks is idempotent *)
+let test_close_idempotent () =
+  let path = Filename.temp_file "hb_tl" ".jsonl" in
+  let tl = Timeline.create ~interval:100 in
+  Timeline.add_sink tl (Timeline.jsonl_sink path);
+  Timeline.close_sinks tl;
+  Timeline.close_sinks tl;
+  Sys.remove path
+
+(* ---- validation / defaults -------------------------------------------- *)
+
+let test_interval_validation () =
+  List.iter
+    (fun bad ->
+      match Timeline.create ~interval:bad with
+      | exception Hb_error.Hb_error (_, msg) ->
+        Alcotest.(check bool) "error names the interval" true
+          (contains msg "interval")
+      | _ -> Alcotest.fail (Printf.sprintf "interval %d accepted" bad))
+    [ 0; -1; -10_000 ]
+
+let test_off_by_default () =
+  Hardbound.Checker.reset_tally ();
+  let mode = Codegen.Hardbound in
+  let image, globals = Hb_runtime.Build.compile ~mode sample in
+  let m =
+    Machine.create ~config:(Hb_runtime.Build.config_for mode) ~globals image
+  in
+  (match Machine.run m with
+   | Machine.Exited 0 -> ()
+   | st -> Alcotest.fail (Machine.status_name st));
+  Alcotest.(check bool) "no timeline unless enabled" true
+    (Machine.timeline m = None)
+
+(* ---- shadow census ----------------------------------------------------- *)
+
+let last_census m =
+  let tl = timeline_of m in
+  let rec last = function [ x ] -> x | _ :: tl -> last tl | [] -> assert false in
+  (last (Timeline.windows tl)).Timeline.census
+
+let test_census_by_scheme () =
+  (* Extern4: live pointers compress inline, no intern counts, and every
+     full pointer owns exactly 8 shadow bytes. *)
+  let c =
+    last_census (run_timeline ~mode:Codegen.Hardbound ~scheme:Encoding.Extern4 ())
+  in
+  Alcotest.(check bool) "extern4: live pointers in memory" true
+    (c.Timeline.live_ptrs > 0);
+  Alcotest.(check bool) "extern4: bounded objects" true
+    (c.Timeline.live_objects > 0
+    && c.Timeline.live_objects <= c.Timeline.live_ptrs);
+  Alcotest.(check int) "extern4: no intern-4 entries" 0 c.Timeline.enc_int4;
+  Alcotest.(check int) "extern4: no intern-11 entries" 0 c.Timeline.enc_int11;
+  Alcotest.(check int) "extern4: 8 shadow bytes per full pointer"
+    (8 * c.Timeline.enc_full)
+    c.Timeline.shadow_bytes;
+  Alcotest.(check int) "extern4: kinds partition the live pointers"
+    c.Timeline.live_ptrs
+    (c.Timeline.enc_ext4 + c.Timeline.enc_int4 + c.Timeline.enc_int11
+    + c.Timeline.enc_full);
+  Alcotest.(check bool) "extern4: tag space materialized" true
+    (c.Timeline.tag_bytes > 0 && c.Timeline.tag_pages > 0);
+  (* Uncompressed: everything is full-width *)
+  let u =
+    last_census
+      (run_timeline ~mode:Codegen.Hardbound ~scheme:Encoding.Uncompressed ())
+  in
+  Alcotest.(check int) "uncompressed: all pointers full" u.Timeline.live_ptrs
+    u.Timeline.enc_full;
+  Alcotest.(check int) "uncompressed: no inline entries" 0
+    (u.Timeline.enc_ext4 + u.Timeline.enc_int4 + u.Timeline.enc_int11)
+
+let test_census_gauges () =
+  let m = run_timeline ~mode:Codegen.Hardbound ~scheme:Encoding.Extern4 () in
+  let text = Metrics.to_prometheus (Machine.metrics m) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("exposes " ^ needle) true (contains text needle))
+    [
+      "hb_shadow_bytes";
+      "hb_tag_bytes";
+      "hb_live_bounded_objects";
+      "hb_live_pointers";
+      "hb_encoding_dist{kind=\"extern4\"}";
+      "hb_encoding_dist{kind=\"full\"}";
+    ]
+
+(* ---- encoding transitions ---------------------------------------------- *)
+
+let test_transition_counters () =
+  let m =
+    run_timeline ~source:transitions_sample ~mode:Codegen.Hardbound
+      ~scheme:Encoding.Extern4 ()
+  in
+  let s = m.Machine.stats in
+  Alcotest.(check bool) "promotions observed" true (s.Stats.enc_promotions > 0);
+  Alcotest.(check bool) "demotions observed" true (s.Stats.enc_demotions > 0);
+  Alcotest.(check bool) "pointer-arith promotions observed" true
+    (s.Stats.ptr_arith_promotions > 0);
+  Alcotest.(check bool) "compressible setbounds observed" true
+    (s.Stats.setbound_compressible > 0);
+  (* the baseline never classifies: all four counters stay zero *)
+  let b =
+    run_timeline ~source:transitions_sample ~mode:Codegen.Nochecks
+      ~scheme:Encoding.Uncompressed ()
+  in
+  Alcotest.(check int) "baseline: no transitions" 0
+    (b.Machine.stats.Stats.enc_promotions
+    + b.Machine.stats.Stats.enc_demotions
+    + b.Machine.stats.Stats.ptr_arith_promotions
+    + b.Machine.stats.Stats.setbound_compressible)
+
+(* ---- report ------------------------------------------------------------ *)
+
+let test_report_renders () =
+  let m = run_timeline ~mode:Codegen.Hardbound ~scheme:Encoding.Extern4 () in
+  let text = Timeline.report (timeline_of m) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("report shows " ^ needle) true
+        (contains text needle))
+    [
+      "per-window counter deltas";
+      "heatmap";
+      "shadow-metadata census";
+      "final encoding dist";
+      "live_ptrs";
+    ]
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "timeline"
+    [
+      ( "identities",
+        [
+          tc "window sums equal global counters for every encoding"
+            test_window_sums_reconcile;
+          tc "doctored sums are rejected" test_leak_detected;
+          tc "windows are contiguous and ordered" test_window_structure;
+        ] );
+      ( "golden",
+        [ tc "JSONL/CSV sinks are byte-deterministic" test_sinks_deterministic ]
+      );
+      ( "sinks",
+        [
+          tc "closed and flushed on Hb_error" test_sinks_closed_on_error;
+          tc "close is idempotent" test_close_idempotent;
+        ] );
+      ( "validation",
+        [
+          tc "non-positive intervals are typed errors" test_interval_validation;
+          tc "timeline off by default" test_off_by_default;
+        ] );
+      ( "census",
+        [
+          tc "per-scheme census invariants" test_census_by_scheme;
+          tc "final census exported as gauges" test_census_gauges;
+        ] );
+      ( "transitions",
+        [ tc "promotion/demotion counters fire" test_transition_counters ] );
+      ( "report", [ tc "phase report renders" test_report_renders ] );
+    ]
