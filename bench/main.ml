@@ -27,6 +27,7 @@ let experiments =
     ("redzone", "Section 2.1: red-zone tripwire baseline");
     ("temporal", "Section 6.2: temporal-tracking extension");
     ("fault", "Fault-injection campaigns: checker detection coverage");
+    ("recover", "Recovery policies: corpus detection matrix + clean overhead");
     ("attr", "Per-PC attribution: top hotspots + differential overhead");
     ("timeline", "Timeline: windowed phase samples + shadow census");
     ("bechamel", "Micro-benchmarks of the simulator itself");
@@ -113,6 +114,64 @@ let rec run_experiment name =
         [ "power"; "perimeter" ]
     in
     note_json name (Json.Obj reports)
+  | "recover" ->
+    banner "Recovery policies (hb_recover)";
+    let module Policy = Hb_recover.Policy in
+    let module Recover = Hb_recover.Recover in
+    let module Recovery = Hb_harness.Recovery in
+    let module Machine = Hb_cpu.Machine in
+    (* Detection matrix on a corpus sample: every 3rd case keeps the
+       experiment under a minute while still crossing every idiom. *)
+    let all = Hb_violations.Gen.all_cases () in
+    let cases = List.filteri (fun i _ -> i mod 3 = 0) all in
+    Printf.eprintf "[recover] matrix on %d of %d corpus cases x %d policies...\n%!"
+      (List.length cases) (List.length all) (List.length Policy.all);
+    let cells = Recovery.matrix ~cases () in
+    print_string (Recovery.to_table cells);
+    if not (Recovery.all_detected cells) then
+      Hb_error.fail ~component:"bench"
+        "recovery matrix: a bad case went undetected or a good case trapped";
+    (* Clean-run overhead: a trap-free workload must cost exactly the
+       same cycles under every policy — the supervisor only acts when a
+       trap fires, so the default abort path's baseline is untouched. *)
+    let treeadd = Hb_workloads.Workloads.find "treeadd" in
+    let mode = Codegen.Hardbound in
+    let image, globals = Hb_runtime.Build.compile ~mode treeadd.source in
+    let clean_cycles policy =
+      let config = Hb_runtime.Build.config_for ~scheme:Encoding.Extern4 mode in
+      let m = Machine.create ~config ~globals image in
+      let o =
+        Recover.run ~line_base:Hb_runtime.Build.runtime_lines
+          ~config:(Policy.with_policy policy) m
+      in
+      (match o.Recover.status with
+       | Machine.Exited 0 when o.Recover.traps = [] -> ()
+       | _ ->
+         Hb_error.fail ~component:"bench" "treeadd not clean under %s: %s"
+           (Policy.name policy) (Recover.summary o));
+      Hb_cpu.Stats.cycles m.Machine.stats
+    in
+    let overhead = List.map (fun p -> (p, clean_cycles p)) Policy.all in
+    Printf.printf "\nclean-run cycles (treeadd, extern-4) by policy:\n";
+    List.iter
+      (fun (p, c) -> Printf.printf "  %-10s %d\n" (Policy.name p) c)
+      overhead;
+    (match overhead with
+     | (_, c0) :: rest ->
+       if not (List.for_all (fun (_, c) -> c = c0) rest) then
+         Hb_error.fail ~component:"bench"
+           "recovery policies perturbed a trap-free run's cycle count"
+     | [] -> ());
+    note_json name
+      (Json.Obj
+         [
+           ("matrix", Recovery.to_json cells);
+           ( "clean_cycles",
+             Json.Obj
+               (List.map
+                  (fun (p, c) -> (Policy.name p, Json.Int c))
+                  overhead) );
+         ])
   | "attr" ->
     banner "Per-PC attribution: hotspots and differential overhead";
     let module Machine = Hb_cpu.Machine in

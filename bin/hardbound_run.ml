@@ -26,6 +26,9 @@ module Profile = Hb_obs.Profile
 module Attr = Hb_obs.Attr
 module Diff = Hb_obs.Diff
 module Timeline = Hb_obs.Timeline
+module Policy = Hb_recover.Policy
+module Recover = Hb_recover.Recover
+module Deadline = Hb_recover.Deadline
 
 let mode_conv =
   let parse s =
@@ -193,9 +196,10 @@ let diff_arg =
 
 let inject_conv =
   let parse s =
-    match Hb_fault.Injector.parse_spec s with
-    | Ok spec -> Ok spec
-    | Error msg -> Error (`Msg msg)
+    match Hb_fault.Injector.spec_of_string s with
+    | spec -> Ok spec
+    | exception Hb_error.Hb_error (ctx, msg) ->
+      Error (`Msg (Hb_error.to_string (ctx, msg)))
   in
   Arg.conv
     ( parse,
@@ -232,6 +236,56 @@ let campaign_checkpoints =
   Arg.(value & opt int Hb_fault.Campaign.default.Hb_fault.Campaign.checkpoints
        & info [ "campaign-checkpoints" ] ~docv:"K"
            ~doc:"Golden-divergence checkpoints per run")
+
+let policy_conv =
+  let parse s =
+    match Policy.of_name s with
+    | Some p -> Ok p
+    | None ->
+      Error
+        (`Msg (Printf.sprintf "unknown violation policy %S (have: %s)" s
+                 Policy.known))
+  in
+  Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (Policy.name p))
+
+let on_violation =
+  Arg.(value & opt policy_conv Policy.Abort
+       & info [ "on-violation" ] ~docv:"POLICY"
+           ~doc:"What a bounds-violation trap does: abort (stop, the \
+                 default) | report (log it, retire the access unchecked) \
+                 | null-guard (squash it: loads read 0, stores drop) | \
+                 rollback (restore the latest checkpoint and re-execute \
+                 with the access suppressed)")
+
+let violation_budget =
+  Arg.(value & opt int Policy.default.Policy.violation_budget
+       & info [ "violation-budget" ] ~docv:"N"
+           ~doc:"Traps a continuing --on-violation policy may absorb \
+                 before the run aborts anyway")
+
+let journal_arg =
+  Arg.(value & opt (some string) None
+       & info [ "journal" ] ~docv:"FILE"
+           ~doc:"Write a crash-resilient campaign journal to FILE (one \
+                 fsync'd JSON record per completed run); an interrupted \
+                 campaign resumes from it with --resume")
+
+let resume_arg =
+  Arg.(value & opt (some string) None
+       & info [ "resume" ] ~docv:"FILE"
+           ~doc:"Resume an interrupted campaign from its journal, \
+                 executing only the runs it never recorded; give the same \
+                 workload and campaign flags as the original invocation \
+                 (the journal header is checked).  The final report is \
+                 byte-identical to an uninterrupted campaign's")
+
+let deadline_arg =
+  Arg.(value & opt (some float) None
+       & info [ "deadline" ] ~docv:"SECS"
+           ~doc:"Wall-clock budget: campaigns stop between runs and \
+                 report the completed (resumable) prefix; single runs \
+                 stop at the next instruction boundary with a partial \
+                 report")
 
 let read_file path =
   let ic = open_in_bin path in
@@ -271,10 +325,12 @@ let setup_obs m ~trace_file ~trace_format ~trace_events ~trace_retires
   close
 
 (* Everything printed after the run: status, violation report, stats,
-   profile, attribution, metrics snapshots. *)
+   profile, attribution, metrics snapshots.  [Machine.metrics] builds a
+   fresh registry per call, so supervisor counters (hb.traps_total &c.)
+   arrive via [extra_metrics], applied to each registry being dumped. *)
 let report m status ~label ~mode ~scheme ~stats ~stats_format ~profile
     ~attr_show ~attr_json ~attr_top ~timeline_show ~metrics_json
-    ~metrics_prom =
+    ~metrics_prom ?(extra_metrics = fun (_ : Metrics.t) -> ()) () =
   print_string (Machine.output m);
   Printf.printf "\n[%s] (mode=%s, encoding=%s)\n"
     (Machine.status_name status) (Codegen.mode_name mode)
@@ -328,14 +384,19 @@ let report m status ~label ~mode ~scheme ~stats ~stats_format ~profile
        | Ok () -> None
        | Error msg -> Some msg)
   in
+  let registry () =
+    let reg = Machine.metrics m in
+    extra_metrics reg;
+    reg
+  in
   (match metrics_json with
    | None -> ()
    | Some path ->
      write_file path
-       (Json.to_string_pretty (Metrics.snapshot (Machine.metrics m)) ^ "\n"));
+       (Json.to_string_pretty (Metrics.snapshot (registry ())) ^ "\n"));
   (match metrics_prom with
    | None -> ()
-   | Some path -> write_file path (Metrics.to_prometheus (Machine.metrics m)));
+   | Some path -> write_file path (Metrics.to_prometheus (registry ())));
   let code = match status with Machine.Exited n -> n | _ -> 42 in
   match (attr_leak, timeline_leak) with
   | None, None -> code
@@ -352,8 +413,8 @@ let report m status ~label ~mode ~scheme ~stats ~stats_format ~profile
    Both need a machine *factory* rather than one machine; when --trace is
    given, every machine streams into the same sink. *)
 let run_fault ~mk_plain ~label ~inject ~campaign ~campaign_json
-    ~campaign_checkpoints ~trace_file ~trace_format ~trace_retires
-    ~metrics_json =
+    ~campaign_checkpoints ~policy ~violation_budget ~journal ~resume
+    ~deadline ~trace_file ~trace_format ~trace_retires ~metrics_json =
   let module Campaign = Hb_fault.Campaign in
   let module Injector = Hb_fault.Injector in
   let sink = ref None in
@@ -390,15 +451,29 @@ let run_fault ~mk_plain ~label ~inject ~campaign ~campaign_json
         runs = campaign;
         seed = spec.Injector.seed;
         sites = spec.Injector.sites;
-        checkpoints = campaign_checkpoints }
+        checkpoints = campaign_checkpoints;
+        policy;
+        violation_budget }
     in
-    let report = Campaign.run ~mk cfg in
+    let report =
+      Campaign.run ?journal ?resume ~deadline:(Deadline.of_secs deadline)
+        ~mk cfg
+    in
     Printf.printf
       "campaign %s: %d runs, seed %d, golden %s (%d instrs, %d output \
        bytes)\n\n"
       label campaign cfg.Campaign.seed report.Campaign.golden_status
       report.Campaign.golden_instrs report.Campaign.golden_output_bytes;
     print_string (Campaign.coverage_table report);
+    if report.Campaign.deadline_expired then
+      Printf.printf
+        "deadline expired: %d of %d runs completed%s\n"
+        (List.length report.Campaign.records)
+        cfg.Campaign.runs
+        (match (journal, resume) with
+         | Some p, _ | _, Some p ->
+           Printf.sprintf " (resume with --resume %s)" p
+         | None, None -> "");
     (match campaign_json with
      | None -> ()
      | Some path ->
@@ -438,7 +513,8 @@ let run file workload mode scheme temporal stats stats_format asm emit_asm
     fuel trace_instrs trace_file trace_format trace_events trace_retires
     profile metrics_json metrics_prom attr_flag attr_json attr_top
     timeline_flag timeline_jsonl timeline_csv sample_interval diff_pair
-    inject campaign campaign_json campaign_checkpoints =
+    inject campaign campaign_json campaign_checkpoints policy
+    violation_budget journal resume deadline =
   try
     match diff_pair with
     | Some (a_path, b_path) ->
@@ -489,10 +565,17 @@ let run file workload mode scheme temporal stats stats_format asm emit_asm
         end
       in
       Hardbound.Checker.reset_tally ();
+      if resume <> None && campaign <= 0 then begin
+        Printf.eprintf
+          "error: --resume needs the original campaign flags (at least \
+           --campaign N) so the journal header can be checked\n";
+        exit 2
+      end;
       if campaign > 0 || inject <> None then
         run_fault
           ~mk_plain:(fun () -> Machine.create ~config ~globals image)
           ~label ~inject ~campaign ~campaign_json ~campaign_checkpoints
+          ~policy ~violation_budget ~journal ~resume ~deadline
           ~trace_file ~trace_format ~trace_retires ~metrics_json
       else begin
       let m = Machine.create ~config ~globals image in
@@ -526,8 +609,29 @@ let run file workload mode scheme temporal stats stats_format asm emit_asm
         | None -> ()
       in
       Fun.protect ~finally:finalize (fun () ->
+          let supervisor = ref (fun (_ : Metrics.t) -> ()) in
           let status =
-            if trace_instrs > 0 then
+            (* a non-abort policy (or a wall-clock budget) routes the run
+               through the trap supervisor; it is bit-identical to
+               [Machine.run] until a trap fires or the deadline hits *)
+            if policy <> Policy.Abort || deadline <> None then begin
+              let rcfg =
+                { Policy.default with Policy.policy; violation_budget }
+              in
+              let o =
+                Recover.run ~deadline:(Deadline.of_secs deadline) ~line_base
+                  ~config:rcfg m
+              in
+              List.iter
+                (fun h ->
+                  Printf.printf "trap: %s\n" (Recover.describe_handled h))
+                o.Recover.traps;
+              if o.Recover.traps <> [] || o.Recover.deadline_expired then
+                print_endline (Recover.summary o);
+              supervisor := Recover.export_metrics o;
+              o.Recover.status
+            end
+            else if trace_instrs > 0 then
               match
                 Machine.run_traced m ~n:trace_instrs ~out:print_endline
               with
@@ -537,7 +641,8 @@ let run file workload mode scheme temporal stats stats_format asm emit_asm
           in
           report m status ~label ~mode ~scheme ~stats ~stats_format ~profile
             ~attr_show:attr_flag ~attr_json ~attr_top
-            ~timeline_show:timeline_flag ~metrics_json ~metrics_prom)
+            ~timeline_show:timeline_flag ~metrics_json ~metrics_prom
+            ~extra_metrics:(fun reg -> !supervisor reg) ())
       end
     end
   with
@@ -571,6 +676,7 @@ let cmd =
           $ metrics_json $ metrics_prom $ attr_flag $ attr_json $ attr_top
           $ timeline_flag $ timeline_jsonl $ timeline_csv $ sample_interval
           $ diff_arg $ inject $ campaign $ campaign_json
-          $ campaign_checkpoints)
+          $ campaign_checkpoints $ on_violation $ violation_budget
+          $ journal_arg $ resume_arg $ deadline_arg)
 
 let () = exit (Cmd.eval' cmd)

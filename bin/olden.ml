@@ -11,18 +11,22 @@ module Machine = Hb_cpu.Machine
 module Stats = Hb_cpu.Stats
 module Encoding = Hardbound.Encoding
 module Run = Hb_harness.Run
+module Policy = Hb_recover.Policy
+module Recover = Hb_recover.Recover
 
 let usage () =
   prerr_endline
     "usage: olden <name|list> [--mode MODE] [--scheme ENC]\n\
+     \             [--on-violation POLICY] [--violation-budget N]\n\
      modes: nochecks hardbound malloc-only softfat objtable\n\
-     encodings: uncompressed extern-4 intern-4 intern-11";
+     encodings: uncompressed extern-4 intern-4 intern-11\n\
+     policies: abort report null-guard rollback";
   exit 1
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let rec parse name mode scheme = function
-    | [] -> (name, mode, scheme)
+  let rec parse name mode scheme policy budget = function
+    | [] -> (name, mode, scheme, policy, budget)
     | "--mode" :: m :: rest ->
       let mode =
         match m with
@@ -33,16 +37,25 @@ let () =
         | "objtable" -> Codegen.Objtable
         | _ -> usage ()
       in
-      parse name mode scheme rest
+      parse name mode scheme policy budget rest
     | "--scheme" :: s :: rest -> (
       match Encoding.scheme_of_name s with
-      | Some sc -> parse name mode sc rest
+      | Some sc -> parse name mode sc policy budget rest
       | None -> usage ())
-    | n :: rest when name = None -> parse (Some n) mode scheme rest
+    | "--on-violation" :: p :: rest -> (
+      match Policy.of_name p with
+      | Some pol -> parse name mode scheme pol budget rest
+      | None -> usage ())
+    | "--violation-budget" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some b when b >= 0 -> parse name mode scheme policy b rest
+      | _ -> usage ())
+    | n :: rest when name = None -> parse (Some n) mode scheme policy budget rest
     | _ -> usage ()
   in
-  let name, mode, scheme =
-    parse None Codegen.Hardbound Encoding.Extern4 args
+  let name, mode, scheme, policy, budget =
+    parse None Codegen.Hardbound Encoding.Extern4 Policy.Abort
+      Policy.default.Policy.violation_budget args
   in
   match name with
   | None -> usage ()
@@ -58,6 +71,28 @@ let () =
         Printf.eprintf "error: %s\n" (Hb_error.to_string (ctx, msg));
         exit 1
     in
+    if policy <> Policy.Abort then begin
+      (* supervised run: traps route through the recovery policy instead
+         of terminating the benchmark *)
+      let image, globals = Hb_runtime.Build.compile ~mode w.source in
+      let config = Hb_runtime.Build.config_for ~scheme mode in
+      let m = Machine.create ~config ~globals image in
+      let rcfg =
+        { Policy.default with Policy.policy; violation_budget = budget }
+      in
+      let o =
+        Recover.run ~line_base:Hb_runtime.Build.runtime_lines ~config:rcfg m
+      in
+      print_string (Machine.output m);
+      List.iter
+        (fun h -> Printf.printf "trap: %s\n" (Recover.describe_handled h))
+        o.Recover.traps;
+      print_endline (Recover.summary o);
+      Printf.printf "mode=%s encoding=%s policy=%s [%s]\n"
+        (Codegen.mode_name mode) (Encoding.scheme_name scheme)
+        (Policy.name policy) (Machine.status_name o.Recover.status);
+      exit (match o.Recover.status with Machine.Exited c -> c | _ -> 42)
+    end;
     let r = Run.measure ~scheme ~mode w in
     print_string r.Run.output;
     Printf.printf

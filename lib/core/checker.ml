@@ -42,21 +42,28 @@ type tally = {
   mutable checks : int;
   mutable bounds_violations : int;
   mutable non_pointer_derefs : int;
+  mutable handled_traps : int;
+      (* violations a recovery supervisor turned into precise traps and
+         survived (report / null-guard / rollback) instead of aborting *)
 }
 
-let tally = { checks = 0; bounds_violations = 0; non_pointer_derefs = 0 }
+let tally =
+  { checks = 0; bounds_violations = 0; non_pointer_derefs = 0;
+    handled_traps = 0 }
 
 let reset_tally () =
   tally.checks <- 0;
   tally.bounds_violations <- 0;
-  tally.non_pointer_derefs <- 0
+  tally.non_pointer_derefs <- 0;
+  tally.handled_traps <- 0
 
 let export_tally (reg : Hb_obs.Metrics.t) =
   Hb_obs.Metrics.set_counter reg "checker.checks" tally.checks;
   Hb_obs.Metrics.set_counter reg "checker.bounds_violations"
     tally.bounds_violations;
   Hb_obs.Metrics.set_counter reg "checker.non_pointer_derefs"
-    tally.non_pointer_derefs
+    tally.non_pointer_derefs;
+  Hb_obs.Metrics.set_counter reg "checker.handled_traps" tally.handled_traps
 
 let bounds_fail v =
   tally.bounds_violations <- tally.bounds_violations + 1;

@@ -37,6 +37,10 @@ type tally = {
   mutable checks : int;
   mutable bounds_violations : int;
   mutable non_pointer_derefs : int;
+  mutable handled_traps : int;
+      (** violations a recovery supervisor turned into precise traps and
+          survived (report / null-guard / rollback) instead of aborting —
+          bumped by [Hb_recover.Recover], not by the checker itself *)
 }
 
 val tally : tally

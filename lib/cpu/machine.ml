@@ -66,6 +66,19 @@ type status =
   | Fault of string        (** machine-level fault, e.g. null dereference *)
   | Out_of_fuel
 
+(** One-shot override applied to the next load/store the machine issues,
+    armed by a trap supervisor ({!Hb_recover.Recover}) after it catches a
+    bounds trap with the pc still at the faulting instruction:
+
+    - [Skip_check]: re-issue the access without the bounds check (the
+      "report" recovery policy's unchecked retire);
+    - [Squash_access]: annul the access — loads write 0 (non-pointer)
+      into the destination, stores are dropped (the "null-guard" policy).
+
+    Consumed by the first access that sees it; the default [No_override]
+    costs one immediate comparison per load/store. *)
+type override = No_override | Skip_check | Squash_access
+
 let status_name = function
   | Exited n -> Printf.sprintf "exited(%d)" n
   | Bounds_violation v -> "bounds-violation: " ^ Checker.describe_violation v
@@ -94,6 +107,7 @@ type t = {
   mutable pc : int;
   mutable brk : int;
   mutable halted : status option;
+  mutable override : override;
   (* Observability hooks: all default to off and cost a single [None] /
      [Off] check on their hot paths until attached. *)
   mutable tracer : Trace.t option;
@@ -142,6 +156,7 @@ let create ?(config = default_config) ~globals (image : Hb_isa.Program.image) =
       pc = image.entry;
       brk = Layout.heap_base;
       halted = None;
+      override = No_override;
       tracer = None;
       profile = None;
       attr = None;
@@ -178,6 +193,14 @@ let fn_at m pc =
   if pc >= 0 && pc < Array.length m.image.fn_of_index then
     m.image.fn_of_index.(pc)
   else "?"
+
+(** Raw debug-map unit line of a code index (0 = unknown) — trap records
+    resolve it to a user line with the runtime-prelude offset, exactly as
+    {!enable_attr} does. *)
+let line_at m pc =
+  if pc >= 0 && pc < Array.length m.image.line_of_index then
+    m.image.line_of_index.(pc)
+  else 0
 
 let attach_tracer m tr = m.tracer <- Some tr
 
@@ -494,8 +517,13 @@ let stored_kind m word_addr =
     | Encoding.Dec_shadow _ -> Encoding.Wide
 
 (* Perform the bounds check for a memory operation through register [r]
-   with effective address [ea].  Returns unit or raises. *)
+   with effective address [ea].  Returns unit or raises.  A pending
+   [Skip_check] override (armed by a trap supervisor re-issuing the
+   faulting access) suppresses exactly this one check; the unchecked
+   retire is not counted as a checked dereference. *)
 let check_access m r ea width ~is_store =
+  if m.override = Skip_check then m.override <- No_override
+  else
   let meta = reg_meta m r in
   let checked =
     Checker.check m.cfg.mode meta ~pc:m.pc ~addr:ea ~value:m.regs.(r) ~width
@@ -537,6 +565,13 @@ let raw_write m ea v = function
 
 let do_load m ~dst ~basereg ~off ~width ~signed =
   m.stats.loads <- m.stats.loads + 1;
+  if m.override = Squash_access then begin
+    (* null-guard: the faulting load is annulled — the destination reads
+       as 0 with no metadata, and no memory or cache state is touched *)
+    m.override <- No_override;
+    set_reg m dst 0 Meta.non_pointer
+  end
+  else begin
   let wbytes = bytes_of_width width in
   let ea = mask32 (m.regs.(basereg) + off) in
   check_access m basereg ea wbytes ~is_store:false;
@@ -591,9 +626,14 @@ let do_load m ~dst ~basereg ~off ~width ~signed =
         Meta.non_pointer
     end
   end
+  end
 
 let do_store m ~src ~basereg ~off ~width =
   m.stats.stores <- m.stats.stores + 1;
+  if m.override = Squash_access then
+    (* null-guard: the faulting store is dropped entirely *)
+    m.override <- No_override
+  else begin
   let wbytes = bytes_of_width width in
   let ea = mask32 (m.regs.(basereg) + off) in
   check_access m basereg ea wbytes ~is_store:true;
@@ -671,6 +711,7 @@ let do_store m ~src ~basereg ~off ~width =
       end;
       raw_write m ea m.regs.(src) width
     end
+  end
   end
 
 (* ---- Syscalls ------------------------------------------------------ *)

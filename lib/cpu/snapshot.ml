@@ -2,7 +2,8 @@
 
     A snapshot captures the state a program can observe: registers (with
     their base/bound metadata), pc, break, halt status, program output,
-    the Intern11 side store and every non-zero memory page.  It does NOT
+    the Intern11 side store and every materialized memory page.  It does
+    NOT
     capture microarchitectural state (caches, TLBs, statistics, the
     temporal word map): restoring and re-stepping replays architectural
     results exactly, while timing counters keep accumulating.
@@ -30,15 +31,14 @@ let is_zero_page (b : Bytes.t) =
   let rec go i = i >= n || (Bytes.unsafe_get b i = '\000' && go (i + 1)) in
   go 0
 
-(* All-zero pages are dropped: a page materialized by reading fresh memory
-   is architecturally indistinguishable from an untouched one, so two
+(* Capture keeps EVERY materialized page, all-zero ones included: a
+   restore must reproduce the capture-time touched-page set exactly, or
+   the Figure-6 page counts (and the fault injector's touched-page target
+   pools) would drift across a capture/restore round trip.  All-zero
+   pages are instead ignored at *comparison* time ([equal]/[diff]/
+   [digest]): a page materialized by reading fresh memory is
+   architecturally indistinguishable from an untouched one, so two
    machines that probed different cold addresses still compare equal. *)
-let live_pages mem =
-  Array.of_seq
-    (Seq.filter
-       (fun (_, b) -> not (is_zero_page b))
-       (Array.to_seq (Physmem.export_pages mem)))
-
 let capture (m : Machine.t) : t =
   {
     pc = m.Machine.pc;
@@ -50,7 +50,7 @@ let capture (m : Machine.t) : t =
     aux =
       List.sort compare
         (Hashtbl.fold (fun k v acc -> (k, v) :: acc) m.Machine.aux_bits []);
-    pages = live_pages m.Machine.mem;
+    pages = Physmem.export_pages m.Machine.mem;
     output = Buffer.contents m.Machine.out;
   }
 
@@ -58,6 +58,7 @@ let restore (m : Machine.t) (s : t) =
   m.Machine.pc <- s.pc;
   m.Machine.brk <- s.brk;
   m.Machine.halted <- s.halted;
+  m.Machine.override <- Machine.No_override;
   Array.blit s.regs 0 m.Machine.regs 0 (Array.length s.regs);
   Array.blit s.rbase 0 m.Machine.rbase 0 (Array.length s.rbase);
   Array.blit s.rbound 0 m.Machine.rbound 0 (Array.length s.rbound);
@@ -71,15 +72,22 @@ let status_key = function
   | None -> "running"
   | Some st -> Machine.status_name st
 
+let live_pages (s : t) =
+  Array.of_seq
+    (Seq.filter (fun (_, b) -> not (is_zero_page b)) (Array.to_seq s.pages))
+
+let touched_pages (s : t) = Array.length s.pages
+
 let equal (a : t) (b : t) =
+  let ap = live_pages a and bp = live_pages b in
   a.pc = b.pc && a.brk = b.brk
   && status_key a.halted = status_key b.halted
   && a.regs = b.regs && a.rbase = b.rbase && a.rbound = b.rbound
   && a.aux = b.aux && a.output = b.output
-  && Array.length a.pages = Array.length b.pages
+  && Array.length ap = Array.length bp
   && Array.for_all2
        (fun (i, p) (j, q) -> i = j && Bytes.equal p q)
-       a.pages b.pages
+       ap bp
 
 (** Human-readable divergence summary, one line per differing component. *)
 let diff (a : t) (b : t) : string list =
@@ -100,15 +108,16 @@ let diff (a : t) (b : t) : string list =
   if a.output <> b.output then
     note "output: %d vs %d bytes" (String.length a.output)
       (String.length b.output);
+  let ap = live_pages a and bp = live_pages b in
   let pageset p = Array.to_list (Array.map fst p) in
-  if pageset a.pages <> pageset b.pages then
-    note "page sets differ (%d vs %d non-zero pages)" (Array.length a.pages)
-      (Array.length b.pages)
+  if pageset ap <> pageset bp then
+    note "page sets differ (%d vs %d non-zero pages)" (Array.length ap)
+      (Array.length bp)
   else
     Array.iter2
       (fun (i, p) (_, q) ->
         if not (Bytes.equal p q) then note "page 0x%x contents differ" i)
-      a.pages b.pages;
+      ap bp;
   List.rev !out
 
 (* ---- Streaming digest ------------------------------------------------ *)

@@ -9,9 +9,18 @@
 type t
 
 val capture : Machine.t -> t
+(** Captures every materialized page, all-zero ones included, so a
+    restore reproduces the capture-time touched-page counts exactly
+    (Figure 6 must not drift across a capture/restore round trip). *)
 
 val restore : Machine.t -> t -> unit
-(** Overwrite the machine's architectural state with the snapshot's. *)
+(** Overwrite the machine's architectural state with the snapshot's.
+    Restoring never materializes a page the capture did not hold, and
+    clears any pending trap-recovery override. *)
+
+val touched_pages : t -> int
+(** Number of materialized pages the capture holds — equals the
+    machine's [Physmem.pages_touched] at capture (and after restore). *)
 
 val equal : t -> t -> bool
 (** Architectural equality.  All-zero pages are ignored, so machines that

@@ -26,6 +26,10 @@ module Stats = Hb_cpu.Stats
 module Snapshot = Hb_cpu.Snapshot
 module Json = Hb_obs.Json
 module Metrics = Hb_obs.Metrics
+module Policy = Hb_recover.Policy
+module Recover = Hb_recover.Recover
+module Journal = Hb_recover.Journal
+module Deadline = Hb_recover.Deadline
 
 type config = {
   label : string;
@@ -39,6 +43,10 @@ type config = {
       (* instruction width of the timeline windows each injection is
          binned into in the JSON report; purely a reporting concern, so
          it cannot perturb the planned injection draws *)
+  policy : Policy.t;
+      (* recovery policy each injected run executes under; [Abort] is
+         the historical stop-at-first-violation behavior *)
+  violation_budget : int;
 }
 
 let default =
@@ -51,6 +59,8 @@ let default =
     watchdog_factor = 3;
     keep_run_records = true;
     window_interval = 10_000;
+    policy = Policy.Abort;
+    violation_budget = 64;
   }
 
 type record = {
@@ -73,6 +83,10 @@ type report = {
   golden_digest : int64;
   checkpoint_interval : int;
   records : record list;
+  deadline_expired : bool;
+      (* the wall-clock budget ran out before every planned run
+         executed: [records] is the completed prefix and the journal (if
+         any) can resume the remainder *)
 }
 
 (* ---- golden reference ------------------------------------------------ *)
@@ -129,13 +143,234 @@ let golden_of ~(cfg : config) ~mk : golden =
     g_digest = Snapshot.digest m2;
   }
 
+(* ---- per-run record JSON --------------------------------------------- *)
+
+let record_json ~window_interval (rec_ : record) : Json.t =
+  let opt = function None -> Json.Null | Some n -> Json.Int n in
+  Json.Obj
+    [
+      ("run", Json.Int rec_.idx);
+      ("seed", Json.Int rec_.run_seed);
+      ("site", Json.String (Injector.site_name rec_.site));
+      ("at", Json.Int rec_.at_instr);
+      ("window", Json.Int (rec_.at_instr / window_interval));
+      ("target", Json.Int rec_.injection.Injector.target);
+      ("bit", Json.Int rec_.injection.Injector.bit);
+      ("before", Json.Int rec_.injection.Injector.before);
+      ("after", Json.Int rec_.injection.Injector.after);
+      ("outcome", Json.String (Outcome.name rec_.outcome));
+      ("status", Json.String rec_.status);
+      ("latency", opt rec_.latency);
+      ("diverged_at", opt rec_.diverged_at);
+    ]
+
+(* ---- write-ahead journal --------------------------------------------- *)
+
+(* The journal is one JSONL file: a header record binding the campaign
+   config and golden reference, then one fsync'd record per completed
+   run (in execution = injection-point order), a "ckpt" marker every 25
+   records, and a final "done" marker.  Resuming reads the intact
+   records back, re-derives the plan from the config (it is a pure
+   function of the seed), and executes only the missing indices — the
+   merged report is byte-identical to an uninterrupted campaign's. *)
+
+let jmem path j k =
+  match Json.member k j with
+  | Some v -> v
+  | None ->
+    Hb_error.fail ~component:"journal" "%s: journal record lacks field %S" path
+      k
+
+let jstr path j k =
+  match jmem path j k with
+  | Json.String s -> s
+  | _ ->
+    Hb_error.fail ~component:"journal" "%s: journal field %S is not a string"
+      path k
+
+let jint path j k =
+  match Json.to_int (jmem path j k) with
+  | Some n -> n
+  | None ->
+    Hb_error.fail ~component:"journal" "%s: journal field %S is not an integer"
+      path k
+
+let jint_opt path j k =
+  match jmem path j k with
+  | Json.Null -> None
+  | v -> (
+    match Json.to_int v with
+    | Some n -> Some n
+    | None ->
+      Hb_error.fail ~component:"journal"
+        "%s: journal field %S is not an integer" path k)
+
+let run_record_json ~window_interval r =
+  match record_json ~window_interval r with
+  | Json.Obj fields -> Json.Obj (("type", Json.String "run") :: fields)
+  | _ -> assert false
+
+let record_of_json path j : record =
+  let site =
+    let s = jstr path j "site" in
+    match Injector.site_of_name s with
+    | Some site -> site
+    | None ->
+      Hb_error.fail ~component:"journal" "%s: unknown fault site %S" path s
+  in
+  let outcome =
+    let s = jstr path j "outcome" in
+    match Outcome.of_name s with
+    | Some o -> o
+    | None ->
+      Hb_error.fail ~component:"journal" "%s: unknown outcome %S" path s
+  in
+  {
+    idx = jint path j "run";
+    run_seed = jint path j "seed";
+    site;
+    at_instr = jint path j "at";
+    injection =
+      {
+        Injector.site;
+        target = jint path j "target";
+        bit = jint path j "bit";
+        before = jint path j "before";
+        after = jint path j "after";
+      };
+    outcome;
+    status = jstr path j "status";
+    latency = jint_opt path j "latency";
+    diverged_at = jint_opt path j "diverged_at";
+  }
+
+let header_json (cfg : config) (g : golden) : Json.t =
+  Json.Obj
+    [
+      ("type", Json.String "header");
+      ("journal", Json.String "hb-campaign");
+      ("version", Json.Int 1);
+      ("label", Json.String cfg.label);
+      ("runs", Json.Int cfg.runs);
+      ("seed", Json.Int cfg.seed);
+      ( "sites",
+        Json.List
+          (List.map (fun s -> Json.String (Injector.site_name s)) cfg.sites) );
+      ("checkpoints", Json.Int cfg.checkpoints);
+      ("watchdog_factor", Json.Int cfg.watchdog_factor);
+      ("window_interval", Json.Int cfg.window_interval);
+      ("policy", Json.String (Policy.name cfg.policy));
+      ("violation_budget", Json.Int cfg.violation_budget);
+      ("golden_status", Json.String g.g_status);
+      ("golden_instrs", Json.Int g.g_instrs);
+      ("golden_output_bytes", Json.Int (String.length g.g_output));
+      ("golden_digest", Json.String (Snapshot.hex g.g_digest));
+      ("checkpoint_interval", Json.Int g.g_interval);
+    ]
+
+(* Read a journal back: (header, completed records first-idx-wins in
+   journal order, saw-done-marker). *)
+let load_journal path =
+  let entries = Journal.read path in
+  match entries with
+  | [] ->
+    Hb_error.fail ~component:"campaign" "%s: empty journal, nothing to resume"
+      path
+  | header :: rest ->
+    (match Json.member "journal" header with
+    | Some (Json.String "hb-campaign") -> ()
+    | _ ->
+      Hb_error.fail ~component:"campaign" "%s: not an hb-campaign journal" path);
+    (match jint path header "version" with
+    | 1 -> ()
+    | v ->
+      Hb_error.fail ~component:"campaign"
+        "%s: unsupported journal version %d (have 1)" path v);
+    let prior = ref [] in
+    let done_ = ref false in
+    List.iter
+      (fun j ->
+        match Json.member "type" j with
+        | Some (Json.String "run") -> prior := record_of_json path j :: !prior
+        | Some (Json.String "ckpt") -> ()
+        | Some (Json.String "done") -> done_ := true
+        | _ ->
+          Hb_error.fail ~component:"campaign"
+            "%s: unrecognized journal record" path)
+      rest;
+    let seen = Hashtbl.create 64 in
+    let prior =
+      List.filter
+        (fun r ->
+          if Hashtbl.mem seen r.idx then false
+          else begin
+            Hashtbl.add seen r.idx ();
+            true
+          end)
+        (List.rev !prior)
+    in
+    (header, prior, !done_)
+
+(* Resuming under a different config would splice incompatible plans
+   together; refuse rather than produce a quietly wrong report. *)
+let check_header path header (cfg : config) =
+  let mismatch : 'a. string -> 'a =
+   fun what ->
+    Hb_error.fail ~component:"campaign"
+      "%s: journal %s does not match the requested campaign" path what
+  in
+  if jstr path header "label" <> cfg.label then mismatch "workload label";
+  if jint path header "runs" <> cfg.runs then mismatch "run count";
+  if jint path header "seed" <> cfg.seed then mismatch "seed";
+  (match jmem path header "sites" with
+  | Json.List l ->
+    let names =
+      List.map (function Json.String s -> s | _ -> mismatch "site list") l
+    in
+    if names <> List.map Injector.site_name cfg.sites then mismatch "site list"
+  | _ -> mismatch "site list");
+  if jint path header "checkpoints" <> cfg.checkpoints then
+    mismatch "checkpoint count";
+  if jint path header "watchdog_factor" <> cfg.watchdog_factor then
+    mismatch "watchdog factor";
+  if jint path header "window_interval" <> cfg.window_interval then
+    mismatch "window interval";
+  if jstr path header "policy" <> Policy.name cfg.policy then
+    mismatch "recovery policy";
+  if jint path header "violation_budget" <> cfg.violation_budget then
+    mismatch "violation budget"
+
+let check_golden path header (g : golden) =
+  if
+    jint path header "golden_instrs" <> g.g_instrs
+    || jstr path header "golden_digest" <> Snapshot.hex g.g_digest
+  then
+    Hb_error.fail ~component:"campaign"
+      "%s: journal was recorded against a different build or workload \
+       (golden run mismatch)"
+      path
+
+(* A finished journal carries everything a report needs; nothing has to
+   execute. *)
+let report_of_header ~cfg path header (records : record list) : report =
+  {
+    config = cfg;
+    golden_status = jstr path header "golden_status";
+    golden_instrs = jint path header "golden_instrs";
+    golden_output_bytes = jint path header "golden_output_bytes";
+    golden_digest = Int64.of_string ("0x" ^ jstr path header "golden_digest");
+    checkpoint_interval = jint path header "checkpoint_interval";
+    records = List.sort (fun a b -> compare a.idx b.idx) records;
+    deadline_expired = false;
+  }
+
 (* ---- campaign execution ---------------------------------------------- *)
 
 exception Converged
 (** Raised from the checkpoint hook when the suffix digest matches
     golden's: the remainder of the run is provably identical. *)
 
-let run ~mk (cfg : config) : report =
+let validate (cfg : config) =
   if cfg.runs <= 0 then
     Hb_error.fail ~component:"campaign" "runs must be positive (got %d)"
       cfg.runs;
@@ -143,8 +378,15 @@ let run ~mk (cfg : config) : report =
     Hb_error.fail ~component:"campaign" "no fault sites selected";
   if cfg.window_interval <= 0 then
     Hb_error.fail ~component:"campaign"
-      "window interval must be positive (got %d)" cfg.window_interval;
-  let golden = golden_of ~cfg ~mk in
+      "window interval must be positive (got %d)" cfg.window_interval
+
+(* Execute every planned run whose index is not already in [prior]
+   (records recovered from a journal), appending each fresh record to
+   [writer] before moving on.  The plan is re-derived from the config
+   seed, so a resumed campaign executes exactly the runs the interrupted
+   one never recorded. *)
+let execute ~mk ~(cfg : config) ~(golden : golden) ~writer ~deadline
+    ~(prior : record list) : report =
   (* Plan every injection up front from the master stream, so execution
      order (sorted by injection point) cannot influence the draws. *)
   let master = Prng.create ~seed:cfg.seed in
@@ -156,18 +398,30 @@ let run ~mk (cfg : config) : report =
         let at_instr = 1 + Prng.below master (golden.g_instrs - 1) in
         (idx, run_seed, site, at_instr))
   in
+  let done_idx = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace done_idx r.idx ()) prior;
   let by_point =
     List.stable_sort
       (fun (_, _, _, a) (_, _, _, b) -> compare a b)
-      plan
+      (List.filter (fun (idx, _, _, _) -> not (Hashtbl.mem done_idx idx)) plan)
   in
   let replay = mk () in
   let fast =
     not (replay.Machine.cfg.Machine.temporal || replay.Machine.cfg.Machine.tripwire)
   in
   let scratch = if fast then mk () else replay in
+  let use_recover = cfg.policy <> Policy.Abort in
+  let pcfg =
+    {
+      Policy.default with
+      Policy.policy = cfg.policy;
+      violation_budget = cfg.violation_budget;
+    }
+  in
   let limit = (cfg.watchdog_factor * golden.g_instrs) + 4096 in
-  (* digest-compare against golden at checkpoint boundaries *)
+  (* digest-compare against golden at checkpoint boundaries; convergence
+     early-exit must stay off under recovery policies, whose
+     classification needs the traps to play out *)
   let checkpoint ~early_exit diverged m =
     let n = instrs_of m in
     if n < golden.g_instrs && n mod golden.g_interval = 0 then
@@ -191,24 +445,37 @@ let run ~mk (cfg : config) : report =
       last_snap := Some (at, s);
       s
   in
+  let last_m = ref None in
   let exec (idx, run_seed, site, at_instr) : record =
     let rng = Prng.create ~seed:run_seed in
     let diverged = ref None in
     let inj = ref None in
+    let supervise m ~on_step =
+      (* supervisor-level Hb_errors (e.g. a broken accounting identity
+         after rollback) must surface, not classify as Crash *)
+      try `O (Recover.run ~on_step ~limit ~config:pcfg m)
+      with
+      | Hb_error.Hb_error _ as e -> raise e
+      | e -> `Crash (Printexc.to_string e)
+    in
     let result, final_m =
       if fast then begin
         Snapshot.restore scratch (snapshot_at at_instr);
         scratch.Machine.stats.Stats.instructions <- at_instr;
         inj := Some (Injector.inject rng scratch site);
         let r =
-          try
-            `R
-              (Watchdog.run
-                 ~on_step:(checkpoint ~early_exit:true diverged)
-                 ~limit scratch)
-          with
-          | Converged -> `Converged
-          | e -> `Crash (Printexc.to_string e)
+          if use_recover then
+            supervise scratch
+              ~on_step:(checkpoint ~early_exit:false diverged)
+          else
+            try
+              `R
+                (Watchdog.run
+                   ~on_step:(checkpoint ~early_exit:true diverged)
+                   ~limit scratch)
+            with
+            | Converged -> `Converged
+            | e -> `Crash (Printexc.to_string e)
         in
         (r, scratch)
       end
@@ -222,11 +489,34 @@ let run ~mk (cfg : config) : report =
           else if n > at_instr then checkpoint ~early_exit:false diverged m
         in
         let r =
-          try `R (Watchdog.run ~on_step ~limit m)
-          with e -> `Crash (Printexc.to_string e)
+          if use_recover then supervise m ~on_step
+          else
+            try `R (Watchdog.run ~on_step ~limit m)
+            with e -> `Crash (Printexc.to_string e)
         in
         (r, m)
       end
+    in
+    last_m := Some final_m;
+    let classify_status st =
+      match st with
+      | Machine.Bounds_violation _ | Machine.Non_pointer_violation _
+      | Machine.Temporal_violation _ | Machine.Software_abort _ ->
+        ( Outcome.Detected,
+          Machine.status_name st,
+          Some (instrs_of final_m - at_instr) )
+      | Machine.Fault _ -> (Outcome.Crash, Machine.status_name st, None)
+      | Machine.Out_of_fuel -> (Outcome.Hang, "out-of-fuel", None)
+      | Machine.Exited n ->
+        let visible_match =
+          n = golden.g_exit && Machine.output final_m = golden.g_output
+        in
+        if not visible_match then
+          (Outcome.Silent_corruption, Machine.status_name st, None)
+        else if
+          !diverged <> None || Snapshot.digest final_m <> golden.g_digest
+        then (Outcome.Divergence, Machine.status_name st, None)
+        else (Outcome.Masked, Machine.status_name st, None)
     in
     let outcome, status, latency =
       match result with
@@ -237,26 +527,22 @@ let run ~mk (cfg : config) : report =
         | Some _ -> (Outcome.Divergence, "converged-after-divergence", None))
       | `R (Watchdog.Hang { instrs }) ->
         (Outcome.Hang, Printf.sprintf "hang(@%d instrs)" instrs, None)
-      | `R (Watchdog.Completed st) -> (
-        match st with
-        | Machine.Bounds_violation _ | Machine.Non_pointer_violation _
-        | Machine.Temporal_violation _ | Machine.Software_abort _ ->
+      | `R (Watchdog.Completed st) -> classify_status st
+      | `O (o : Recover.outcome) ->
+        (* a trap fired and the policy handled it: the corruption was
+           detected, whatever happened afterwards *)
+        if o.Recover.hung then
+          ( Outcome.Hang,
+            Printf.sprintf "hang(@%d instrs)" (instrs_of final_m),
+            None )
+        else if o.Recover.traps <> [] then
+          let first = List.hd o.Recover.traps in
           ( Outcome.Detected,
-            Machine.status_name st,
-            Some (instrs_of final_m - at_instr) )
-        | Machine.Fault _ -> (Outcome.Crash, Machine.status_name st, None)
-        | Machine.Out_of_fuel -> (Outcome.Hang, "out-of-fuel", None)
-        | Machine.Exited n ->
-          let visible_match =
-            n = golden.g_exit && Machine.output final_m = golden.g_output
-          in
-          if not visible_match then
-            (Outcome.Silent_corruption, Machine.status_name st, None)
-          else if
-            !diverged <> None
-            || Snapshot.digest final_m <> golden.g_digest
-          then (Outcome.Divergence, Machine.status_name st, None)
-          else (Outcome.Masked, Machine.status_name st, None))
+            Printf.sprintf "%s after %d trap(s)"
+              (Machine.status_name o.Recover.status)
+              (List.length o.Recover.traps),
+            Some (first.Recover.trap.Hb_recover.Trap.at_instr - at_instr) )
+        else classify_status o.Recover.status
     in
     let injection =
       match !inj with
@@ -277,11 +563,52 @@ let run ~mk (cfg : config) : report =
       diverged_at = !diverged;
     }
   in
-  let records =
-    List.sort
-      (fun a b -> compare a.idx b.idx)
-      (List.map exec by_point)
+  let ddl = ref false in
+  let journaled = ref (List.length prior) in
+  let emit_record r =
+    match writer with
+    | None -> ()
+    | Some w ->
+      Journal.append w (run_record_json ~window_interval:cfg.window_interval r);
+      incr journaled;
+      if !journaled mod 25 = 0 then
+        Journal.append w
+          (Json.Obj
+             [ ("type", Json.String "ckpt"); ("completed", Json.Int !journaled) ])
   in
+  let fresh =
+    List.filter_map
+      (fun p ->
+        if !ddl then None
+        else if Deadline.expired deadline then begin
+          ddl := true;
+          None
+        end
+        else begin
+          let r = exec p in
+          emit_record r;
+          Some r
+        end)
+      by_point
+  in
+  let records =
+    List.sort (fun a b -> compare a.idx b.idx) (prior @ fresh)
+  in
+  let complete = List.length records = cfg.runs in
+  if complete then
+    (match writer with
+    | Some w -> Journal.append w (Json.Obj [ ("type", Json.String "done") ])
+    | None -> ());
+  (* after a recovery-policy or resumed campaign, re-check the timing
+     model's accounting identities on the last machine that ran *)
+  (match !last_m with
+  | Some m when use_recover || prior <> [] -> (
+    match Stats.check_invariants m.Machine.stats with
+    | Ok () -> ()
+    | Error msg ->
+      Hb_error.fail ~component:"campaign"
+        "accounting identity broken after campaign: %s" msg)
+  | _ -> ());
   {
     config = cfg;
     golden_status = golden.g_status;
@@ -290,7 +617,46 @@ let run ~mk (cfg : config) : report =
     golden_digest = golden.g_digest;
     checkpoint_interval = golden.g_interval;
     records;
+    deadline_expired = !ddl;
   }
+
+let run ?journal ?resume ?(deadline = Deadline.none) ~mk (cfg : config) :
+    report =
+  validate cfg;
+  match resume with
+  | None -> (
+    let golden = golden_of ~cfg ~mk in
+    match journal with
+    | None -> execute ~mk ~cfg ~golden ~writer:None ~deadline ~prior:[]
+    | Some path ->
+      let w = Journal.create path in
+      Fun.protect
+        ~finally:(fun () -> Journal.close w)
+        (fun () ->
+          Journal.append w (header_json cfg golden);
+          execute ~mk ~cfg ~golden ~writer:(Some w) ~deadline ~prior:[]))
+  | Some path ->
+    if journal <> None then
+      Hb_error.fail ~component:"campaign"
+        "--journal and --resume are exclusive (a resumed campaign appends \
+         to the journal it resumes from)";
+    let header, prior, done_ = load_journal path in
+    check_header path header cfg;
+    if done_ then begin
+      if List.length prior <> cfg.runs then
+        Hb_error.fail ~component:"campaign"
+          "%s: journal is marked done but holds %d of %d run records" path
+          (List.length prior) cfg.runs;
+      report_of_header ~cfg path header prior
+    end
+    else begin
+      let golden = golden_of ~cfg ~mk in
+      check_golden path header golden;
+      let w = Journal.append_to path in
+      Fun.protect
+        ~finally:(fun () -> Journal.close w)
+        (fun () -> execute ~mk ~cfg ~golden ~writer:(Some w) ~deadline ~prior)
+    end
 
 (* ---- reporting ------------------------------------------------------- *)
 
@@ -329,25 +695,6 @@ let coverage_table (r : report) : string =
     r.config.sites;
   row "total" (List.length r.records) None;
   Buffer.contents b
-
-let record_json ~window_interval (rec_ : record) : Json.t =
-  let opt = function None -> Json.Null | Some n -> Json.Int n in
-  Json.Obj
-    [
-      ("run", Json.Int rec_.idx);
-      ("seed", Json.Int rec_.run_seed);
-      ("site", Json.String (Injector.site_name rec_.site));
-      ("at", Json.Int rec_.at_instr);
-      ("window", Json.Int (rec_.at_instr / window_interval));
-      ("target", Json.Int rec_.injection.Injector.target);
-      ("bit", Json.Int rec_.injection.Injector.bit);
-      ("before", Json.Int rec_.injection.Injector.before);
-      ("after", Json.Int rec_.injection.Injector.after);
-      ("outcome", Json.String (Outcome.name rec_.outcome));
-      ("status", Json.String rec_.status);
-      ("latency", opt rec_.latency);
-      ("diverged_at", opt rec_.diverged_at);
-    ]
 
 let to_json (r : report) : Json.t =
   let cfg = r.config in
@@ -397,6 +744,8 @@ let to_json (r : report) : Json.t =
              ("checkpoints", Json.Int cfg.checkpoints);
              ("watchdog_factor", Json.Int cfg.watchdog_factor);
              ("window_interval", Json.Int cfg.window_interval);
+             ("policy", Json.String (Policy.name cfg.policy));
+             ("violation_budget", Json.Int cfg.violation_budget);
            ] );
        ( "golden",
          Json.Obj
@@ -409,6 +758,12 @@ let to_json (r : report) : Json.t =
            ] );
        ("coverage", Json.List coverage_rows);
      ]
+    @ (if r.deadline_expired then
+         [
+           ("deadline_expired", Json.Bool true);
+           ("completed", Json.Int (List.length r.records));
+         ]
+       else [])
     @
     if cfg.keep_run_records then
       [ ("runs",

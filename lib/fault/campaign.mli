@@ -27,11 +27,21 @@ type config = {
           binned into ([window = at / window_interval] in the per-run
           JSON) — aligns campaign records with [Hb_obs.Timeline] phase
           windows without perturbing the injection draws *)
+  policy : Hb_recover.Policy.t;
+      (** recovery policy each injected run executes under.  [Abort]
+          (the default) is the historical stop-at-first-violation
+          behavior; any other policy routes traps through the
+          {!Hb_recover.Recover} supervisor, classifying a run as
+          [Detected] as soon as one trap fires even if the policy then
+          carries it to a clean exit *)
+  violation_budget : int;
+      (** traps a continuing policy may absorb per run before the
+          supervisor forces an abort *)
 }
 
 val default : config
 (** 100 runs, seed 1, all sites, 16 checkpoints, watchdog x3,
-    10k-instruction report windows. *)
+    10k-instruction report windows, abort policy, budget 64. *)
 
 type record = {
   idx : int;
@@ -55,13 +65,35 @@ type report = {
   golden_digest : int64;
   checkpoint_interval : int;
   records : record list;  (** one per run, in plan order *)
+  deadline_expired : bool;
+      (** the wall-clock budget ran out first: [records] is the
+          completed prefix, and the journal (if one was written) can
+          resume the remainder *)
 }
 
-val run : mk:(unit -> Machine.t) -> config -> report
+val run :
+  ?journal:string ->
+  ?resume:string ->
+  ?deadline:Hb_recover.Deadline.t ->
+  mk:(unit -> Machine.t) ->
+  config ->
+  report
 (** Execute a campaign.  [mk] builds a fresh machine for the workload
     (the library deliberately does not know how to compile programs).
     Raises {!Hb_error.Hb_error} if the golden run does not exit cleanly
-    or the config is vacuous. *)
+    or the config is vacuous.
+
+    [journal] writes a crash-resilient JSONL journal: a header binding
+    the config and golden reference, then one fsync'd record per
+    completed run.  [resume] re-opens such a journal, re-derives the
+    plan (a pure function of the config seed), executes only the runs
+    the journal never recorded, and returns a report byte-identical to
+    an uninterrupted campaign's; the config must match the journal's
+    header and the same build/workload must reproduce its golden digest.
+    The two are mutually exclusive — a resumed campaign appends to the
+    journal it resumes from.  [deadline] bounds wall-clock time, checked
+    between runs: on expiry the report covers the completed prefix and
+    is flagged [deadline_expired]. *)
 
 val count : report -> Injector.site option -> Outcome.t -> int
 (** Runs of [site] (all sites if [None]) that landed in the bucket. *)

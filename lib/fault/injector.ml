@@ -258,3 +258,15 @@ let parse_spec s : (spec, string) result =
         Error (Printf.sprintf "rate %g out of range [0,1]" rate)
       | Some rate, Some seed -> Ok { sites; rate; seed }))
   | _ -> Error (Printf.sprintf "expected SITES:RATE:SEED, got %S" s)
+
+(** [parse_spec] as a typed error: a malformed [--inject] argument
+    raises {!Hb_error.Hb_error} carrying the reason and a usage hint
+    instead of leaking a bare [Error] string to the caller. *)
+let spec_of_string s : spec =
+  match parse_spec s with
+  | Ok spec -> spec
+  | Error msg ->
+    Hb_error.fail ~component:"inject"
+      "%s (usage: --inject SITES:RATE:SEED — SITES is a comma list of %s; \
+       RATE is a per-instruction probability in [0,1]; SEED is an integer)"
+      msg (known_sites ())

@@ -25,6 +25,17 @@ let name = function
   | Hang -> "hang"
   | Crash -> "crash"
 
+(** Inverse of {!name} — the campaign journal reader reconstructs
+    persisted run records with it. *)
+let of_name = function
+  | "detected" -> Some Detected
+  | "masked" -> Some Masked
+  | "silent_corruption" -> Some Silent_corruption
+  | "divergence" -> Some Divergence
+  | "hang" -> Some Hang
+  | "crash" -> Some Crash
+  | _ -> None
+
 let describe = function
   | Detected -> "checker trapped after the injection"
   | Masked -> "outcome identical to the golden run"

@@ -21,11 +21,14 @@ let machine_maker ?scheme ?temporal ?tripwire ?max_instrs
   fun () -> Machine.create ~config ~globals image
 
 (** Run a campaign over a named Olden workload.  [config.label] is
-    overridden with the workload name. *)
-let campaign ?scheme ?temporal ?tripwire ?max_instrs ?mode
-    (config : Campaign.config) name =
+    overridden with the workload name.  [journal]/[resume]/[deadline]
+    pass through to {!Campaign.run} for crash-resilient journaling and
+    wall-clock budgeting. *)
+let campaign ?scheme ?temporal ?tripwire ?max_instrs ?mode ?journal ?resume
+    ?deadline (config : Campaign.config) name =
   let w = Hb_workloads.Workloads.find name in
   let mk =
     machine_maker ?scheme ?temporal ?tripwire ?max_instrs ?mode w.source
   in
-  Campaign.run ~mk { config with Campaign.label = name }
+  Campaign.run ?journal ?resume ?deadline ~mk
+    { config with Campaign.label = name }

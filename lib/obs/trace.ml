@@ -29,6 +29,14 @@ type kind =
       before : int;
       after : int;
     }
+  | Trap of {
+      what : string;    (* "bounds" | "non-pointer" *)
+      policy : string;  (* recovery policy in force when the trap fired *)
+      action : string;  (* what the supervisor did with it *)
+      addr : int;
+      base : int;
+      bound : int;
+    }
 
 type event = { seq : int; cycle : int; pc : int; fn : string; kind : kind }
 
@@ -85,6 +93,7 @@ let kind_name = function
   | Cache_miss _ -> "cache_miss"
   | Violation _ -> "violation"
   | Fault_injected _ -> "fault_injected"
+  | Trap _ -> "trap"
 
 let pretty e =
   let details =
@@ -105,6 +114,9 @@ let pretty e =
     | Fault_injected { site; target; bit; before; after } ->
       Printf.sprintf "%s @0x%x bit %d: 0x%x -> 0x%x" site target bit before
         after
+    | Trap { what; policy; action; addr; base; bound } ->
+      Printf.sprintf "%s @0x%x meta [0x%x, 0x%x) policy=%s -> %s" what addr
+        base bound policy action
   in
   Printf.sprintf "%10d cyc=%-10d %-14s %-12s %s" e.seq e.cycle
     (kind_name e.kind) e.fn details
@@ -145,6 +157,15 @@ let kind_fields = function
       ("bit", Json.Int bit);
       ("before", Json.Int before);
       ("after", Json.Int after);
+    ]
+  | Trap { what; policy; action; addr; base; bound } ->
+    [
+      ("what", Json.String what);
+      ("policy", Json.String policy);
+      ("action", Json.String action);
+      ("addr", Json.Int addr);
+      ("base", Json.Int base);
+      ("bound", Json.Int bound);
     ]
 
 let to_json e =

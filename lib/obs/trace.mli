@@ -25,6 +25,18 @@ type kind =
       before : int;
       after : int;
     }  (** one injected corruption, emitted by the [hb_fault] injector *)
+  | Trap of {
+      what : string;    (** "bounds" | "non-pointer" *)
+      policy : string;  (** recovery policy in force when the trap fired *)
+      action : string;  (** "abort" | "retire-unchecked" | "squash" |
+                            "rollback" *)
+      addr : int;
+      base : int;
+      bound : int;
+    }
+      (** one precise violation trap dispatched by the [hb_recover]
+          supervisor, emitted with the pc still at the faulting
+          instruction *)
 
 type event = { seq : int; cycle : int; pc : int; fn : string; kind : kind }
 

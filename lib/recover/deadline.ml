@@ -1,0 +1,21 @@
+(** Wall-clock budget for long runs.
+
+    A deadline is an absolute expiry instant; [expired] is a cheap
+    comparison against [Unix.gettimeofday].  Campaigns check it between
+    runs (and the trap supervisor every few thousand instructions) so a
+    budgeted run ends with a well-formed partial report instead of a
+    dead process. *)
+
+type t = float option  (* absolute expiry, seconds since the epoch *)
+
+let none : t = None
+
+(** [after secs]: a deadline [secs] from now. *)
+let after secs : t = Some (Unix.gettimeofday () +. secs)
+
+(** CLI adapter: [--deadline SECS] as an option. *)
+let of_secs = function None -> none | Some s -> after s
+
+let expired = function
+  | None -> false
+  | Some t -> Unix.gettimeofday () >= t

@@ -1,0 +1,59 @@
+(** Write-ahead JSONL journal.
+
+    One JSON object per line, each line [fsync]'d before [append]
+    returns: a record that [append] has acknowledged survives a SIGKILL
+    of the writing process.  The reader tolerates a *torn tail* — a
+    final line cut short by a crash mid-write — by dropping it; a
+    malformed line anywhere else means real corruption and raises a
+    typed {!Hb_error.Hb_error}. *)
+
+module Json = Hb_obs.Json
+
+type writer = { oc : out_channel; fd : Unix.file_descr }
+
+let writer_of oc = { oc; fd = Unix.descr_of_out_channel oc }
+
+(** Create (truncate) [path] for a fresh journal. *)
+let create path = writer_of (open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 path)
+
+(** Open [path] for appending — resuming a journal continues the same
+    file, so an interrupted resume can itself be resumed. *)
+let append_to path =
+  writer_of (open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path)
+
+(** Append one record: compact JSON (newline-free), ['\n'], flush,
+    fsync.  When [append] returns, the record is on disk. *)
+let append w (j : Json.t) =
+  output_string w.oc (Json.to_string j);
+  output_char w.oc '\n';
+  flush w.oc;
+  Unix.fsync w.fd
+
+let close w = close_out w.oc
+
+(** Read every intact record.  The last line is the torn-tail candidate:
+    if it fails to parse (or the file does not end in a newline), it is
+    dropped silently — that is the crash the journal exists to survive.
+    An unparsable line before the tail raises. *)
+let read path : Json.t list =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  let lines = String.split_on_char '\n' contents in
+  (* a file ending in '\n' splits into lines @ [""] — drop the sentinel;
+     otherwise the final element is an untermined (torn) line *)
+  let rec go n acc = function
+    | [] | [ "" ] -> List.rev acc
+    | [ last ] -> (
+      match Json.of_string last with
+      | j -> List.rev (j :: acc)
+      | exception Json.Parse_error _ -> List.rev acc)
+    | line :: rest -> (
+      match Json.of_string line with
+      | j -> go (n + 1) (j :: acc) rest
+      | exception Json.Parse_error msg ->
+        Hb_error.fail ~component:"journal" "%s: corrupt record at line %d: %s"
+          path n msg)
+  in
+  go 1 [] lines

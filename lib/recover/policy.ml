@@ -1,0 +1,69 @@
+(** Recovery policies: what the trap supervisor does with a precise
+    bounds-violation trap.
+
+    The paper specifies *detection* (a bounds-violation exception on
+    every out-of-bounds dereference) and deliberately leaves the handler
+    policy to software.  This module enumerates the policy spectrum the
+    CLIs expose through [--on-violation]:
+
+    - [Abort]: terminate at the first violation (the historical
+      behavior, and the only policy the paper's evaluation needs);
+    - [Report]: log the trap, retire the faulting access *unchecked*,
+      and keep running until the violation budget is spent — CGuard's
+      report-and-continue mode;
+    - [Null_guard]: squash the faulting access (loads read 0, stores are
+      dropped) — CGuard's continue mode with well-defined blame at the
+      faulting operation, as formalized for Checked C;
+    - [Rollback]: restore the most recent checkpoint from a bounded
+      snapshot ring and re-execute with the faulting access suppressed,
+      escalating rollback → report → abort when the same trap repeats. *)
+
+type t = Abort | Report | Null_guard | Rollback
+
+let all = [ Abort; Report; Null_guard; Rollback ]
+
+let name = function
+  | Abort -> "abort"
+  | Report -> "report"
+  | Null_guard -> "null-guard"
+  | Rollback -> "rollback"
+
+let of_name = function
+  | "abort" -> Some Abort
+  | "report" -> Some Report
+  | "null-guard" | "nullguard" | "null" -> Some Null_guard
+  | "rollback" -> Some Rollback
+  | _ -> None
+
+let known = String.concat " | " (List.map name all)
+
+let describe = function
+  | Abort -> "terminate at the first violation"
+  | Report -> "log the trap and retire the access unchecked"
+  | Null_guard -> "squash the access: loads read 0, stores drop"
+  | Rollback -> "restore the latest checkpoint, suppress the access"
+
+(** Supervisor knobs.  [violation_budget] bounds the number of traps any
+    continuing policy may absorb before the supervisor forces an abort;
+    [checkpoint_interval]/[ring_capacity] size the rollback snapshot
+    ring; [max_rollbacks] is the same-site repeat count after which
+    rollback escalates to report (the budget then provides the final
+    report → abort stage). *)
+type config = {
+  policy : t;
+  violation_budget : int;
+  checkpoint_interval : int;  (** instructions between ring captures *)
+  ring_capacity : int;
+  max_rollbacks : int;
+}
+
+let default =
+  {
+    policy = Abort;
+    violation_budget = 64;
+    checkpoint_interval = 10_000;
+    ring_capacity = 4;
+    max_rollbacks = 3;
+  }
+
+let with_policy policy = { default with policy }

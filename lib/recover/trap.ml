@@ -1,0 +1,101 @@
+(** Precise architectural trap records.
+
+    A trap is what a hardware bounds-violation exception would deliver
+    to a software handler: the faulting pc resolved to [fn:line] through
+    the image's debug map, the effective address and access shape, the
+    offending pointer's value and base/bound metadata, the encoding
+    scheme in force, and the instruction/cycle counts at the fault.  The
+    machine leaves the pc at the faulting instruction when a checker
+    exception unwinds, so the supervisor builds the record before
+    deciding what to do with the access. *)
+
+module Machine = Hb_cpu.Machine
+module Stats = Hb_cpu.Stats
+module Checker = Hardbound.Checker
+module Meta = Hardbound.Meta
+module Encoding = Hardbound.Encoding
+module Json = Hb_obs.Json
+
+type kind = Bounds | Non_pointer
+
+let kind_name = function Bounds -> "bounds" | Non_pointer -> "non-pointer"
+
+type t = {
+  kind : kind;
+  pc : int;           (** linked code index of the faulting instruction *)
+  fn : string;
+  line : int;
+      (** source line: positive = user line, negative = runtime-prelude
+          line (rendered [rt.N]), 0 = unknown — same convention as
+          [Machine.enable_attr] *)
+  addr : int;         (** effective address of the access *)
+  value : int;        (** the faulting pointer's register value *)
+  width : int;
+  is_store : bool;
+  base : int;
+  bound : int;
+  scheme : string;    (** pointer-encoding scheme in force *)
+  at_instr : int;     (** retired instructions when the trap fired *)
+  cycle : int;
+}
+
+(* Map a raw debug-map unit line to the user's own numbering: lines at or
+   below [line_base] belong to the runtime prelude (stored negated), the
+   rest are offset so they match the user's source. *)
+let resolve_line ~line_base raw =
+  if raw = 0 then 0 else if raw > line_base then raw - line_base else -raw
+
+let of_violation ~kind ?(line_base = 0) (m : Machine.t)
+    (v : Checker.violation) : t =
+  {
+    kind;
+    pc = v.Checker.pc;
+    fn = Machine.fn_at m v.Checker.pc;
+    line = resolve_line ~line_base (Machine.line_at m v.Checker.pc);
+    addr = v.Checker.addr;
+    value = v.Checker.value;
+    width = v.Checker.width;
+    is_store = v.Checker.is_store;
+    base = v.Checker.meta.Meta.base;
+    bound = v.Checker.meta.Meta.bound;
+    scheme = Encoding.scheme_name m.Machine.cfg.Machine.scheme;
+    at_instr = m.Machine.stats.Stats.instructions;
+    cycle = Stats.cycles m.Machine.stats;
+  }
+
+(** ["fn:12"], ["fn:rt.3"] for runtime-prelude lines, ["fn"] when the
+    debug map has no line for the pc. *)
+let where t =
+  if t.line > 0 then Printf.sprintf "%s:%d" t.fn t.line
+  else if t.line < 0 then Printf.sprintf "%s:rt.%d" t.fn (-t.line)
+  else t.fn
+
+let describe t =
+  Printf.sprintf
+    "%s trap at %s (pc=%d): %s of %d byte(s) at 0x%x via 0x%x [0x%x, 0x%x) \
+     %s @%d instrs"
+    (kind_name t.kind) (where t) t.pc
+    (if t.is_store then "store" else "load")
+    t.width t.addr t.value t.base t.bound t.scheme t.at_instr
+
+let to_json t =
+  Json.Obj
+    [
+      ("kind", Json.String (kind_name t.kind));
+      ("pc", Json.Int t.pc);
+      ("fn", Json.String t.fn);
+      ("line", Json.Int t.line);
+      ("addr", Json.Int t.addr);
+      ("value", Json.Int t.value);
+      ("width", Json.Int t.width);
+      ("is_store", Json.Bool t.is_store);
+      ("base", Json.Int t.base);
+      ("bound", Json.Int t.bound);
+      ("scheme", Json.String t.scheme);
+      ("at", Json.Int t.at_instr);
+      ("cycle", Json.Int t.cycle);
+    ]
+
+(** Timeline window the trap falls in, for correlating trap records with
+    [Hb_obs.Timeline] phase windows (cycle-based, like the sampler). *)
+let window t ~interval = if interval <= 0 then 0 else t.cycle / interval

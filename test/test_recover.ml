@@ -1,0 +1,578 @@
+(* Recovery subsystem tests: precise trap records, the four recovery
+   policies (abort / report / null-guard / rollback), the violation
+   budget, the write-ahead campaign journal (torn tails, corruption,
+   truncation), crash-and-resume byte-identity (including a real
+   SIGKILL), deadlines, and the snapshot page-materialization
+   guarantee the rollback policy depends on. *)
+
+module Build = Hb_runtime.Build
+module Codegen = Hb_minic.Codegen
+module Machine = Hb_cpu.Machine
+module Stats = Hb_cpu.Stats
+module Snapshot = Hb_cpu.Snapshot
+module Physmem = Hb_mem.Physmem
+module Encoding = Hardbound.Encoding
+module Json = Hb_obs.Json
+module Policy = Hb_recover.Policy
+module Trap = Hb_recover.Trap
+module Recover = Hb_recover.Recover
+module Journal = Hb_recover.Journal
+module Deadline = Hb_recover.Deadline
+module Campaign = Hb_fault.Campaign
+module Recovery = Hb_harness.Recovery
+
+(* ---- fixtures ---------------------------------------------------------- *)
+
+(* Six valid ints, then the loop reads three past the bound: three
+   precise load traps under any continuing policy. *)
+let over_read_src =
+  {|
+int main() {
+  int *p;
+  int i;
+  int sum;
+  p = (int*)malloc(24);
+  for (i = 0; i < 6; i++) {
+    p[i] = i;
+  }
+  sum = 0;
+  for (i = 0; i < 9; i++) {
+    sum = sum + p[i];
+  }
+  print_int(sum);
+  return 0;
+}
+|}
+
+(* One out-of-bounds store one word past the allocation; the in-bounds
+   cell is printed afterwards so output proves the program survived. *)
+let over_write_src =
+  {|
+int main() {
+  int *a;
+  a = (int*)malloc(8);
+  a[0] = 7;
+  a[2] = 42;
+  print_int(a[0]);
+  return 0;
+}
+|}
+
+(* Fourteen violating loads: enough to exhaust a small budget. *)
+let many_violations_src =
+  {|
+int main() {
+  int *p;
+  int i;
+  int sum;
+  p = (int*)malloc(24);
+  sum = 0;
+  for (i = 0; i < 20; i++) {
+    sum = sum + p[i];
+  }
+  print_int(sum);
+  return 0;
+}
+|}
+
+let supervised ?(budget = Policy.default.Policy.violation_budget) ~policy src
+    =
+  let image, globals = Build.compile ~mode:Codegen.Hardbound src in
+  let config = Build.config_for ~scheme:Encoding.Extern4 Codegen.Hardbound in
+  let m = Machine.create ~config ~globals image in
+  let rcfg =
+    { (Policy.with_policy policy) with Policy.violation_budget = budget }
+  in
+  let o = Recover.run ~line_base:Build.runtime_lines ~config:rcfg m in
+  (m, o)
+
+(* Same small campaign workload as test_fault: real pointer work, fast. *)
+let little_src =
+  {|
+int main() {
+  int *cells[40];
+  int i;
+  int sum;
+  for (i = 0; i < 40; i++) {
+    cells[i] = (int*)malloc(8);
+    cells[i][0] = i * 3;
+    cells[i][1] = i;
+  }
+  sum = 0;
+  for (i = 0; i < 40; i++) {
+    sum = sum + cells[i][0];
+  }
+  print_int(sum);
+  return 0;
+}
+|}
+
+let maker ?max_instrs () =
+  let image, globals = Build.compile ~mode:Codegen.Hardbound little_src in
+  let config = Build.config_for ?max_instrs Codegen.Hardbound in
+  fun () -> Machine.create ~config ~globals image
+
+let report_string r = Json.to_string_pretty (Campaign.to_json r)
+
+let temp_path () =
+  let p = Filename.temp_file "hb_recover_test" ".jsonl" in
+  Sys.remove p;
+  p
+
+let read_lines path =
+  let ic = open_in_bin path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+let write_lines path lines =
+  let oc = open_out_bin path in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    lines;
+  close_out oc
+
+(* ---- trap records ------------------------------------------------------ *)
+
+let test_trap_precision () =
+  let _, o = supervised ~policy:Policy.Report over_read_src in
+  Alcotest.(check int) "three over-reads, three traps" 3
+    (List.length o.Recover.traps);
+  let h = List.hd o.Recover.traps in
+  let t = h.Recover.trap in
+  Alcotest.(check string) "faulting function" "main" t.Trap.fn;
+  Alcotest.(check bool) "user-code line resolved" true (t.Trap.line > 0);
+  Alcotest.(check bool) "load, not store" false t.Trap.is_store;
+  Alcotest.(check int) "word access" 4 t.Trap.width;
+  Alcotest.(check bool) "upper-bound overflow: addr at/past bound" true
+    (t.Trap.addr >= t.Trap.bound);
+  Alcotest.(check bool) "bounds metadata ordered" true
+    (t.Trap.base < t.Trap.bound);
+  Alcotest.(check string) "encoding recorded" "extern-4" t.Trap.scheme;
+  Alcotest.(check bool) "retired-instruction stamp" true (t.Trap.at_instr > 0);
+  (* successive traps walk successive words *)
+  (match o.Recover.traps with
+   | a :: b :: _ ->
+     Alcotest.(check int) "stride of one word" 4
+       (b.Recover.trap.Trap.addr - a.Recover.trap.Trap.addr)
+   | _ -> Alcotest.fail "expected at least two traps")
+
+let test_policy_names () =
+  List.iter
+    (fun p ->
+      match Policy.of_name (Policy.name p) with
+      | Some q -> Alcotest.(check bool) (Policy.name p) true (p = q)
+      | None -> Alcotest.failf "%s did not round-trip" (Policy.name p))
+    Policy.all;
+  Alcotest.(check bool) "unknown rejected" true
+    (Policy.of_name "panic" = None)
+
+(* ---- policies ---------------------------------------------------------- *)
+
+let test_abort_is_historical () =
+  let _, o = supervised ~policy:Policy.Abort over_read_src in
+  (match o.Recover.status with
+   | Machine.Bounds_violation _ -> ()
+   | st -> Alcotest.failf "expected bounds violation, got %s"
+             (Machine.status_name st));
+  Alcotest.(check int) "one trap record, the aborting one" 1
+    (List.length o.Recover.traps);
+  Alcotest.(check int) "nothing absorbed" 0 o.Recover.handled_count;
+  (match o.Recover.traps with
+   | [ h ] ->
+     Alcotest.(check bool) "action is abort" true
+       (h.Recover.action = Recover.Aborted)
+   | _ -> Alcotest.fail "trap list shape")
+
+let test_report_retires_unchecked () =
+  let m, o = supervised ~policy:Policy.Report over_read_src in
+  Alcotest.(check bool) "clean exit" true (o.Recover.status = Machine.Exited 0);
+  Alcotest.(check int) "all three absorbed" 3 o.Recover.handled_count;
+  List.iter
+    (fun h ->
+      Alcotest.(check bool) "every action retire-unchecked" true
+        (h.Recover.action = Recover.Retired_unchecked))
+    o.Recover.traps;
+  (* the unchecked loads read the untouched heap beyond the allocation:
+     zeros, so the sum is unchanged from the in-bounds prefix *)
+  Alcotest.(check string) "output intact" "15" (String.trim (Machine.output m))
+
+let test_null_guard_load_yields_zero () =
+  let m, o = supervised ~policy:Policy.Null_guard over_read_src in
+  Alcotest.(check bool) "clean exit" true (o.Recover.status = Machine.Exited 0);
+  Alcotest.(check int) "three squashes" 3 o.Recover.handled_count;
+  List.iter
+    (fun h ->
+      Alcotest.(check bool) "every action squash" true
+        (h.Recover.action = Recover.Squashed))
+    o.Recover.traps;
+  (* squashed loads yield 0: sum over p[0..8] = 0+..+5 = 15 *)
+  Alcotest.(check string) "squashed loads read as zero" "15"
+    (String.trim (Machine.output m))
+
+let test_null_guard_drops_store () =
+  let m, o = supervised ~policy:Policy.Null_guard over_write_src in
+  Alcotest.(check bool) "clean exit" true (o.Recover.status = Machine.Exited 0);
+  Alcotest.(check int) "one squashed store" 1 o.Recover.handled_count;
+  let h = List.hd o.Recover.traps in
+  Alcotest.(check bool) "it was a store" true h.Recover.trap.Trap.is_store;
+  Alcotest.(check string) "program survived with its data intact" "7"
+    (String.trim (Machine.output m));
+  (* the dropped store never reached memory *)
+  Alcotest.(check int) "no 42 at the faulting address" 0
+    (Physmem.peek_u32 m.Machine.mem h.Recover.trap.Trap.addr)
+
+let test_report_lets_store_through () =
+  (* the same program under report: the store retires unchecked and the
+     faulting address really holds 42 afterwards — the two policies are
+     distinguishable in memory, not just in the trap log *)
+  let m, o = supervised ~policy:Policy.Report over_write_src in
+  Alcotest.(check bool) "clean exit" true (o.Recover.status = Machine.Exited 0);
+  let h = List.hd o.Recover.traps in
+  Alcotest.(check int) "unchecked store reached memory" 42
+    (Physmem.peek_u32 m.Machine.mem h.Recover.trap.Trap.addr)
+
+let test_violation_budget () =
+  let _, o =
+    supervised ~policy:Policy.Report ~budget:3 many_violations_src
+  in
+  Alcotest.(check bool) "budget flagged" true o.Recover.budget_exhausted;
+  Alcotest.(check int) "exactly the budget absorbed" 3 o.Recover.handled_count;
+  Alcotest.(check int) "budget traps plus the aborting one" 4
+    (List.length o.Recover.traps);
+  (match o.Recover.status with
+   | Machine.Bounds_violation _ -> ()
+   | st -> Alcotest.failf "expected abort after budget, got %s"
+             (Machine.status_name st))
+
+let test_rollback_recovers () =
+  let m, o = supervised ~policy:Policy.Rollback over_read_src in
+  Alcotest.(check bool) "clean exit" true (o.Recover.status = Machine.Exited 0);
+  Alcotest.(check bool) "rollbacks happened" true (o.Recover.rollbacks > 0);
+  Alcotest.(check bool) "every trap absorbed" true
+    (o.Recover.handled_count = List.length o.Recover.traps);
+  (* the replayed loads were squashed, so the visible result matches
+     null-guard's *)
+  Alcotest.(check string) "suppressed replays read as zero" "15"
+    (String.trim (Machine.output m));
+  (* recovery paths must leave the accounting identity intact
+     (Recover.run itself re-checks; this is the explicit witness) *)
+  (match Stats.check_invariants m.Machine.stats with
+   | Ok () -> ()
+   | Error msg -> Alcotest.failf "stats identity broken: %s" msg)
+
+let test_rollback_escalates () =
+  (* a tiny ring and zero allowed repeats: the very first repeated trap
+     escalates rollback -> report, and the run still completes *)
+  let image, globals = Build.compile ~mode:Codegen.Hardbound over_read_src in
+  let config = Build.config_for ~scheme:Encoding.Extern4 Codegen.Hardbound in
+  let m = Machine.create ~config ~globals image in
+  let rcfg =
+    { Policy.default with
+      Policy.policy = Policy.Rollback;
+      max_rollbacks = 0 }
+  in
+  let o = Recover.run ~line_base:Build.runtime_lines ~config:rcfg m in
+  Alcotest.(check bool) "escalated" true (o.Recover.escalations > 0);
+  Alcotest.(check bool) "no rollback allowed" true (o.Recover.rollbacks = 0);
+  Alcotest.(check bool) "still completes" true
+    (o.Recover.status = Machine.Exited 0)
+
+(* ---- corpus matrix (the detection guarantee) --------------------------- *)
+
+let test_corpus_matrix () =
+  (* every 8th case keeps the sweep fast while crossing every idiom;
+     bench --exp recover runs a denser sample of the same matrix *)
+  let cases =
+    List.filteri (fun i _ -> i mod 8 = 0) (Hb_violations.Gen.all_cases ())
+  in
+  let cells = Recovery.matrix ~cases () in
+  Alcotest.(check int) "one cell per policy" (List.length Policy.all)
+    (List.length cells);
+  Alcotest.(check bool)
+    "every bad case detected, no good case flagged, all policies" true
+    (Recovery.all_detected cells);
+  List.iter
+    (fun (c : Recovery.cell) ->
+      Alcotest.(check int)
+        (Policy.name c.Recovery.policy ^ ": taxonomy is a partition")
+        c.Recovery.detected
+        (c.Recovery.aborted + c.Recovery.survived + c.Recovery.impaired);
+      match c.Recovery.policy with
+      | Policy.Abort ->
+        Alcotest.(check int) "abort: every detection terminates"
+          c.Recovery.detected c.Recovery.aborted
+      | Policy.Report | Policy.Null_guard | Policy.Rollback ->
+        Alcotest.(check bool)
+          (Policy.name c.Recovery.policy ^ ": some runs survive their trap")
+          true
+          (c.Recovery.survived > 0))
+    cells
+
+(* ---- journal ----------------------------------------------------------- *)
+
+let test_journal_roundtrip () =
+  let path = temp_path () in
+  let records =
+    [
+      Json.Obj [ ("type", Json.String "header"); ("n", Json.Int 1) ];
+      Json.Obj [ ("type", Json.String "run"); ("idx", Json.Int 0) ];
+      Json.Obj [ ("type", Json.String "run"); ("idx", Json.Int 1) ];
+    ]
+  in
+  let w = Journal.create path in
+  List.iter (Journal.append w) records;
+  Journal.close w;
+  let back = Journal.read path in
+  Alcotest.(check (list string)) "records survive the round trip"
+    (List.map Json.to_string records)
+    (List.map Json.to_string back);
+  Sys.remove path
+
+let test_journal_torn_tail () =
+  let path = temp_path () in
+  let w = Journal.create path in
+  Journal.append w (Json.Obj [ ("idx", Json.Int 0) ]);
+  Journal.append w (Json.Obj [ ("idx", Json.Int 1) ]);
+  Journal.close w;
+  (* simulate a SIGKILL mid-write: half a record, no newline *)
+  let oc = open_out_gen [ Open_wronly; Open_append ] 0o644 path in
+  output_string oc {|{"idx": 2, "trunc|};
+  close_out oc;
+  let back = Journal.read path in
+  Alcotest.(check int) "torn tail dropped, prefix intact" 2
+    (List.length back);
+  Sys.remove path
+
+let test_journal_midfile_corruption () =
+  let path = temp_path () in
+  write_lines path [ {|{"idx": 0}|}; "not json at all"; {|{"idx": 2}|} ];
+  (match Journal.read path with
+   | _ -> Alcotest.fail "mid-file corruption must raise"
+   | exception Hb_error.Hb_error (ctx, _) ->
+     Alcotest.(check string) "typed component" "journal"
+       ctx.Hb_error.component);
+  Sys.remove path
+
+(* ---- campaign journaling / resume -------------------------------------- *)
+
+let campaign_cfg =
+  { Campaign.default with Campaign.label = "little"; runs = 40; seed = 5 }
+
+let test_journaled_equals_plain () =
+  let mk = maker () in
+  let plain = Campaign.run ~mk campaign_cfg in
+  let path = temp_path () in
+  let journaled = Campaign.run ~journal:path ~mk campaign_cfg in
+  Alcotest.(check string) "journaling does not perturb the campaign"
+    (report_string plain) (report_string journaled);
+  (* a completed journal replays into the same report with no execution *)
+  let resumed = Campaign.run ~resume:path ~mk campaign_cfg in
+  Alcotest.(check string) "done journal reconstructs byte-identically"
+    (report_string plain) (report_string resumed);
+  Sys.remove path
+
+let test_truncated_resume () =
+  let mk = maker () in
+  let plain = Campaign.run ~mk campaign_cfg in
+  let path = temp_path () in
+  ignore (Campaign.run ~journal:path ~mk campaign_cfg);
+  (* keep the header and the first 10 records: a crash 10 runs in *)
+  (match read_lines path with
+   | header :: rest ->
+     let prefix = List.filteri (fun i _ -> i < 10) rest in
+     write_lines path (header :: prefix)
+   | [] -> Alcotest.fail "journal is empty");
+  let resumed = Campaign.run ~resume:path ~mk campaign_cfg in
+  Alcotest.(check string) "resume completes byte-identically"
+    (report_string plain) (report_string resumed);
+  (* and the journal is now complete: resuming again replays, runs
+     nothing, and still matches *)
+  let again = Campaign.run ~resume:path ~mk campaign_cfg in
+  Alcotest.(check string) "second resume replays the done journal"
+    (report_string plain) (report_string again);
+  Sys.remove path
+
+let test_resume_rejects_mismatched_config () =
+  let mk = maker () in
+  let path = temp_path () in
+  ignore (Campaign.run ~journal:path ~mk campaign_cfg);
+  (match
+     Campaign.run ~resume:path ~mk { campaign_cfg with Campaign.seed = 6 }
+   with
+   | _ -> Alcotest.fail "mismatched seed must be rejected"
+   | exception Hb_error.Hb_error _ -> ());
+  (match
+     Campaign.run ~resume:path ~mk
+       { campaign_cfg with Campaign.policy = Policy.Null_guard }
+   with
+   | _ -> Alcotest.fail "mismatched policy must be rejected"
+   | exception Hb_error.Hb_error _ -> ());
+  Sys.remove path
+
+let test_journal_resume_exclusive () =
+  let mk = maker () in
+  let path = temp_path () in
+  ignore (Campaign.run ~journal:path ~mk campaign_cfg);
+  (match Campaign.run ~journal:path ~resume:path ~mk campaign_cfg with
+   | _ -> Alcotest.fail "--journal with --resume must be rejected"
+   | exception Hb_error.Hb_error _ -> ());
+  Sys.remove path
+
+let test_sigkill_resume () =
+  let mk = maker () in
+  let cfg = { campaign_cfg with Campaign.runs = 120 } in
+  let plain = Campaign.run ~mk cfg in
+  let path = temp_path () in
+  (match Unix.fork () with
+   | 0 ->
+     (* child: run the journaled campaign until the parent kills it *)
+     (try ignore (Campaign.run ~journal:path ~mk cfg) with _ -> ());
+     Unix._exit 0
+   | pid ->
+     (* wait until at least the header and five records are durable *)
+     let deadline = Unix.gettimeofday () +. 30.0 in
+     let rec wait () =
+       let n = try List.length (read_lines path) with Sys_error _ -> 0 in
+       if n >= 6 then ()
+       else if Unix.gettimeofday () > deadline then
+         Alcotest.fail "journal never reached 5 records"
+       else begin
+         ignore (Unix.select [] [] [] 0.01);
+         wait ()
+       end
+     in
+     wait ();
+     Unix.kill pid Sys.sigkill;
+     ignore (Unix.waitpid [] pid));
+  let resumed = Campaign.run ~resume:path ~mk cfg in
+  Alcotest.(check string) "SIGKILL'd campaign resumes byte-identically"
+    (report_string plain) (report_string resumed);
+  Sys.remove path
+
+let test_deadline_partial_then_resume () =
+  let mk = maker () in
+  let plain = Campaign.run ~mk campaign_cfg in
+  let path = temp_path () in
+  let partial =
+    Campaign.run ~journal:path ~deadline:(Deadline.after 0.0) ~mk campaign_cfg
+  in
+  Alcotest.(check bool) "deadline flagged" true
+    partial.Campaign.deadline_expired;
+  Alcotest.(check int) "nothing ran" 0 (List.length partial.Campaign.records);
+  (* the partial report still serializes, with the expiry visible *)
+  (match Campaign.to_json partial with
+   | Json.Obj fields ->
+     Alcotest.(check bool) "deadline_expired key present" true
+       (List.mem_assoc "deadline_expired" fields)
+   | _ -> Alcotest.fail "report JSON is not an object");
+  let resumed = Campaign.run ~resume:path ~mk campaign_cfg in
+  Alcotest.(check string) "resume finishes the job byte-identically"
+    (report_string plain) (report_string resumed);
+  Sys.remove path
+
+let test_recovery_policy_campaign () =
+  let mk = maker () in
+  let cfg =
+    { campaign_cfg with
+      Campaign.runs = 30;
+      Campaign.policy = Policy.Null_guard }
+  in
+  let r1 = Campaign.run ~mk cfg in
+  let r2 = Campaign.run ~mk cfg in
+  Alcotest.(check string) "recovery-policy campaign is deterministic"
+    (report_string r1) (report_string r2);
+  (match Campaign.to_json r1 with
+   | Json.Obj fields ->
+     (match List.assoc_opt "campaign" fields with
+      | Some (Json.Obj c) ->
+        Alcotest.(check bool) "policy recorded in the report" true
+          (List.assoc_opt "policy" c = Some (Json.String "null-guard"))
+      | _ -> Alcotest.fail "campaign block missing")
+   | _ -> Alcotest.fail "report JSON is not an object")
+
+(* ---- snapshot page materialization ------------------------------------- *)
+
+let test_restore_does_not_materialize () =
+  let m = maker () () in
+  (* run partway: some heap pages and shadow pages exist, others don't *)
+  (try
+     for _ = 1 to 2_000 do
+       if m.Machine.halted = None then Machine.step m
+     done
+   with _ -> ());
+  let snap = Snapshot.capture m in
+  let pages0 = Physmem.pages_touched m.Machine.mem in
+  Alcotest.(check int) "capture counts the materialized pages" pages0
+    (Snapshot.touched_pages snap);
+  (* materialize a page the capture never touched *)
+  Physmem.write_u32 m.Machine.mem 0x00F0_0000 1;
+  Alcotest.(check bool) "probe really materialized a page" true
+    (Physmem.pages_touched m.Machine.mem > pages0);
+  Snapshot.restore m snap;
+  Alcotest.(check int)
+    "restore drops pages the capture never held (Figure 6 stability)"
+    pages0
+    (Physmem.pages_touched m.Machine.mem);
+  Alcotest.(check bool) "restored state equals the capture" true
+    (Snapshot.equal (Snapshot.capture m) snap)
+
+let () =
+  Alcotest.run "recover"
+    [
+      ( "trap",
+        [
+          Alcotest.test_case "precision" `Quick test_trap_precision;
+          Alcotest.test_case "policy-names" `Quick test_policy_names;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "abort" `Quick test_abort_is_historical;
+          Alcotest.test_case "report" `Quick test_report_retires_unchecked;
+          Alcotest.test_case "null-guard-load" `Quick
+            test_null_guard_load_yields_zero;
+          Alcotest.test_case "null-guard-store" `Quick
+            test_null_guard_drops_store;
+          Alcotest.test_case "report-store" `Quick
+            test_report_lets_store_through;
+          Alcotest.test_case "budget" `Quick test_violation_budget;
+          Alcotest.test_case "rollback" `Quick test_rollback_recovers;
+          Alcotest.test_case "escalation" `Quick test_rollback_escalates;
+        ] );
+      ( "matrix",
+        [ Alcotest.test_case "corpus-sample" `Slow test_corpus_matrix ] );
+      ( "journal",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_journal_roundtrip;
+          Alcotest.test_case "torn-tail" `Quick test_journal_torn_tail;
+          Alcotest.test_case "corruption" `Quick
+            test_journal_midfile_corruption;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "journaled-equals-plain" `Quick
+            test_journaled_equals_plain;
+          Alcotest.test_case "truncated-resume" `Quick test_truncated_resume;
+          Alcotest.test_case "config-mismatch" `Quick
+            test_resume_rejects_mismatched_config;
+          Alcotest.test_case "journal-resume-exclusive" `Quick
+            test_journal_resume_exclusive;
+          Alcotest.test_case "sigkill-resume" `Slow test_sigkill_resume;
+          Alcotest.test_case "deadline" `Quick
+            test_deadline_partial_then_resume;
+          Alcotest.test_case "recovery-policy" `Quick
+            test_recovery_policy_campaign;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "no-materialize-on-restore" `Quick
+            test_restore_does_not_materialize;
+        ] );
+    ]
