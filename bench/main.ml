@@ -30,6 +30,7 @@ let experiments =
     ("recover", "Recovery policies: corpus detection matrix + clean overhead");
     ("attr", "Per-PC attribution: top hotspots + differential overhead");
     ("timeline", "Timeline: windowed phase samples + shadow census");
+    ("host", "Host profiling: wall time / sim throughput / GC per config");
     ("bechamel", "Micro-benchmarks of the simulator itself");
   ]
 
@@ -270,6 +271,35 @@ let rec run_experiment name =
         Hb_workloads.Workloads.all
     in
     note_json name (Json.Obj reports)
+  | "host" ->
+    banner "Host profiling: wall-clock cost of the measurement matrix";
+    (* Host-varying numbers by nature — printed and reported through the
+       host channel (Run.host_json / the wall trajectory), never through
+       the simulated-cycle artifacts. *)
+    let s = Lazy.force suite in
+    Printf.printf "%-12s %-14s %10s %14s %14s %12s\n" "workload" "config"
+      "wall ms" "sim instrs/s" "sim cycles/s" "gc major w";
+    List.iter
+      (fun (w : Suite.per_workload) ->
+        List.iter
+          (fun (config, (r : Run.record)) ->
+            Printf.printf "%-12s %-14s %10.2f %14.0f %14.0f %12d\n"
+              w.Suite.name config (Run.wall_ms r) (Run.sim_ips r)
+              (Run.sim_cps r) r.Run.host.Run.gc_major_words)
+          (Suite.snapshot_runs w))
+      s;
+    let wall ms = List.fold_left ( +. ) 0.0 ms in
+    let total =
+      wall
+        (List.concat_map
+           (fun w ->
+             List.map (fun (_, r) -> Run.wall_ms r) (Suite.snapshot_runs w))
+           s)
+    in
+    Printf.printf "\ntotal measured wall time: %.1f ms across %d runs\n"
+      total
+      (List.length s * 4);
+    note_json name (Suite.wall_point ~label:"bench" s)
   | "bechamel" -> bechamel ()
   | other ->
     Printf.eprintf "unknown experiment %s; use --list\n" other;
@@ -415,7 +445,11 @@ let () =
   let json_path, args = split_opt "--json" args in
   let baseline_write, args = split_opt "--baseline-write" args in
   let baseline_path, args = split_opt "--baseline" args in
-  let gating = baseline_write <> None || baseline_path <> None in
+  let wall_append, args = split_opt "--wall-append" args in
+  let wall_label, args = split_opt "--wall-label" args in
+  let gating =
+    baseline_write <> None || baseline_path <> None || wall_append <> None
+  in
   (match args with
    | [ "--list" ] ->
      List.iter (fun (k, d) -> Printf.printf "%-12s %s\n" k d) experiments
@@ -425,7 +459,8 @@ let () =
    | _ ->
      prerr_endline
        "usage: main.exe [--list | --exp <name>] [--json FILE] \
-        [--baseline FILE] [--baseline-write FILE]";
+        [--baseline FILE] [--baseline-write FILE] [--wall-append FILE] \
+        [--wall-label LABEL]";
      exit 1);
   (* Perf-trajectory gate: record / compare the committed
      BENCH_hardbound.json snapshot (cycle drift > 2% fails). *)
@@ -452,4 +487,29 @@ let () =
            regenerate it with --baseline-write in the same change\n"
           path;
         exit 1));
+  (* Host wall-clock trajectory: append a point per PR to BENCH_wall.json.
+     Advisory by design — wall time depends on the machine that ran it,
+     so out-of-band drift prints notes instead of failing. *)
+  (match wall_append with
+   | None -> ()
+   | Some path ->
+     let label = Option.value wall_label ~default:"local" in
+     let prior =
+       if Sys.file_exists path then Some (read_json path) else None
+     in
+     (match prior with
+      | Some t ->
+        List.iter
+          (fun m -> Printf.eprintf "[bench] WALL %s\n" m)
+          (Suite.wall_advisory ~trajectory:t (Lazy.force suite))
+      | None -> ());
+     let doc = Suite.append_wall ~trajectory:prior ~label (Lazy.force suite) in
+     let oc = open_out path in
+     output_string oc (Json.to_string_pretty doc);
+     output_char oc '\n';
+     close_out oc;
+     Printf.eprintf
+       "[bench] appended wall point %S to %s (advisory trajectory, not a \
+        gate)\n%!"
+       label path);
   match json_path with None -> () | Some path -> write_json path

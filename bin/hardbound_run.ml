@@ -29,6 +29,9 @@ module Timeline = Hb_obs.Timeline
 module Policy = Hb_recover.Policy
 module Recover = Hb_recover.Recover
 module Deadline = Hb_recover.Deadline
+module Host = Hb_obs.Host
+module Progress = Hb_obs.Progress
+module Serve = Hb_obs.Serve
 
 let mode_conv =
   let parse s =
@@ -287,6 +290,43 @@ let deadline_arg =
                  stop at the next instruction boundary with a partial \
                  report")
 
+let serve_conv =
+  let parse s =
+    match Serve.parse_port s with
+    | p -> Ok p
+    | exception Hb_error.Hb_error (ctx, msg) ->
+      Error (`Msg (Hb_error.to_string (ctx, msg)))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let serve_arg =
+  Arg.(value & opt (some serve_conv) None
+       & info [ "serve" ] ~docv:"PORT"
+           ~doc:"Serve a live status endpoint on 127.0.0.1:PORT for the \
+                 duration of the run: GET /metrics (OpenMetrics \
+                 exposition, hb_host_* gauges included), GET /progress \
+                 (live campaign JSON) and GET /healthz.  Read-only: \
+                 reports and journals stay byte-identical")
+
+let progress_arg =
+  Arg.(value & flag
+       & info [ "progress" ]
+           ~doc:"Print a live one-line campaign progress ticker \
+                 (injection index, outcome tally, ETA) to stderr")
+
+let host_spans_arg =
+  Arg.(value & opt (some string) None
+       & info [ "host-spans" ] ~docv:"FILE"
+           ~doc:"Write the hierarchical host wall-clock span profile \
+                 (per-phase wall time, GC deltas, RSS checkpoints, \
+                 simulated-throughput annotations) to FILE as JSON")
+
+let host_chrome_arg =
+  Arg.(value & opt (some string) None
+       & info [ "host-chrome" ] ~docv:"FILE"
+           ~doc:"Write the host span profile as a Chrome trace_event \
+                 array to FILE (chrome://tracing / Perfetto)")
+
 let read_file path =
   let ic = open_in_bin path in
   let n = in_channel_length ic in
@@ -408,13 +448,71 @@ let report m status ~label ~mode ~scheme ~stats ~stats_format ~profile
       [ fst leaks; snd leaks ];
     if code = 0 then 3 else code
 
+(* The host observability plane, wrapped around a whole invocation: the
+   ambient span profiler (when a sink or the status endpoint wants it),
+   the live HTTP endpoint, and the stderr ticker.  Everything here is a
+   read-only side channel — the simulated artifacts cannot see it — and
+   every piece is torn down through Fun.protect even when the run dies
+   with Hb_error.  [live_reg] lets the single-run path publish the
+   machine's own registry to /metrics once a machine exists. *)
+let with_host_plane ~serve_port ~tick ~host_spans ~host_chrome
+    ~(pr : Progress.t) ~(live_reg : (unit -> Metrics.t) option ref) f =
+  let want_profiler =
+    host_spans <> None || host_chrome <> None || serve_port <> None
+  in
+  let prof = if want_profiler then Some (Host.install ()) else None in
+  let server =
+    match serve_port with
+    | None -> None
+    | Some port ->
+      let metrics () =
+        let reg =
+          match !live_reg with Some mk -> mk () | None -> Metrics.create ()
+        in
+        Progress.export pr reg;
+        Host.export_live reg;
+        Metrics.to_prometheus reg
+      in
+      let s =
+        Serve.start ~port ~metrics
+          ~progress:(fun () -> Progress.to_json pr)
+          ()
+      in
+      Printf.eprintf
+        "serving /metrics /progress /healthz on http://127.0.0.1:%d\n%!"
+        (Serve.port s);
+      Some s
+  in
+  let stop_tick = if tick then Some (Progress.ticker pr) else None in
+  Fun.protect
+    ~finally:(fun () ->
+      (match stop_tick with Some stop -> stop () | None -> ());
+      (match server with Some s -> Serve.stop s | None -> ());
+      match prof with
+      | None -> ()
+      | Some t ->
+        Host.finish t;
+        (match Host.check t with
+         | Ok () -> ()
+         | Error msg ->
+           Printf.eprintf "host profile accounting: %s\n" msg);
+        (match host_spans with
+         | Some path -> Host.write_json path t
+         | None -> ());
+        (match host_chrome with
+         | Some path -> Host.write_chrome path t
+         | None -> ());
+        Host.uninstall ())
+    f
+
 (* Fault-injection entry points: campaign mode (N single-fault runs
    classified against a golden reference) and stochastic single-run mode.
    Both need a machine *factory* rather than one machine; when --trace is
    given, every machine streams into the same sink. *)
 let run_fault ~mk_plain ~label ~inject ~campaign ~campaign_json
     ~campaign_checkpoints ~policy ~violation_budget ~journal ~resume
-    ~deadline ~trace_file ~trace_format ~trace_retires ~metrics_json =
+    ~deadline ~trace_file ~trace_format ~trace_retires ~metrics_json
+    ~progress =
   let module Campaign = Hb_fault.Campaign in
   let module Injector = Hb_fault.Injector in
   let sink = ref None in
@@ -457,7 +555,7 @@ let run_fault ~mk_plain ~label ~inject ~campaign ~campaign_json
     in
     let report =
       Campaign.run ?journal ?resume ~deadline:(Deadline.of_secs deadline)
-        ~mk cfg
+        ~progress ~mk cfg
     in
     Printf.printf
       "campaign %s: %d runs, seed %d, golden %s (%d instrs, %d output \
@@ -514,7 +612,8 @@ let run file workload mode scheme temporal stats stats_format asm emit_asm
     profile metrics_json metrics_prom attr_flag attr_json attr_top
     timeline_flag timeline_jsonl timeline_csv sample_interval diff_pair
     inject campaign campaign_json campaign_checkpoints policy
-    violation_budget journal resume deadline =
+    violation_budget journal resume deadline serve_port progress_flag
+    host_spans host_chrome =
   try
     match diff_pair with
     | Some (a_path, b_path) ->
@@ -523,6 +622,11 @@ let run file workload mode scheme temporal stats stats_format asm emit_asm
       print_string (Diff.to_table ~top:attr_top r);
       0
     | None ->
+    let pr = Progress.create () in
+    let live_reg : (unit -> Metrics.t) option ref = ref None in
+    with_host_plane ~serve_port ~tick:progress_flag ~host_spans
+      ~host_chrome ~pr ~live_reg
+    @@ fun () ->
     let want_attr = attr_flag || attr_json <> None in
     let source, label, asm =
       match (file, workload) with
@@ -556,13 +660,13 @@ let run file workload mode scheme temporal stats stats_format asm emit_asm
               checked_deref_uop = false; temporal; tripwire = false;
               max_instrs = fuel },
             0 )
-        else begin
+        else
+          Host.span "compile" @@ fun () ->
           let image, globals = Hb_runtime.Build.compile ~mode source in
           ( image, globals,
             Hb_runtime.Build.config_for ~scheme ~temporal ~max_instrs:fuel
               mode,
             Hb_runtime.Build.runtime_lines )
-        end
       in
       Hardbound.Checker.reset_tally ();
       if resume <> None && campaign <= 0 then begin
@@ -577,8 +681,15 @@ let run file workload mode scheme temporal stats stats_format asm emit_asm
           ~label ~inject ~campaign ~campaign_json ~campaign_checkpoints
           ~policy ~violation_budget ~journal ~resume ~deadline
           ~trace_file ~trace_format ~trace_retires ~metrics_json
+          ~progress:pr
       else begin
       let m = Machine.create ~config ~globals image in
+      (* publish this machine to the live endpoint: /metrics scrapes its
+         registry, /progress reads its instruction/cycle counters *)
+      live_reg := Some (fun () -> Machine.metrics m);
+      Progress.set_poll pr (fun () ->
+          let s = m.Machine.stats in
+          (s.Stats.instructions, Stats.cycles s));
       let close_trace =
         setup_obs m ~trace_file ~trace_format ~trace_events ~trace_retires
           ~profile
@@ -611,6 +722,8 @@ let run file workload mode scheme temporal stats stats_format asm emit_asm
       Fun.protect ~finally:finalize (fun () ->
           let supervisor = ref (fun (_ : Metrics.t) -> ()) in
           let status =
+            Host.span "run" @@ fun () ->
+            let st =
             (* a non-abort policy (or a wall-clock budget) routes the run
                through the trap supervisor; it is bit-identical to
                [Machine.run] until a trap fires or the deadline hits *)
@@ -638,6 +751,11 @@ let run file workload mode scheme temporal stats stats_format asm emit_asm
               | Some st -> st
               | None -> Machine.run m
             else Machine.run m
+            in
+            let s = m.Machine.stats in
+            Host.annotate_live "instrs" s.Stats.instructions;
+            Host.annotate_live "cycles" (Stats.cycles s);
+            st
           in
           report m status ~label ~mode ~scheme ~stats ~stats_format ~profile
             ~attr_show:attr_flag ~attr_json ~attr_top
@@ -677,6 +795,7 @@ let cmd =
           $ timeline_flag $ timeline_jsonl $ timeline_csv $ sample_interval
           $ diff_arg $ inject $ campaign $ campaign_json
           $ campaign_checkpoints $ on_violation $ violation_budget
-          $ journal_arg $ resume_arg $ deadline_arg)
+          $ journal_arg $ resume_arg $ deadline_arg $ serve_arg
+          $ progress_arg $ host_spans_arg $ host_chrome_arg)
 
 let () = exit (Cmd.eval' cmd)

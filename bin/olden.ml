@@ -13,17 +13,23 @@ module Encoding = Hardbound.Encoding
 module Run = Hb_harness.Run
 module Policy = Hb_recover.Policy
 module Recover = Hb_recover.Recover
+module Host = Hb_obs.Host
 
 let usage () =
   prerr_endline
     "usage: olden <name|list> [--mode MODE] [--scheme ENC]\n\
      \             [--on-violation POLICY] [--violation-budget N]\n\
+     \             [--host-spans FILE] [--host-chrome FILE]\n\
      modes: nochecks hardbound malloc-only softfat objtable\n\
      encodings: uncompressed extern-4 intern-4 intern-11\n\
      policies: abort report null-guard rollback";
   exit 1
 
-let () =
+(* host span profile sinks, parsed alongside the benchmark flags *)
+let spans_file = ref None
+let chrome_file = ref None
+
+let main () =
   let args = Array.to_list Sys.argv |> List.tl in
   let rec parse name mode scheme policy budget = function
     | [] -> (name, mode, scheme, policy, budget)
@@ -50,6 +56,12 @@ let () =
       match int_of_string_opt n with
       | Some b when b >= 0 -> parse name mode scheme policy b rest
       | _ -> usage ())
+    | "--host-spans" :: f :: rest ->
+      spans_file := Some f;
+      parse name mode scheme policy budget rest
+    | "--host-chrome" :: f :: rest ->
+      chrome_file := Some f;
+      parse name mode scheme policy budget rest
     | n :: rest when name = None -> parse (Some n) mode scheme policy budget rest
     | _ -> usage ()
   in
@@ -57,6 +69,19 @@ let () =
     parse None Codegen.Hardbound Encoding.Extern4 Policy.Abort
       Policy.default.Policy.violation_budget args
   in
+  if !spans_file <> None || !chrome_file <> None then begin
+    let t = Host.install () in
+    (* the supervised path leaves via [exit]; at_exit still dumps *)
+    at_exit (fun () ->
+        Host.finish t;
+        (match Host.check t with
+         | Ok () -> ()
+         | Error msg -> Printf.eprintf "host profile accounting: %s\n" msg);
+        (match !spans_file with Some p -> Host.write_json p t | None -> ());
+        (match !chrome_file with
+         | Some p -> Host.write_chrome p t
+         | None -> ()))
+  end;
   match name with
   | None -> usage ()
   | Some "list" ->
@@ -74,13 +99,17 @@ let () =
     if policy <> Policy.Abort then begin
       (* supervised run: traps route through the recovery policy instead
          of terminating the benchmark *)
-      let image, globals = Hb_runtime.Build.compile ~mode w.source in
+      let image, globals =
+        Host.span "compile" @@ fun () ->
+        Hb_runtime.Build.compile ~mode w.source
+      in
       let config = Hb_runtime.Build.config_for ~scheme mode in
       let m = Machine.create ~config ~globals image in
       let rcfg =
         { Policy.default with Policy.policy; violation_budget = budget }
       in
       let o =
+        Host.span "run" @@ fun () ->
         Recover.run ~line_base:Hb_runtime.Build.runtime_lines ~config:rcfg m
       in
       print_string (Machine.output m);
@@ -105,3 +134,5 @@ let () =
       r.Run.instructions r.Run.uops r.Run.cycles r.Run.setbound_instrs
       r.Run.metadata_uops r.Run.data_stalls r.Run.tag_stalls r.Run.bb_stalls
       r.Run.data_pages r.Run.tag_pages r.Run.shadow_pages
+
+let () = main ()

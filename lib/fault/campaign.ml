@@ -26,6 +26,8 @@ module Stats = Hb_cpu.Stats
 module Snapshot = Hb_cpu.Snapshot
 module Json = Hb_obs.Json
 module Metrics = Hb_obs.Metrics
+module Host = Hb_obs.Host
+module Progress = Hb_obs.Progress
 module Policy = Hb_recover.Policy
 module Recover = Hb_recover.Recover
 module Journal = Hb_recover.Journal
@@ -386,7 +388,7 @@ let validate (cfg : config) =
    seed, so a resumed campaign executes exactly the runs the interrupted
    one never recorded. *)
 let execute ~mk ~(cfg : config) ~(golden : golden) ~writer ~deadline
-    ~(prior : record list) : report =
+    ~progress ~(prior : record list) : report =
   (* Plan every injection up front from the master stream, so execution
      order (sorted by injection point) cannot influence the draws. *)
   let master = Prng.create ~seed:cfg.seed in
@@ -410,6 +412,17 @@ let execute ~mk ~(cfg : config) ~(golden : golden) ~writer ~deadline
     not (replay.Machine.cfg.Machine.temporal || replay.Machine.cfg.Machine.tripwire)
   in
   let scratch = if fast then mk () else replay in
+  (* Live progress is strictly off to the side: it reads the plan and
+     the in-flight machine, and nothing it computes flows back, so the
+     report is byte-identical with and without a tracker attached. *)
+  (match progress with
+  | None -> ()
+  | Some p ->
+    Progress.begin_campaign p ~label:cfg.label ~total:cfg.runs
+      ~prior:(List.length prior);
+    List.iter
+      (fun r -> Progress.seed_outcome p ~outcome:(Outcome.name r.outcome))
+      prior);
   let use_recover = cfg.policy <> Policy.Abort in
   let pcfg =
     {
@@ -446,6 +459,15 @@ let execute ~mk ~(cfg : config) ~(golden : golden) ~writer ~deadline
       s
   in
   let last_m = ref None in
+  (match progress with
+  | None -> ()
+  | Some p ->
+    Progress.set_poll p (fun () ->
+        let m =
+          if fast then scratch
+          else match !last_m with Some m -> m | None -> replay
+        in
+        (instrs_of m, Stats.cycles m.Machine.stats)));
   let exec (idx, run_seed, site, at_instr) : record =
     let rng = Prng.create ~seed:run_seed in
     let diverged = ref None in
@@ -576,17 +598,30 @@ let execute ~mk ~(cfg : config) ~(golden : golden) ~writer ~deadline
           (Json.Obj
              [ ("type", Json.String "ckpt"); ("completed", Json.Int !journaled) ])
   in
+  let executed = ref 0 in
   let fresh =
     List.filter_map
-      (fun p ->
+      (fun ((idx, _, _, _) as p) ->
         if !ddl then None
         else if Deadline.expired deadline then begin
           ddl := true;
           None
         end
         else begin
+          (match progress with
+          | Some pr -> Progress.start_run pr idx
+          | None -> ());
           let r = exec p in
           emit_record r;
+          incr executed;
+          (* host-telemetry checkpoint: GC/RSS census every 25 executed
+             runs, mirroring the journal's ckpt cadence *)
+          if !executed mod 25 = 0 then
+            Host.sample_live ~counts:[ ("runs", !executed) ] ();
+          (match progress with
+          | Some pr ->
+            Progress.finish_run pr ~outcome:(Outcome.name r.outcome)
+          | None -> ());
           Some r
         end)
       by_point
@@ -595,10 +630,12 @@ let execute ~mk ~(cfg : config) ~(golden : golden) ~writer ~deadline
     List.sort (fun a b -> compare a.idx b.idx) (prior @ fresh)
   in
   let complete = List.length records = cfg.runs in
-  if complete then
+  if complete then begin
     (match writer with
     | Some w -> Journal.append w (Json.Obj [ ("type", Json.String "done") ])
     | None -> ());
+    match progress with Some p -> Progress.finish p | None -> ()
+  end;
   (* after a recovery-policy or resumed campaign, re-check the timing
      model's accounting identities on the last machine that ran *)
   (match !last_m with
@@ -620,26 +657,42 @@ let execute ~mk ~(cfg : config) ~(golden : golden) ~writer ~deadline
     deadline_expired = !ddl;
   }
 
-let run ?journal ?resume ?(deadline = Deadline.none) ~mk (cfg : config) :
-    report =
+let run ?journal ?resume ?(deadline = Deadline.none) ?progress ~mk
+    (cfg : config) : report =
   validate cfg;
+  (* the golden reference and the injection sweep are the two wall-clock
+     phases worth profiling; span hooks are no-ops unless a host
+     profiler is installed and never touch the report *)
+  let golden_of ~cfg ~mk =
+    Host.span "golden" (fun () ->
+        let g = golden_of ~cfg ~mk in
+        Host.annotate_live "instrs" g.g_instrs;
+        g)
+  in
+  let execute ~writer ~prior ~golden =
+    Host.span "runs" (fun () ->
+        Host.annotate_live "runs" (cfg.runs - List.length prior);
+        execute ~mk ~cfg ~golden ~writer ~deadline ~progress ~prior)
+  in
   match resume with
   | None -> (
     let golden = golden_of ~cfg ~mk in
     match journal with
-    | None -> execute ~mk ~cfg ~golden ~writer:None ~deadline ~prior:[]
+    | None -> execute ~writer:None ~prior:[] ~golden
     | Some path ->
+      (match progress with Some p -> Progress.set_journal p path | None -> ());
       let w = Journal.create path in
       Fun.protect
         ~finally:(fun () -> Journal.close w)
         (fun () ->
           Journal.append w (header_json cfg golden);
-          execute ~mk ~cfg ~golden ~writer:(Some w) ~deadline ~prior:[]))
+          execute ~writer:(Some w) ~prior:[] ~golden))
   | Some path ->
     if journal <> None then
       Hb_error.fail ~component:"campaign"
         "--journal and --resume are exclusive (a resumed campaign appends \
          to the journal it resumes from)";
+    (match progress with Some p -> Progress.set_resume p path | None -> ());
     let header, prior, done_ = load_journal path in
     check_header path header cfg;
     if done_ then begin
@@ -655,7 +708,7 @@ let run ?journal ?resume ?(deadline = Deadline.none) ~mk (cfg : config) :
       let w = Journal.append_to path in
       Fun.protect
         ~finally:(fun () -> Journal.close w)
-        (fun () -> execute ~mk ~cfg ~golden ~writer:(Some w) ~deadline ~prior)
+        (fun () -> execute ~writer:(Some w) ~prior ~golden)
     end
 
 (* ---- reporting ------------------------------------------------------- *)

@@ -75,6 +75,7 @@ val run :
   ?journal:string ->
   ?resume:string ->
   ?deadline:Hb_recover.Deadline.t ->
+  ?progress:Hb_obs.Progress.t ->
   mk:(unit -> Machine.t) ->
   config ->
   report
@@ -93,7 +94,15 @@ val run :
     The two are mutually exclusive — a resumed campaign appends to the
     journal it resumes from.  [deadline] bounds wall-clock time, checked
     between runs: on expiry the report covers the completed prefix and
-    is flagged [deadline_expired]. *)
+    is flagged [deadline_expired].
+
+    [progress] attaches a live {!Hb_obs.Progress} tracker (injection
+    index, outcome tallies, ETA) for the [/progress] endpoint and the
+    stderr ticker; it is read-only with respect to the campaign, whose
+    report/journal stay byte-identical with or without it.  When an
+    ambient {!Hb_obs.Host} profiler is installed, the golden reference
+    and the injection sweep run under spans, and a GC/RSS telemetry
+    sample is taken every 25 executed runs. *)
 
 val count : report -> Injector.site option -> Outcome.t -> int
 (** Runs of [site] (all sites if [None]) that landed in the bucket. *)

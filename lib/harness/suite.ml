@@ -4,6 +4,7 @@
 
 module Codegen = Hb_minic.Codegen
 module Encoding = Hardbound.Encoding
+module Host = Hb_obs.Host
 
 type per_workload = {
   name : string;
@@ -24,6 +25,7 @@ let collect ?(software = true) ?(progress = fun _ -> ()) () :
   List.map
     (fun (w : Hb_workloads.Workloads.t) ->
       progress w.name;
+      Host.span (Printf.sprintf "workload:%s" w.name) @@ fun () ->
       let baseline = Run.measure ~mode:Codegen.Nochecks w in
       let hb scheme = Run.measure ~scheme ~mode:Codegen.Hardbound w in
       let sw mode = if software then Some (Run.measure ~mode w) else None in
@@ -174,3 +176,92 @@ let check_baseline ?(tolerance = 0.02) ~baseline (suite : per_workload list) =
       suite
   in
   match drifts with [] -> Ok () | msgs -> Error msgs
+
+(* ---- host wall-clock trajectory (advisory) -------------------------- *)
+
+(* BENCH_wall.json is the host-varying sibling of BENCH_hardbound.json:
+   an append-per-PR series of wall-clock / throughput points.  It is
+   deliberately NOT a gate — wall time depends on the machine that ran
+   it — so comparisons only ever produce advisory notes. *)
+
+let wall_point ~label (suite : per_workload list) =
+  Json.Obj
+    [
+      ("label", Json.String label);
+      ( "entries",
+        Json.List
+          (List.concat_map
+             (fun w ->
+               List.map
+                 (fun (config, (r : Run.record)) ->
+                   Json.Obj
+                     [
+                       ("workload", Json.String w.name);
+                       ("config", Json.String config);
+                       ("wall_ms", Json.Float (Run.wall_ms r));
+                       ("sim_ips", Json.Float (Run.sim_ips r));
+                       ( "gc_major_words",
+                         Json.Int r.Run.host.Run.gc_major_words );
+                     ])
+                 (snapshot_runs w))
+             suite) );
+    ]
+
+let wall_points json =
+  match Option.bind (Json.member "points" json) Json.to_list with
+  | Some l -> l
+  | None -> snap_fail "missing \"points\" list in wall trajectory"
+
+let append_wall ~trajectory ~label (suite : per_workload list) =
+  let prior = match trajectory with Some j -> wall_points j | None -> [] in
+  Json.Obj
+    [
+      ("bench", Json.String "hb-wall-trajectory");
+      ("version", Json.Int 1);
+      ("points", Json.List (prior @ [ wall_point ~label suite ]));
+    ]
+
+(** Advisory comparison of a fresh suite against the last recorded
+    trajectory point: per-config wall-time ratios outside the variance
+    [band] (default ±50% — hosts differ) come back as human-readable
+    notes.  Never an error: this trajectory is informational. *)
+let wall_advisory ?(band = 0.5) ~trajectory (suite : per_workload list) =
+  match List.rev (wall_points trajectory) with
+  | [] -> []
+  | last :: _ ->
+    let prior = Hashtbl.create 64 in
+    let entries =
+      match Option.bind (Json.member "entries" last) Json.to_list with
+      | Some l -> l
+      | None -> snap_fail "wall point: missing \"entries\" list"
+    in
+    List.iter
+      (fun e ->
+        match
+          ( Json.member "workload" e,
+            Json.member "config" e,
+            Json.member "wall_ms" e )
+        with
+        | Some (Json.String w), Some (Json.String c), Some (Json.Float ms)
+          ->
+          Hashtbl.replace prior (w, c) ms
+        | _ -> ())
+      entries;
+    List.concat_map
+      (fun w ->
+        List.filter_map
+          (fun (config, (r : Run.record)) ->
+            match Hashtbl.find_opt prior (w.name, config) with
+            | Some was when was > 0.0 ->
+              let now = Run.wall_ms r in
+              let ratio = now /. was in
+              if ratio > 1.0 +. band || ratio < 1.0 -. band then
+                Some
+                  (Printf.sprintf
+                     "%s/%s: wall %.2fms vs %.2fms last point (%.0f%%) — \
+                      advisory only"
+                     w.name config now was (100.0 *. ratio))
+              else None
+            | _ -> None)
+          (snapshot_runs w))
+      suite

@@ -14,6 +14,10 @@ type per_workload = {
 
 val hb_runs : per_workload -> (Hardbound.Encoding.scheme * Run.record) list
 
+val snapshot_runs : per_workload -> (string * Run.record) list
+(** The (config name, record) pairs the committed trajectories track:
+    baseline plus the three HardBound encodings. *)
+
 val collect :
   ?software:bool -> ?progress:(string -> unit) -> unit -> per_workload list
 (** Runs every workload under every configuration; checks that every
@@ -37,3 +41,26 @@ val check_baseline :
     drifted by more than [tolerance] (fraction of the recorded value,
     default 0.02) and every pair the snapshot does not cover.  Raises
     [Hb_obs.Json.Parse_error] when [baseline] is not a snapshot. *)
+
+val wall_point : label:string -> per_workload list -> Hb_obs.Json.t
+(** One host wall-clock trajectory point: wall_ms / sim_ips /
+    gc_major_words for every (workload, tracked config) pair, tagged
+    with a label (typically the PR).  Host-varying by nature. *)
+
+val append_wall :
+  trajectory:Hb_obs.Json.t option ->
+  label:string ->
+  per_workload list ->
+  Hb_obs.Json.t
+(** The [BENCH_wall.json] document with a fresh {!wall_point} appended to
+    [trajectory] (a previous document, or [None] to start a series).
+    Raises [Hb_obs.Json.Parse_error] when [trajectory] is malformed. *)
+
+val wall_advisory :
+  ?band:float ->
+  trajectory:Hb_obs.Json.t ->
+  per_workload list ->
+  string list
+(** Advisory notes comparing a fresh suite's wall times against the last
+    recorded trajectory point; an empty list when everything sits inside
+    the variance [band] (default ±50%).  Never a gate. *)

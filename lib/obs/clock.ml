@@ -1,0 +1,33 @@
+(** The one host clock.
+
+    Every wall-clock reader in the tree — span profiling, campaign
+    deadlines, progress ETAs — goes through this module, and this module
+    reads only the OS monotonic clock (CLOCK_MONOTONIC via bechamel's
+    stubs).  NTP steps therefore cannot fire deadlines early or push an
+    ETA negative, and the determinism grep-gate in [test_hygiene] can
+    police the entire clock surface by whitelisting the handful of
+    host-side modules allowed to mention [Clock.].
+
+    Nothing read from this clock may flow into a deterministic artifact
+    (campaign reports, journals, timeline/attr dumps, the simulated-cycle
+    bench baseline): wall time belongs in the explicitly host-varying
+    channels only — span dumps, [hb_host_*] gauges, the /progress
+    endpoint, and the advisory wall-time trajectory. *)
+
+(* The raw source is monotonic already; the [max] fold makes the
+   guarantee local and testable rather than inherited from the libc. *)
+let last = ref 0L
+
+let now_ns () =
+  let t = Monotonic_clock.now () in
+  if Int64.compare t !last > 0 then last := t;
+  !last
+
+let ns_of_s s = Int64.of_float (s *. 1e9)
+
+let s_of_ns ns = Int64.to_float ns /. 1e9
+
+(** Seconds elapsed since [t0] (a [now_ns] reading); never negative. *)
+let elapsed_s ~t0 =
+  let d = Int64.sub (now_ns ()) t0 in
+  if Int64.compare d 0L < 0 then 0.0 else s_of_ns d

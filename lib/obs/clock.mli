@@ -1,0 +1,16 @@
+(** The one host clock: a monotonic nanosecond reader.
+
+    All wall-clock measurement (span profiling, deadlines, ETAs) routes
+    through here so the determinism grep-gate can confine the clock
+    surface to a whitelist of host-side modules.  Readings are monotonic
+    non-decreasing; none of them may leak into deterministic artifacts. *)
+
+val now_ns : unit -> int64
+(** Monotonic nanoseconds since an arbitrary origin; successive calls
+    never decrease. *)
+
+val ns_of_s : float -> int64
+val s_of_ns : int64 -> float
+
+val elapsed_s : t0:int64 -> float
+(** Seconds since the [now_ns] reading [t0]; clamped at 0. *)

@@ -1,0 +1,183 @@
+(** Live campaign progress: injection index, outcome tallies, throughput
+    and ETA.
+
+    The campaign runner updates one of these as it executes its plan;
+    the [/progress] endpoint ({!Serve}) and the [--progress] stderr
+    ticker both read from it.  All timing goes through the monotonic
+    {!Clock}, so an NTP step can neither make the ETA negative nor the
+    rate infinite.  Nothing here feeds back into the campaign: the
+    report, journal and plan stay byte-identical whether or not a
+    progress tracker is attached. *)
+
+type t = {
+  mutable label : string;
+  mutable total : int;          (* planned runs *)
+  mutable prior : int;          (* records recovered from a resumed journal *)
+  mutable completed : int;      (* including prior *)
+  mutable current : int option; (* injection index in flight *)
+  mutable tally : (string * int) list;  (* outcome name -> count, sorted *)
+  mutable journal : string option;
+  mutable resume : string option;
+  mutable started_ns : int64;
+  mutable poll : (unit -> int * int) option;
+      (* live (instructions, cycles) of the machine in flight, read by
+         the scrape thread between runs *)
+  mutable finished : bool;
+}
+
+let create () =
+  {
+    label = "";
+    total = 0;
+    prior = 0;
+    completed = 0;
+    current = None;
+    tally = [];
+    journal = None;
+    resume = None;
+    started_ns = Clock.now_ns ();
+    poll = None;
+    finished = false;
+  }
+
+let begin_campaign t ~label ~total ~prior =
+  t.label <- label;
+  t.total <- total;
+  t.prior <- prior;
+  t.completed <- prior;
+  t.current <- None;
+  t.tally <- [];
+  t.started_ns <- Clock.now_ns ();
+  t.finished <- false
+
+let set_journal t path = t.journal <- Some path
+let set_resume t path = t.resume <- Some path
+let set_poll t f = t.poll <- Some f
+
+let start_run t idx = t.current <- Some idx
+
+let bump tally outcome =
+  let rec go = function
+    | [] -> [ (outcome, 1) ]
+    | (o, n) :: rest when o = outcome -> (o, n + 1) :: rest
+    | kv :: rest -> kv :: go rest
+  in
+  List.sort compare (go tally)
+
+(* Prior (journal-replayed) records land in the tally but not in the
+   throughput estimate: they cost no wall time this session. *)
+let seed_outcome t ~outcome = t.tally <- bump t.tally outcome
+
+let finish_run t ~outcome =
+  t.completed <- t.completed + 1;
+  t.current <- None;
+  t.tally <- bump t.tally outcome
+
+let finish t =
+  t.current <- None;
+  t.finished <- true
+
+let elapsed_s t = Clock.elapsed_s ~t0:t.started_ns
+
+(* Throughput counts only this session's work: records replayed from a
+   journal were free, so folding them in would fake an optimistic ETA. *)
+let rate t =
+  let fresh = t.completed - t.prior in
+  let dt = elapsed_s t in
+  if fresh <= 0 || dt <= 0. then None
+  else Some (float_of_int fresh /. dt)
+
+let eta_s t =
+  match rate t with
+  | None -> None
+  | Some r ->
+    let remaining = t.total - t.completed in
+    if remaining <= 0 then Some 0.
+    else Some (max 0. (float_of_int remaining /. r))
+
+let to_json t =
+  let fopt = function None -> Json.Null | Some f -> Json.Float f in
+  let sopt = function None -> Json.Null | Some s -> Json.String s in
+  let instrs, cycles =
+    match t.poll with
+    | Some f -> ( try f () with _ -> (0, 0))
+    | None -> (0, 0)
+  in
+  Json.Obj
+    [
+      ("label", Json.String t.label);
+      ("total", Json.Int t.total);
+      ("completed", Json.Int t.completed);
+      ("prior", Json.Int t.prior);
+      ( "current",
+        match t.current with None -> Json.Null | Some i -> Json.Int i );
+      ("finished", Json.Bool t.finished);
+      ( "outcomes",
+        Json.Obj (List.map (fun (o, n) -> (o, Json.Int n)) t.tally) );
+      ("elapsed_s", Json.Float (elapsed_s t));
+      ("runs_per_s", fopt (rate t));
+      ("eta_s", fopt (eta_s t));
+      ("journal", sopt t.journal);
+      ("resume", sopt t.resume);
+      ("instrs", Json.Int instrs);
+      ("cycles", Json.Int cycles);
+    ]
+
+let export t reg =
+  Metrics.set_counter reg "hb_host.progress_total" t.total;
+  Metrics.set_counter reg "hb_host.progress_completed" t.completed;
+  Metrics.set_counter reg "hb_host.progress_prior" t.prior;
+  (match eta_s t with
+  | Some eta -> Metrics.set_counter reg "hb_host.progress_eta_s"
+                  (int_of_float (ceil eta))
+  | None -> ());
+  List.iter
+    (fun (o, n) ->
+      Metrics.set_counter reg ~labels:[ ("outcome", o) ]
+        "hb_host.progress_outcomes" n)
+    t.tally
+
+let render t =
+  let eta =
+    match eta_s t with
+    | Some e when not t.finished -> Printf.sprintf ", eta %.0fs" e
+    | _ -> ""
+  in
+  let tally =
+    match t.tally with
+    | [] -> ""
+    | kvs ->
+      " ["
+      ^ String.concat " "
+          (List.map (fun (o, n) -> Printf.sprintf "%s:%d" o n) kvs)
+      ^ "]"
+  in
+  Printf.sprintf "[%s] %d/%d runs%s%s%s" t.label t.completed t.total tally eta
+    (if t.finished then " done" else "")
+
+(* ---- stderr ticker ---------------------------------------------------- *)
+
+(* A detached thread that re-renders the line every [period_s]; on a TTY
+   it overwrites in place, otherwise it appends plain lines.  [stop]
+   joins the thread after one final render. *)
+let ticker ?(period_s = 1.0) t =
+  let stop_flag = ref false in
+  let tty = Unix.isatty Unix.stderr in
+  let emit () =
+    if tty then Printf.eprintf "\r\027[K%s%!" (render t)
+    else Printf.eprintf "%s\n%!" (render t)
+  in
+  let th =
+    Thread.create
+      (fun () ->
+        while not !stop_flag do
+          emit ();
+          Thread.delay period_s
+        done)
+      ()
+  in
+  fun () ->
+    stop_flag := true;
+    Thread.join th;
+    emit ();
+    if tty then prerr_newline ()

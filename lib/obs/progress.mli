@@ -1,0 +1,64 @@
+(** Live campaign progress: injection index, outcome tallies, throughput
+    and ETA — read by the [/progress] endpoint and the [--progress]
+    stderr ticker, written by the campaign runner.  Timing is monotonic
+    ({!Clock}); attaching a tracker never perturbs the campaign's
+    deterministic artifacts. *)
+
+type t = {
+  mutable label : string;
+  mutable total : int;
+  mutable prior : int;
+  mutable completed : int;
+  mutable current : int option;
+  mutable tally : (string * int) list;
+  mutable journal : string option;
+  mutable resume : string option;
+  mutable started_ns : int64;
+  mutable poll : (unit -> int * int) option;
+  mutable finished : bool;
+}
+
+val create : unit -> t
+
+val begin_campaign : t -> label:string -> total:int -> prior:int -> unit
+(** Reset for a campaign of [total] runs, [prior] of which were
+    recovered from a resumed journal (they do not count toward the
+    throughput estimate). *)
+
+val set_journal : t -> string -> unit
+val set_resume : t -> string -> unit
+
+val set_poll : t -> (unit -> int * int) -> unit
+(** Provide a live (instructions, cycles) reader for the machine in
+    flight; surfaced on [/progress]. *)
+
+val start_run : t -> int -> unit
+val finish_run : t -> outcome:string -> unit
+
+val seed_outcome : t -> outcome:string -> unit
+(** Tally a prior (journal-replayed) record without counting it toward
+    this session's throughput. *)
+
+val finish : t -> unit
+
+val elapsed_s : t -> float
+val rate : t -> float option
+(** Completed-this-session runs per second; [None] until one finishes. *)
+
+val eta_s : t -> float option
+(** Estimated seconds to completion; clamped at 0, [None] until the
+    rate is known. *)
+
+val to_json : t -> Json.t
+(** The [/progress] document: counts, tallies, ETA, journal/resume
+    state, live instruction/cycle readings. *)
+
+val export : t -> Metrics.t -> unit
+(** [hb_host_progress_*] gauges for the metrics exposition. *)
+
+val render : t -> string
+(** One-line human rendering for the stderr ticker. *)
+
+val ticker : ?period_s:float -> t -> unit -> unit
+(** Start a background stderr ticker; the returned thunk stops it (one
+    final render) and joins the thread. *)

@@ -1,0 +1,149 @@
+(** Live status endpoint: a tiny HTTP server on a background thread.
+
+    [--serve PORT] turns a run into a scrapeable process — the first
+    concrete piece of the simulation-as-a-service direction:
+
+    - [GET /metrics]: the Prometheus/OpenMetrics exposition of the
+      session registry, host gauges included;
+    - [GET /progress]: the live campaign document ({!Progress.to_json});
+    - [GET /healthz]: liveness probe.
+
+    The server is read-only and strictly off to the side: handlers call
+    the snapshot callbacks the front end provided, and nothing they
+    compute flows back into the simulation, so every deterministic
+    artifact is byte-identical with and without [--serve].
+
+    Malformed ports and bind failures surface as typed {!Hb_error}
+    diagnostics with usage hints rather than raw [Unix.Unix_error]
+    escapes. *)
+
+type t = {
+  sock : Unix.file_descr;
+  port : int;
+  thread : Thread.t;
+  stop_flag : bool ref;
+}
+
+let usage_hint = "usage: --serve PORT with 1 <= PORT <= 65535, e.g. --serve 9090"
+
+(** CLI adapter: parse and validate a [--serve] port.  Port 0 is
+    rejected on purpose — a scrape endpoint on an ephemeral port is
+    unreachable by the tooling that wants it. *)
+let parse_port s =
+  match int_of_string_opt (String.trim s) with
+  | None ->
+    Hb_error.fail ~component:"serve" "--serve port %S is not a number (%s)" s
+      usage_hint
+  | Some p when p <= 0 ->
+    Hb_error.fail ~component:"serve"
+      "--serve port %d is out of range: a listening port needs 1-65535 (%s)"
+      p usage_hint
+  | Some p when p > 65535 ->
+    Hb_error.fail ~component:"serve"
+      "--serve port %d is out of range: TCP ports end at 65535 (%s)" p
+      usage_hint
+  | Some p -> p
+
+let http_response ~status ~content_type body =
+  Printf.sprintf
+    "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+     close\r\n\r\n%s"
+    status content_type (String.length body) body
+
+let openmetrics_type =
+  "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+(* First request line only; this server speaks exactly enough HTTP for
+   curl and a Prometheus scraper. *)
+let request_path fd =
+  let buf = Bytes.create 2048 in
+  let n = try Unix.read fd buf 0 (Bytes.length buf) with _ -> 0 in
+  if n <= 0 then None
+  else
+    let s = Bytes.sub_string buf 0 n in
+    match String.split_on_char '\r' s with
+    | line :: _ -> (
+      match String.split_on_char ' ' line with
+      | [ "GET"; path; _ ] -> Some path
+      | _ -> None)
+    | [] -> None
+
+let handle ~metrics ~progress fd =
+  let reply =
+    match request_path fd with
+    | None -> http_response ~status:"400 Bad Request" ~content_type:"text/plain" "bad request\n"
+    | Some path -> (
+      (* a failing snapshot callback must not kill the serve loop *)
+      try
+        match path with
+        | "/metrics" ->
+          http_response ~status:"200 OK" ~content_type:openmetrics_type
+            (metrics ())
+        | "/progress" ->
+          http_response ~status:"200 OK" ~content_type:"application/json"
+            (Json.to_string_pretty (progress ()) ^ "\n")
+        | "/healthz" | "/" ->
+          http_response ~status:"200 OK" ~content_type:"text/plain" "ok\n"
+        | _ ->
+          http_response ~status:"404 Not Found" ~content_type:"text/plain"
+            (path ^ " not found; have /metrics /progress /healthz\n")
+      with e ->
+        http_response ~status:"500 Internal Server Error"
+          ~content_type:"text/plain"
+          (Printexc.to_string e ^ "\n"))
+  in
+  (try ignore (Unix.write_substring fd reply 0 (String.length reply))
+   with _ -> ());
+  try Unix.close fd with _ -> ()
+
+(** Start serving on loopback:[port] (port 0 binds an ephemeral port —
+    tests use it; the CLI validates user ports first with
+    {!parse_port}).  Raises a typed {!Hb_error} when the port is
+    already bound or cannot be opened. *)
+let start ?(port = 0) ~metrics ~progress () =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt sock Unix.SO_REUSEADDR true;
+     Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+     Unix.listen sock 16
+   with
+  | Unix.Unix_error (Unix.EADDRINUSE, _, _) ->
+    (try Unix.close sock with _ -> ());
+    Hb_error.fail ~component:"serve"
+      "--serve port %d is already bound by another process: pick a free \
+       port or stop the other listener (%s)"
+      port usage_hint
+  | Unix.Unix_error (e, _, _) ->
+    (try Unix.close sock with _ -> ());
+    Hb_error.fail ~component:"serve" "--serve %d failed to listen: %s (%s)"
+      port (Unix.error_message e) usage_hint);
+  let actual_port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let stop_flag = ref false in
+  let thread =
+    Thread.create
+      (fun () ->
+        while not !stop_flag do
+          match Unix.accept sock with
+          | fd, _ -> handle ~metrics ~progress fd
+          | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+            (* listener closed by [stop] *)
+            stop_flag := true
+          | exception _ -> ()
+        done)
+      ()
+  in
+  { sock; port = actual_port; thread; stop_flag }
+
+let port t = t.port
+
+(* Closing the listener bounces the blocked [accept], which sees the
+   stop flag and exits; joining makes shutdown deterministic. *)
+let stop t =
+  t.stop_flag := true;
+  (try Unix.shutdown t.sock Unix.SHUTDOWN_ALL with _ -> ());
+  (try Unix.close t.sock with _ -> ());
+  try Thread.join t.thread with _ -> ()

@@ -1,0 +1,30 @@
+(** Live status endpoint: a tiny read-only HTTP server on a background
+    thread serving [GET /metrics] (OpenMetrics exposition), [/progress]
+    (live campaign JSON) and [/healthz].  Handlers only call the
+    snapshot callbacks the front end provided; nothing flows back into
+    the simulation, so deterministic artifacts are byte-identical with
+    and without a server attached. *)
+
+type t
+
+val parse_port : string -> int
+(** Parse and validate a [--serve] port.  Raises a typed
+    {!Hb_error.Hb_error} with a usage hint for non-numeric input, 0,
+    negatives, and ports above 65535. *)
+
+val start :
+  ?port:int ->
+  metrics:(unit -> string) ->
+  progress:(unit -> Json.t) ->
+  unit ->
+  t
+(** Listen on loopback:[port] (default 0: an ephemeral port, for
+    tests — the CLI validates user ports via {!parse_port} first) and
+    serve on a background thread.  Raises a typed {!Hb_error.Hb_error}
+    when the port is already bound or cannot be opened. *)
+
+val port : t -> int
+(** The actually bound port (resolves an ephemeral request). *)
+
+val stop : t -> unit
+(** Close the listener and join the serve thread. *)

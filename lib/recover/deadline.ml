@@ -1,21 +1,27 @@
 (** Wall-clock budget for long runs.
 
-    A deadline is an absolute expiry instant; [expired] is a cheap
-    comparison against [Unix.gettimeofday].  Campaigns check it between
-    runs (and the trap supervisor every few thousand instructions) so a
-    budgeted run ends with a well-formed partial report instead of a
-    dead process. *)
+    A deadline is an absolute expiry instant on the monotonic
+    [Hb_obs.Clock]; [expired] is a cheap comparison against it.
+    Campaigns check it between runs (and the trap supervisor every few
+    thousand instructions) so a budgeted run ends with a well-formed
+    partial report instead of a dead process.
 
-type t = float option  (* absolute expiry, seconds since the epoch *)
+    Monotonic on purpose: the campaign ETA and this deadline read the
+    same clock, so an NTP step can neither fire a deadline early nor
+    stretch it — only real elapsed time counts. *)
+
+module Clock = Hb_obs.Clock
+
+type t = int64 option  (* absolute expiry, monotonic nanoseconds *)
 
 let none : t = None
 
 (** [after secs]: a deadline [secs] from now. *)
-let after secs : t = Some (Unix.gettimeofday () +. secs)
+let after secs : t = Some (Int64.add (Clock.now_ns ()) (Clock.ns_of_s secs))
 
 (** CLI adapter: [--deadline SECS] as an option. *)
 let of_secs = function None -> none | Some s -> after s
 
 let expired = function
   | None -> false
-  | Some t -> Unix.gettimeofday () >= t
+  | Some t -> Int64.compare (Clock.now_ns ()) t >= 0

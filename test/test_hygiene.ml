@@ -18,13 +18,19 @@ let forbidden =
     "Sys.time";
   ]
 
-(* The one sanctioned wall-clock reader: [Hb_recover.Deadline] bounds a
-   campaign's real time.  A deadline never feeds the injection plan or
-   any simulated state — it only decides how much of the (seed-pure)
-   plan executes before this process stops, and the journal lets a
-   resumed campaign complete to the byte-identical report.  Keep the
-   entire clock surface confined to this file. *)
-let exempt path = Filename.basename path = "deadline.ml"
+(* The one sanctioned wall-clock reader: [Hb_obs.Clock] wraps the OS
+   monotonic clock for the host observability plane (span profiling,
+   progress ETAs) and the campaign deadline.  Nothing it reads may feed
+   the injection plan or any simulated state — wall time flows only
+   through the explicitly host-varying channels (span dumps, hb_host_*
+   gauges, /progress, the advisory wall trajectory).  Keep the entire
+   raw-clock surface confined to this file. *)
+let exempt path = Filename.basename path = "clock.ml"
+
+(* Modules allowed to consume [Hb_obs.Clock] — the host plane plus the
+   campaign deadline.  Everything else in lib/ must stay clock-free so a
+   new wall-clock reader has to show up here, in review. *)
+let clock_consumers = [ "host.ml"; "progress.ml"; "deadline.ml" ]
 
 let read_file path =
   let ic = open_in_bin path in
@@ -95,6 +101,53 @@ let test_no_ambient_entropy () =
        Hb_fault.Prng):\n%s"
       (String.concat "\n" off)
 
+(* The clock-confinement gate: the raw monotonic source appears only in
+   the exempt [clock.ml], and [Clock.] itself only in the sanctioned
+   consumer modules.  A clock leak into the simulation path would let
+   host timing perturb deterministic artifacts. *)
+let test_clock_confinement () =
+  let files = source_files lib_root in
+  let offenders =
+    List.concat_map
+      (fun path ->
+        let base = Filename.basename path in
+        let code = strip_comments (read_file path) in
+        let raw =
+          if (not (exempt path)) && contains ~needle:"Monotonic_clock." code
+          then [ path ^ " reads the raw monotonic clock" ]
+          else []
+        in
+        let consumer =
+          if
+            (not (exempt path))
+            && (not (List.mem base clock_consumers))
+            && contains ~needle:"Clock." code
+          then [ path ^ " uses Clock. outside the sanctioned consumers" ]
+          else []
+        in
+        raw @ consumer)
+      files
+  in
+  (match offenders with
+   | [] -> ()
+   | off ->
+     Alcotest.failf
+       "clock leak (confine wall time to Hb_obs.Clock and its listed \
+        consumers):\n%s"
+       (String.concat "\n" off));
+  (* the whitelist must describe reality: every listed consumer exists
+     and actually reads the clock, or the list has gone stale *)
+  List.iter
+    (fun base ->
+      match
+        List.find_opt (fun p -> Filename.basename p = base) files
+      with
+      | None -> Alcotest.failf "clock consumer %s not found under lib/" base
+      | Some p ->
+        if not (contains ~needle:"Clock." (strip_comments (read_file p)))
+        then Alcotest.failf "clock consumer %s no longer uses Clock." base)
+    clock_consumers
+
 (* The gate must actually be able to see the code it polices. *)
 let test_scanner_sees_the_prng () =
   let files = source_files lib_root in
@@ -114,6 +167,8 @@ let () =
         [
           Alcotest.test_case "no ambient entropy in lib/" `Quick
             test_no_ambient_entropy;
+          Alcotest.test_case "clock confinement" `Quick
+            test_clock_confinement;
           Alcotest.test_case "scanner coverage" `Quick
             test_scanner_sees_the_prng;
         ] );

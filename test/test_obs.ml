@@ -195,6 +195,56 @@ let test_metrics_labels () =
       (value_of "l2")
   | _ -> Alcotest.fail "counters section missing"
 
+(* ---- OpenMetrics exposition: hostile labels, framing ------------------ *)
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_prometheus_escaping () =
+  let reg = Metrics.create () in
+  (* hostile label values: every character class the exposition format
+     must escape (backslash, double quote, literal newline) *)
+  Metrics.set_counter reg
+    ~labels:[ ("path", "C:\\tmp\\\"weird\"\nfile") ]
+    "io.reads" 7;
+  Metrics.set_counter reg ~labels:[ ("plain", "ok") ] "io.reads" 1;
+  let text = Metrics.to_prometheus reg in
+  Alcotest.(check bool) "backslash doubled" true
+    (contains_sub text "C:\\\\tmp\\\\");
+  Alcotest.(check bool) "quotes escaped" true
+    (contains_sub text "\\\"weird\\\"");
+  Alcotest.(check bool) "newline escaped" true (contains_sub text "\\n");
+  (* the raw newline must NOT survive inside a label value: every line
+     of the exposition is either a comment, blank, or name{...} value *)
+  List.iter
+    (fun line ->
+      if String.length line > 0 then
+        Alcotest.(check bool)
+          ("well-formed line: " ^ line)
+          true
+          (line.[0] = '#'
+          || contains_sub line " "))
+    (String.split_on_char '\n' text);
+  (* exactly one EOF marker, at the very end *)
+  let eof = "# EOF\n" in
+  let n = String.length text and ne = String.length eof in
+  Alcotest.(check bool) "ends with # EOF" true
+    (n >= ne && String.sub text (n - ne) ne = eof);
+  Alcotest.(check bool) "single EOF marker" true
+    (not (contains_sub (String.sub text 0 (n - ne)) "# EOF"))
+
+let test_prometheus_name_sanitization () =
+  let reg = Metrics.create () in
+  Metrics.set_counter reg "cache.l1d.misses" 3;
+  let text = Metrics.to_prometheus reg in
+  (* dotted registry names must come out as valid prometheus names *)
+  Alcotest.(check bool) "dots become underscores" true
+    (contains_sub text "cache_l1d_misses 3");
+  Alcotest.(check bool) "no dotted name leaks" false
+    (contains_sub text "cache.l1d")
+
 (* ---- Profile golden: real function names ----------------------------- *)
 
 let test_profile_names_functions () =
@@ -246,6 +296,9 @@ let () =
           tc "snapshot deterministic across identical runs"
             test_metrics_deterministic;
           tc "labelled series" test_metrics_labels;
+          tc "openmetrics escaping of hostile labels + EOF framing"
+            test_prometheus_escaping;
+          tc "openmetrics name sanitization" test_prometheus_name_sanitization;
         ] );
       ( "profile",
         [ tc "names real functions, cycles reconcile" test_profile_names_functions ] );
