@@ -31,6 +31,8 @@ let experiments =
     ("attr", "Per-PC attribution: top hotspots + differential overhead");
     ("timeline", "Timeline: windowed phase samples + shadow census");
     ("host", "Host profiling: wall time / sim throughput / GC per config");
+    ("shard", "Sharded campaign engine: speedup vs worker count, \
+               byte-identical merge");
     ("bechamel", "Micro-benchmarks of the simulator itself");
   ]
 
@@ -53,6 +55,12 @@ let suite =
 let json_results : (string * Json.t) list ref = ref []
 
 let note_json name j = json_results := (name, j) :: !json_results
+
+(* The shard experiment's speedup block, merged into the wall-trajectory
+   point when --wall-append runs in the same invocation (wall-clock
+   numbers belong on the host-varying channel, never in the gated
+   simulated-cycle artifacts). *)
+let shard_extra : (string * Json.t) list ref = ref []
 
 let rec run_experiment name =
   match name with
@@ -300,6 +308,78 @@ let rec run_experiment name =
       total
       (List.length s * 4);
     note_json name (Suite.wall_point ~label:"bench" s)
+  | "shard" ->
+    banner "Sharded campaign engine: speedup by worker count";
+    (* Wall-clock speedup of the forked supervised engine over the serial
+       runner, plus the property the engine is really about: the merged
+       report must be byte-identical to the serial one at every worker
+       count.  Speedup tracks physical cores — on a single-core host the
+       honest answer is ~1x — and the numbers go to the advisory wall
+       trajectory, never a gate. *)
+    let module Campaign = Hb_fault.Campaign in
+    let module Clock = Hb_obs.Clock in
+    let wl = "power" in
+    let cfg = { Campaign.default with Campaign.runs = 40; seed = 7 } in
+    let cores = Domain.recommended_domain_count () in
+    let time f =
+      let t0 = Clock.now_ns () in
+      let r = f () in
+      (r, Clock.elapsed_s ~t0)
+    in
+    Printf.eprintf "[shard] serial reference (%d runs on %s)...\n%!"
+      cfg.Campaign.runs wl;
+    let serial, serial_s =
+      time (fun () -> Hb_harness.Resilience.campaign cfg wl)
+    in
+    let serial_doc = Json.to_string (Campaign.to_json serial) in
+    Printf.printf "workload %s, %d runs, seed %d (host: %d core(s))\n\n" wl
+      cfg.Campaign.runs cfg.Campaign.seed cores;
+    Printf.printf "%-6s %10s %10s %10s\n" "jobs" "wall s" "speedup"
+      "identical";
+    Printf.printf "%-6s %10.2f %10s %10s\n" "serial" serial_s "-" "-";
+    let rows =
+      List.map
+        (fun jobs ->
+          Printf.eprintf "[shard] --jobs %d...\n%!" jobs;
+          let shard_cfg =
+            { Hb_shard.Supervisor.default with Hb_shard.Supervisor.jobs }
+          in
+          let report, secs =
+            time (fun () ->
+                Hb_harness.Resilience.sharded_campaign ~shard_cfg cfg wl)
+          in
+          if Json.to_string (Campaign.to_json report) <> serial_doc then
+            Hb_error.fail ~component:"bench"
+              "sharded report diverged from serial at --jobs %d" jobs;
+          let speedup = if secs > 0.0 then serial_s /. secs else 0.0 in
+          Printf.printf "%-6d %10.2f %9.2fx %10s\n" jobs secs speedup "yes";
+          (jobs, secs, speedup))
+        [ 1; 2; 4; 8 ]
+    in
+    let shard_json =
+      Json.Obj
+        [
+          ("workload", Json.String wl);
+          ("runs", Json.Int cfg.Campaign.runs);
+          ("seed", Json.Int cfg.Campaign.seed);
+          ("cores", Json.Int cores);
+          ("serial_wall_s", Json.Float serial_s);
+          ( "points",
+            Json.List
+              (List.map
+                 (fun (jobs, secs, speedup) ->
+                   Json.Obj
+                     [
+                       ("jobs", Json.Int jobs);
+                       ("wall_s", Json.Float secs);
+                       ("speedup", Json.Float speedup);
+                       ("identical", Json.Bool true);
+                     ])
+                 rows) );
+        ]
+    in
+    note_json name shard_json;
+    shard_extra := [ ("shard", shard_json) ]
   | "bechamel" -> bechamel ()
   | other ->
     Printf.eprintf "unknown experiment %s; use --list\n" other;
@@ -503,7 +583,10 @@ let () =
           (fun m -> Printf.eprintf "[bench] WALL %s\n" m)
           (Suite.wall_advisory ~trajectory:t (Lazy.force suite))
       | None -> ());
-     let doc = Suite.append_wall ~trajectory:prior ~label (Lazy.force suite) in
+     let doc =
+       Suite.append_wall ~extra:!shard_extra ~trajectory:prior ~label
+         (Lazy.force suite)
+     in
      let oc = open_out path in
      output_string oc (Json.to_string_pretty doc);
      output_char oc '\n';

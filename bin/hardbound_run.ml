@@ -290,6 +290,23 @@ let deadline_arg =
                  stop at the next instruction boundary with a partial \
                  report")
 
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "jobs" ] ~docv:"N"
+           ~doc:"Partition the campaign plan across N forked worker \
+                 processes (one crash-resilient journal shard each, at \
+                 FILE.shardK when --journal/--resume give a FILE), \
+                 supervised with a heartbeat watchdog and bounded respawn. \
+                 The merged report is byte-identical to the serial run's; \
+                 a resume must use the same N")
+
+let max_worker_restarts_arg =
+  Arg.(value & opt int Hb_shard.Supervisor.default.Hb_shard.Supervisor.max_worker_restarts
+       & info [ "max-worker-restarts" ] ~docv:"K"
+           ~doc:"Respawns a crashed or hung shard worker gets before the \
+                 parent adopts its remaining slice inline (graceful \
+                 degradation to fewer workers)")
+
 let serve_conv =
   let parse s =
     match Serve.parse_port s with
@@ -511,8 +528,8 @@ let with_host_plane ~serve_port ~tick ~host_spans ~host_chrome
    given, every machine streams into the same sink. *)
 let run_fault ~mk_plain ~label ~inject ~campaign ~campaign_json
     ~campaign_checkpoints ~policy ~violation_budget ~journal ~resume
-    ~deadline ~trace_file ~trace_format ~trace_retires ~metrics_json
-    ~progress =
+    ~deadline ~jobs ~max_worker_restarts ~trace_file ~trace_format
+    ~trace_retires ~metrics_json ~progress =
   let module Campaign = Hb_fault.Campaign in
   let module Injector = Hb_fault.Injector in
   let sink = ref None in
@@ -554,8 +571,20 @@ let run_fault ~mk_plain ~label ~inject ~campaign ~campaign_json
         violation_budget }
     in
     let report =
-      Campaign.run ?journal ?resume ~deadline:(Deadline.of_secs deadline)
-        ~progress ~mk cfg
+      if jobs > 1 then
+        (* sharded: fork [jobs] workers, one journal shard each,
+           supervised; the merged report is byte-identical to serial *)
+        let scfg =
+          { Hb_shard.Supervisor.default with
+            Hb_shard.Supervisor.jobs;
+            max_worker_restarts;
+            log = Some (fun s -> Printf.eprintf "%s\n%!" s) }
+        in
+        Hb_shard.Shard.run ?journal ?resume
+          ~deadline:(Deadline.of_secs deadline) ~progress ~cfg:scfg ~mk cfg
+      else
+        Campaign.run ?journal ?resume ~deadline:(Deadline.of_secs deadline)
+          ~progress ~mk cfg
     in
     Printf.printf
       "campaign %s: %d runs, seed %d, golden %s (%d instrs, %d output \
@@ -612,8 +641,8 @@ let run file workload mode scheme temporal stats stats_format asm emit_asm
     profile metrics_json metrics_prom attr_flag attr_json attr_top
     timeline_flag timeline_jsonl timeline_csv sample_interval diff_pair
     inject campaign campaign_json campaign_checkpoints policy
-    violation_budget journal resume deadline serve_port progress_flag
-    host_spans host_chrome =
+    violation_budget journal resume deadline jobs max_worker_restarts
+    serve_port progress_flag host_spans host_chrome =
   try
     match diff_pair with
     | Some (a_path, b_path) ->
@@ -675,13 +704,23 @@ let run file workload mode scheme temporal stats stats_format asm emit_asm
            --campaign N) so the journal header can be checked\n";
         exit 2
       end;
+      if jobs > 1 && campaign <= 0 then begin
+        Printf.eprintf "error: --jobs needs a campaign (--campaign N)\n";
+        exit 2
+      end;
+      if jobs > 1 && trace_file <> None then begin
+        Printf.eprintf
+          "error: --trace is not supported with --jobs > 1 (forked \
+           workers would interleave writes into one sink)\n";
+        exit 2
+      end;
       if campaign > 0 || inject <> None then
         run_fault
           ~mk_plain:(fun () -> Machine.create ~config ~globals image)
           ~label ~inject ~campaign ~campaign_json ~campaign_checkpoints
-          ~policy ~violation_budget ~journal ~resume ~deadline
-          ~trace_file ~trace_format ~trace_retires ~metrics_json
-          ~progress:pr
+          ~policy ~violation_budget ~journal ~resume ~deadline ~jobs
+          ~max_worker_restarts ~trace_file ~trace_format ~trace_retires
+          ~metrics_json ~progress:pr
       else begin
       let m = Machine.create ~config ~globals image in
       (* publish this machine to the live endpoint: /metrics scrapes its
@@ -795,7 +834,8 @@ let cmd =
           $ timeline_flag $ timeline_jsonl $ timeline_csv $ sample_interval
           $ diff_arg $ inject $ campaign $ campaign_json
           $ campaign_checkpoints $ on_violation $ violation_budget
-          $ journal_arg $ resume_arg $ deadline_arg $ serve_arg
+          $ journal_arg $ resume_arg $ deadline_arg $ jobs_arg
+          $ max_worker_restarts_arg $ serve_arg
           $ progress_arg $ host_spans_arg $ host_chrome_arg)
 
 let () = exit (Cmd.eval' cmd)

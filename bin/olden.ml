@@ -20,6 +20,9 @@ let usage () =
     "usage: olden <name|list> [--mode MODE] [--scheme ENC]\n\
      \             [--on-violation POLICY] [--violation-budget N]\n\
      \             [--host-spans FILE] [--host-chrome FILE]\n\
+     \             [--campaign N] [--seed S] [--jobs J]\n\
+     \             [--max-worker-restarts K] [--journal FILE]\n\
+     \             [--resume FILE] [--campaign-json FILE]\n\
      modes: nochecks hardbound malloc-only softfat objtable\n\
      encodings: uncompressed extern-4 intern-4 intern-11\n\
      policies: abort report null-guard rollback";
@@ -28,6 +31,17 @@ let usage () =
 (* host span profile sinks, parsed alongside the benchmark flags *)
 let spans_file = ref None
 let chrome_file = ref None
+
+(* fault-campaign mode: N single-injection runs against the golden
+   reference, optionally sharded across forked workers *)
+let campaign_runs = ref 0
+let campaign_seed = ref Hb_fault.Campaign.default.Hb_fault.Campaign.seed
+let jobs = ref 1
+let max_worker_restarts =
+  ref Hb_shard.Supervisor.default.Hb_shard.Supervisor.max_worker_restarts
+let journal_file = ref None
+let resume_file = ref None
+let campaign_json = ref None
 
 let main () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -61,6 +75,39 @@ let main () =
       parse name mode scheme policy budget rest
     | "--host-chrome" :: f :: rest ->
       chrome_file := Some f;
+      parse name mode scheme policy budget rest
+    | "--campaign" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some r when r > 0 ->
+        campaign_runs := r;
+        parse name mode scheme policy budget rest
+      | _ -> usage ())
+    | "--seed" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some s ->
+        campaign_seed := s;
+        parse name mode scheme policy budget rest
+      | None -> usage ())
+    | "--jobs" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some j when j >= 1 ->
+        jobs := j;
+        parse name mode scheme policy budget rest
+      | _ -> usage ())
+    | "--max-worker-restarts" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some k when k >= 0 ->
+        max_worker_restarts := k;
+        parse name mode scheme policy budget rest
+      | _ -> usage ())
+    | "--journal" :: f :: rest ->
+      journal_file := Some f;
+      parse name mode scheme policy budget rest
+    | "--resume" :: f :: rest ->
+      resume_file := Some f;
+      parse name mode scheme policy budget rest
+    | "--campaign-json" :: f :: rest ->
+      campaign_json := Some f;
       parse name mode scheme policy budget rest
     | n :: rest when name = None -> parse (Some n) mode scheme policy budget rest
     | _ -> usage ()
@@ -96,6 +143,47 @@ let main () =
         Printf.eprintf "error: %s\n" (Hb_error.to_string (ctx, msg));
         exit 1
     in
+    if !campaign_runs > 0 then begin
+      (* fault-campaign mode: deterministic report, optionally sharded
+         across forked supervised workers *)
+      let module Campaign = Hb_fault.Campaign in
+      let cfg =
+        { Campaign.default with
+          Campaign.runs = !campaign_runs;
+          seed = !campaign_seed;
+          policy;
+          violation_budget = budget }
+      in
+      let report =
+        try
+          if !jobs > 1 then
+            let shard_cfg =
+              { Hb_shard.Supervisor.default with
+                Hb_shard.Supervisor.jobs = !jobs;
+                max_worker_restarts = !max_worker_restarts;
+                log = Some (fun s -> Printf.eprintf "%s\n%!" s) }
+            in
+            Hb_harness.Resilience.sharded_campaign ~scheme ~mode
+              ?journal:!journal_file ?resume:!resume_file ~shard_cfg cfg n
+          else
+            Hb_harness.Resilience.campaign ~scheme ~mode
+              ?journal:!journal_file ?resume:!resume_file cfg n
+        with Hb_error.Hb_error (ctx, msg) ->
+          Printf.eprintf "error: %s\n" (Hb_error.to_string (ctx, msg));
+          exit 1
+      in
+      Printf.printf "campaign %s: %d runs, seed %d, jobs %d\n\n" n
+        !campaign_runs !campaign_seed !jobs;
+      print_string (Campaign.coverage_table report);
+      (match !campaign_json with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        output_string oc
+          (Hb_obs.Json.to_string_pretty (Campaign.to_json report) ^ "\n");
+        close_out oc);
+      exit 0
+    end;
     if policy <> Policy.Abort then begin
       (* supervised run: traps route through the recovery policy instead
          of terminating the benchmark *)

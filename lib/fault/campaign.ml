@@ -353,8 +353,12 @@ let check_golden path header (g : golden) =
       path
 
 (* A finished journal carries everything a report needs; nothing has to
-   execute. *)
-let report_of_header ~cfg path header (records : record list) : report =
+   execute.  The shard merge step reuses this to assemble the campaign
+   report from shard-journal records: every report field derives from
+   the header + records, so the result is byte-identical to the serial
+   runner's. *)
+let report_of_header ~cfg ?(deadline_expired = false) path header
+    (records : record list) : report =
   {
     config = cfg;
     golden_status = jstr path header "golden_status";
@@ -363,7 +367,7 @@ let report_of_header ~cfg path header (records : record list) : report =
     golden_digest = Int64.of_string ("0x" ^ jstr path header "golden_digest");
     checkpoint_interval = jint path header "checkpoint_interval";
     records = List.sort (fun a b -> compare a.idx b.idx) records;
-    deadline_expired = false;
+    deadline_expired;
   }
 
 (* ---- campaign execution ---------------------------------------------- *)
@@ -382,30 +386,58 @@ let validate (cfg : config) =
     Hb_error.fail ~component:"campaign"
       "window interval must be positive (got %d)" cfg.window_interval
 
-(* Execute every planned run whose index is not already in [prior]
-   (records recovered from a journal), appending each fresh record to
-   [writer] before moving on.  The plan is re-derived from the config
-   seed, so a resumed campaign executes exactly the runs the interrupted
-   one never recorded. *)
-let execute ~mk ~(cfg : config) ~(golden : golden) ~writer ~deadline
-    ~progress ~(prior : record list) : report =
-  (* Plan every injection up front from the master stream, so execution
-     order (sorted by injection point) cannot influence the draws. *)
+let prepare ~mk (cfg : config) : golden =
+  validate cfg;
+  (* the golden reference is a wall-clock phase worth profiling; the span
+     hook is a no-op unless a host profiler is installed *)
+  Host.span "golden" (fun () ->
+      let g = golden_of ~cfg ~mk in
+      Host.annotate_live "instrs" g.g_instrs;
+      g)
+
+type plan_entry = {
+  p_idx : int;
+  p_seed : int;
+  p_site : Injector.site;
+  p_at : int;
+}
+
+(* Plan every injection up front from the master stream, so execution
+   order (sorted by injection point) cannot influence the draws.  The
+   plan is a pure function of (config, golden instruction count): any
+   process — the serial runner, a resumed campaign, or a forked shard
+   worker — re-derives the identical list.  The per-index draw order
+   (seed, then site, then point) is part of the journal contract;
+   changing it invalidates every journal and the CI coverage pin. *)
+let plan (cfg : config) (golden : golden) : plan_entry list =
   let master = Prng.create ~seed:cfg.seed in
   let site_arr = Array.of_list cfg.sites in
-  let plan =
-    List.init cfg.runs (fun idx ->
-        let run_seed = Prng.derive_seed master in
-        let site = site_arr.(Prng.below master (Array.length site_arr)) in
-        let at_instr = 1 + Prng.below master (golden.g_instrs - 1) in
-        (idx, run_seed, site, at_instr))
-  in
+  List.init cfg.runs (fun p_idx ->
+      let p_seed = Prng.derive_seed master in
+      let p_site = site_arr.(Prng.below master (Array.length site_arr)) in
+      let p_at = 1 + Prng.below master (golden.g_instrs - 1) in
+      { p_idx; p_seed; p_site; p_at })
+
+(* Execute every planned run that [select] claims (all, for the serial
+   runner) and whose index is not already in [prior] (records recovered
+   from a journal), appending each fresh record to [writer] before
+   moving on.  The plan is re-derived from the config seed, so a resumed
+   campaign executes exactly the runs the interrupted one never
+   recorded.  [on_start]/[on_record] bracket each run for shard workers
+   (heartbeat before, acknowledgement after); both default off and
+   nothing they do flows back into the records. *)
+let execute ~mk ~(cfg : config) ~(golden : golden) ~writer ~deadline
+    ~progress ~select ~on_start ~on_record ~(prior : record list) : report =
   let done_idx = Hashtbl.create 64 in
   List.iter (fun r -> Hashtbl.replace done_idx r.idx ()) prior;
+  let mine p =
+    (match select with None -> true | Some f -> f p.p_idx)
+    && not (Hashtbl.mem done_idx p.p_idx)
+  in
   let by_point =
     List.stable_sort
-      (fun (_, _, _, a) (_, _, _, b) -> compare a b)
-      (List.filter (fun (idx, _, _, _) -> not (Hashtbl.mem done_idx idx)) plan)
+      (fun a b -> compare a.p_at b.p_at)
+      (List.filter mine (plan cfg golden))
   in
   let replay = mk () in
   let fast =
@@ -468,7 +500,8 @@ let execute ~mk ~(cfg : config) ~(golden : golden) ~writer ~deadline
           else match !last_m with Some m -> m | None -> replay
         in
         (instrs_of m, Stats.cycles m.Machine.stats)));
-  let exec (idx, run_seed, site, at_instr) : record =
+  let exec { p_idx = idx; p_seed = run_seed; p_site = site; p_at = at_instr } :
+      record =
     let rng = Prng.create ~seed:run_seed in
     let diverged = ref None in
     let inj = ref None in
@@ -601,7 +634,7 @@ let execute ~mk ~(cfg : config) ~(golden : golden) ~writer ~deadline
   let executed = ref 0 in
   let fresh =
     List.filter_map
-      (fun ((idx, _, _, _) as p) ->
+      (fun p ->
         if !ddl then None
         else if Deadline.expired deadline then begin
           ddl := true;
@@ -609,10 +642,12 @@ let execute ~mk ~(cfg : config) ~(golden : golden) ~writer ~deadline
         end
         else begin
           (match progress with
-          | Some pr -> Progress.start_run pr idx
+          | Some pr -> Progress.start_run pr p.p_idx
           | None -> ());
+          (match on_start with Some f -> f p | None -> ());
           let r = exec p in
           emit_record r;
+          (match on_record with Some f -> f r | None -> ());
           incr executed;
           (* host-telemetry checkpoint: GC/RSS census every 25 executed
              runs, mirroring the journal's ckpt cadence *)
@@ -657,22 +692,27 @@ let execute ~mk ~(cfg : config) ~(golden : golden) ~writer ~deadline
     deadline_expired = !ddl;
   }
 
+(* Shard workers drive the same engine over a sub-plan: [select] claims
+   the worker's indices, [on_start]/[on_record] bracket each run for the
+   heartbeat/acknowledgement protocol, and [writer] is the worker's own
+   shard journal. *)
+let execute_plan ~mk ~(cfg : config) ~golden ?select ?on_start ?on_record
+    ?writer ?(deadline = Deadline.none) ?progress ~prior () : report =
+  execute ~mk ~cfg ~golden ~writer ~deadline ~progress ~select ~on_start
+    ~on_record ~prior
+
 let run ?journal ?resume ?(deadline = Deadline.none) ?progress ~mk
     (cfg : config) : report =
   validate cfg;
   (* the golden reference and the injection sweep are the two wall-clock
      phases worth profiling; span hooks are no-ops unless a host
      profiler is installed and never touch the report *)
-  let golden_of ~cfg ~mk =
-    Host.span "golden" (fun () ->
-        let g = golden_of ~cfg ~mk in
-        Host.annotate_live "instrs" g.g_instrs;
-        g)
-  in
+  let golden_of ~cfg ~mk = prepare ~mk cfg in
   let execute ~writer ~prior ~golden =
     Host.span "runs" (fun () ->
         Host.annotate_live "runs" (cfg.runs - List.length prior);
-        execute ~mk ~cfg ~golden ~writer ~deadline ~progress ~prior)
+        execute ~mk ~cfg ~golden ~writer ~deadline ~progress ~select:None
+          ~on_start:None ~on_record:None ~prior)
   in
   match resume with
   | None -> (

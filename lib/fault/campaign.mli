@@ -104,6 +104,86 @@ val run :
     and the injection sweep run under spans, and a GC/RSS telemetry
     sample is taken every 25 executed runs. *)
 
+(** {2 Sharded execution hooks}
+
+    Everything {!Hb_shard} needs to partition a campaign across forked
+    worker processes and deterministically reassemble the serial report:
+    the plan is a pure function of the config, each record is a pure
+    function of its plan entry plus the golden reference, and the
+    journal-record codecs below define the shard files' on-disk format.
+    None of these entry points perturb the serial path — [run] is
+    implemented on top of them. *)
+
+type golden
+(** The golden (uninjected) reference: status, output, instruction
+    count, checkpoint digests.  Deterministic for a given workload and
+    build. *)
+
+val prepare : mk:(unit -> Machine.t) -> config -> golden
+(** Validate the config and execute the golden reference (under a
+    ["golden"] host span).  Raises {!Hb_error.Hb_error} if the config is
+    vacuous or the golden run does not exit cleanly. *)
+
+type plan_entry = {
+  p_idx : int;
+  p_seed : int;
+  p_site : Injector.site;
+  p_at : int;
+}
+
+val plan : config -> golden -> plan_entry list
+(** The campaign's full injection plan, in index order.  A pure function
+    of (config, golden): every process re-derives the identical list. *)
+
+val execute_plan :
+  mk:(unit -> Machine.t) ->
+  cfg:config ->
+  golden:golden ->
+  ?select:(int -> bool) ->
+  ?on_start:(plan_entry -> unit) ->
+  ?on_record:(record -> unit) ->
+  ?writer:Hb_recover.Journal.writer ->
+  ?deadline:Hb_recover.Deadline.t ->
+  ?progress:Hb_obs.Progress.t ->
+  prior:record list ->
+  unit ->
+  report
+(** Execute the plan entries that [select] claims (all, by default) and
+    that [prior] has not already recorded, journaling each fresh record
+    to [writer].  [on_start] fires before each run (shard workers write
+    their heartbeat here), [on_record] after its record is journaled;
+    neither influences the records.  The returned report covers
+    [prior] plus the fresh records of the selected slice only — its
+    [deadline_expired] flag is set if the wall clock ran out first. *)
+
+val header_json : config -> golden -> Hb_obs.Json.t
+val check_header : string -> Hb_obs.Json.t -> config -> unit
+val check_golden : string -> Hb_obs.Json.t -> golden -> unit
+
+val run_record_json : window_interval:int -> record -> Hb_obs.Json.t
+(** A record as journaled (the per-run report JSON plus
+    [{"type":"run"}]). *)
+
+val record_of_json : string -> Hb_obs.Json.t -> record
+(** Decode a journaled run record; the string names the journal in
+    errors. *)
+
+val load_journal : string -> Hb_obs.Json.t * record list * bool
+(** Read a campaign journal: (header, completed records deduplicated
+    first-wins, saw-done-marker).  Raises on a missing header or a
+    record that is neither run/ckpt/done. *)
+
+val report_of_header :
+  cfg:config ->
+  ?deadline_expired:bool ->
+  string ->
+  Hb_obs.Json.t ->
+  record list ->
+  report
+(** Assemble a report from a journal header and run records without
+    executing anything — byte-identical to the serial runner's report
+    for the same records. *)
+
 val count : report -> Injector.site option -> Outcome.t -> int
 (** Runs of [site] (all sites if [None]) that landed in the bucket. *)
 

@@ -184,41 +184,42 @@ let check_baseline ?(tolerance = 0.02) ~baseline (suite : per_workload list) =
    deliberately NOT a gate — wall time depends on the machine that ran
    it — so comparisons only ever produce advisory notes. *)
 
-let wall_point ~label (suite : per_workload list) =
+let wall_point ?(extra = []) ~label (suite : per_workload list) =
   Json.Obj
-    [
-      ("label", Json.String label);
-      ( "entries",
-        Json.List
-          (List.concat_map
-             (fun w ->
-               List.map
-                 (fun (config, (r : Run.record)) ->
-                   Json.Obj
-                     [
-                       ("workload", Json.String w.name);
-                       ("config", Json.String config);
-                       ("wall_ms", Json.Float (Run.wall_ms r));
-                       ("sim_ips", Json.Float (Run.sim_ips r));
-                       ( "gc_major_words",
-                         Json.Int r.Run.host.Run.gc_major_words );
-                     ])
-                 (snapshot_runs w))
-             suite) );
-    ]
+    ([
+       ("label", Json.String label);
+       ( "entries",
+         Json.List
+           (List.concat_map
+              (fun w ->
+                List.map
+                  (fun (config, (r : Run.record)) ->
+                    Json.Obj
+                      [
+                        ("workload", Json.String w.name);
+                        ("config", Json.String config);
+                        ("wall_ms", Json.Float (Run.wall_ms r));
+                        ("sim_ips", Json.Float (Run.sim_ips r));
+                        ( "gc_major_words",
+                          Json.Int r.Run.host.Run.gc_major_words );
+                      ])
+                  (snapshot_runs w))
+              suite) );
+     ]
+    @ extra)
 
 let wall_points json =
   match Option.bind (Json.member "points" json) Json.to_list with
   | Some l -> l
   | None -> snap_fail "missing \"points\" list in wall trajectory"
 
-let append_wall ~trajectory ~label (suite : per_workload list) =
+let append_wall ?extra ~trajectory ~label (suite : per_workload list) =
   let prior = match trajectory with Some j -> wall_points j | None -> [] in
   Json.Obj
     [
       ("bench", Json.String "hb-wall-trajectory");
       ("version", Json.Int 1);
-      ("points", Json.List (prior @ [ wall_point ~label suite ]));
+      ("points", Json.List (prior @ [ wall_point ?extra ~label suite ]));
     ]
 
 (** Advisory comparison of a fresh suite against the last recorded

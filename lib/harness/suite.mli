@@ -42,12 +42,19 @@ val check_baseline :
     default 0.02) and every pair the snapshot does not cover.  Raises
     [Hb_obs.Json.Parse_error] when [baseline] is not a snapshot. *)
 
-val wall_point : label:string -> per_workload list -> Hb_obs.Json.t
+val wall_point :
+  ?extra:(string * Hb_obs.Json.t) list ->
+  label:string ->
+  per_workload list ->
+  Hb_obs.Json.t
 (** One host wall-clock trajectory point: wall_ms / sim_ips /
     gc_major_words for every (workload, tracked config) pair, tagged
-    with a label (typically the PR).  Host-varying by nature. *)
+    with a label (typically the PR).  [extra] fields (e.g. the sharded
+    speedup table) are merged into the point.  Host-varying by
+    nature. *)
 
 val append_wall :
+  ?extra:(string * Hb_obs.Json.t) list ->
   trajectory:Hb_obs.Json.t option ->
   label:string ->
   per_workload list ->

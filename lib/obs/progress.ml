@@ -9,6 +9,16 @@
     report, journal and plan stay byte-identical whether or not a
     progress tracker is attached. *)
 
+type worker = {
+  shard : int;
+  mutable pid : int option;
+  mutable state : string;       (* running | respawning | done | ... *)
+  mutable done_runs : int;
+  mutable total_runs : int;
+  mutable restarts : int;
+  mutable beat_age_s : float;   (* seconds since the shard journal grew *)
+}
+
 type t = {
   mutable label : string;
   mutable total : int;          (* planned runs *)
@@ -23,6 +33,9 @@ type t = {
       (* live (instructions, cycles) of the machine in flight, read by
          the scrape thread between runs *)
   mutable finished : bool;
+  mutable workers : worker list;
+      (* one row per shard when a sharded campaign's supervisor drives
+         this tracker; empty on the serial path *)
 }
 
 let create () =
@@ -38,7 +51,33 @@ let create () =
     started_ns = Clock.now_ns ();
     poll = None;
     finished = false;
+    workers = [];
   }
+
+let worker ~shard ~total_runs =
+  {
+    shard;
+    pid = None;
+    state = "starting";
+    done_runs = 0;
+    total_runs;
+    restarts = 0;
+    beat_age_s = 0.;
+  }
+
+let set_workers t ws = t.workers <- ws
+
+let worker_json (w : worker) =
+  Json.Obj
+    [
+      ("shard", Json.Int w.shard);
+      ("pid", match w.pid with None -> Json.Null | Some p -> Json.Int p);
+      ("state", Json.String w.state);
+      ("done", Json.Int w.done_runs);
+      ("total", Json.Int w.total_runs);
+      ("restarts", Json.Int w.restarts);
+      ("beat_age_s", Json.Float w.beat_age_s);
+    ]
 
 let begin_campaign t ~label ~total ~prior =
   t.label <- label;
@@ -104,24 +143,28 @@ let to_json t =
     | None -> (0, 0)
   in
   Json.Obj
-    [
-      ("label", Json.String t.label);
-      ("total", Json.Int t.total);
-      ("completed", Json.Int t.completed);
-      ("prior", Json.Int t.prior);
-      ( "current",
-        match t.current with None -> Json.Null | Some i -> Json.Int i );
-      ("finished", Json.Bool t.finished);
-      ( "outcomes",
-        Json.Obj (List.map (fun (o, n) -> (o, Json.Int n)) t.tally) );
-      ("elapsed_s", Json.Float (elapsed_s t));
-      ("runs_per_s", fopt (rate t));
-      ("eta_s", fopt (eta_s t));
-      ("journal", sopt t.journal);
-      ("resume", sopt t.resume);
-      ("instrs", Json.Int instrs);
-      ("cycles", Json.Int cycles);
-    ]
+    ([
+       ("label", Json.String t.label);
+       ("total", Json.Int t.total);
+       ("completed", Json.Int t.completed);
+       ("prior", Json.Int t.prior);
+       ( "current",
+         match t.current with None -> Json.Null | Some i -> Json.Int i );
+       ("finished", Json.Bool t.finished);
+       ( "outcomes",
+         Json.Obj (List.map (fun (o, n) -> (o, Json.Int n)) t.tally) );
+       ("elapsed_s", Json.Float (elapsed_s t));
+       ("runs_per_s", fopt (rate t));
+       ("eta_s", fopt (eta_s t));
+       ("journal", sopt t.journal);
+       ("resume", sopt t.resume);
+       ("instrs", Json.Int instrs);
+       ("cycles", Json.Int cycles);
+     ]
+    @
+    match t.workers with
+    | [] -> []
+    | ws -> [ ("workers", Json.List (List.map worker_json ws)) ])
 
 let export t reg =
   Metrics.set_counter reg "hb_host.progress_total" t.total;
@@ -135,7 +178,24 @@ let export t reg =
     (fun (o, n) ->
       Metrics.set_counter reg ~labels:[ ("outcome", o) ]
         "hb_host.progress_outcomes" n)
-    t.tally
+    t.tally;
+  match t.workers with
+  | [] -> ()
+  | ws ->
+    Metrics.set_counter reg "hb_shard.jobs" (List.length ws);
+    Metrics.set_counter reg "hb_shard.restarts"
+      (List.fold_left (fun a w -> a + w.restarts) 0 ws);
+    List.iter
+      (fun w ->
+        let l = [ ("shard", string_of_int w.shard) ] in
+        Metrics.set_counter reg ~labels:l "hb_shard.worker_completed"
+          w.done_runs;
+        Metrics.set_counter reg ~labels:l "hb_shard.worker_total" w.total_runs;
+        Metrics.set_counter reg ~labels:l "hb_shard.worker_restarts"
+          w.restarts;
+        Metrics.set_counter reg ~labels:l "hb_shard.worker_up"
+          (if w.state = "running" then 1 else 0))
+      ws
 
 let render t =
   let eta =

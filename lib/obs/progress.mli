@@ -4,6 +4,19 @@
     ({!Clock}); attaching a tracker never perturbs the campaign's
     deterministic artifacts. *)
 
+type worker = {
+  shard : int;
+  mutable pid : int option;
+  mutable state : string;
+  mutable done_runs : int;
+  mutable total_runs : int;
+  mutable restarts : int;
+  mutable beat_age_s : float;
+}
+(** One row per shard worker of a sharded campaign, maintained by the
+    {!Hb_shard} supervisor and surfaced on [/progress] and as
+    [hb_shard_*] gauges. *)
+
 type t = {
   mutable label : string;
   mutable total : int;
@@ -16,9 +29,15 @@ type t = {
   mutable started_ns : int64;
   mutable poll : (unit -> int * int) option;
   mutable finished : bool;
+  mutable workers : worker list;
 }
 
 val create : unit -> t
+
+val worker : shard:int -> total_runs:int -> worker
+(** A fresh worker row in the ["starting"] state. *)
+
+val set_workers : t -> worker list -> unit
 
 val begin_campaign : t -> label:string -> total:int -> prior:int -> unit
 (** Reset for a campaign of [total] runs, [prior] of which were
@@ -54,7 +73,9 @@ val to_json : t -> Json.t
     state, live instruction/cycle readings. *)
 
 val export : t -> Metrics.t -> unit
-(** [hb_host_progress_*] gauges for the metrics exposition. *)
+(** [hb_host_progress_*] gauges for the metrics exposition, plus
+    [hb_shard_*] worker gauges when a sharded campaign populated
+    [workers]. *)
 
 val render : t -> string
 (** One-line human rendering for the stderr ticker. *)

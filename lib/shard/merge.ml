@@ -1,0 +1,193 @@
+(** Deterministic reassembly of a campaign report from shard journals.
+
+    Each worker journals its slice of the plan into its own file; this
+    module reads every shard back (tolerating missing files, torn tails
+    and duplicate acknowledgements from respawned workers) and rebuilds
+    the exact record set the serial runner would have produced.  Every
+    record is a pure function of its plan entry plus the golden
+    reference, so once the union covers all indices the assembled report
+    is byte-identical to the single-process one. *)
+
+module Campaign = Hb_fault.Campaign
+module Journal = Hb_recover.Journal
+module Json = Hb_obs.Json
+
+(* ---- shard terminator / error records --------------------------------- *)
+
+let done_json ~shard ~completed : Json.t =
+  Json.Obj
+    [
+      ("type", Json.String "shard-done");
+      ("shard", Json.Int shard);
+      ("completed", Json.Int completed);
+    ]
+
+let partial_json ~shard ~completed : Json.t =
+  Json.Obj
+    [
+      ("type", Json.String "shard-partial");
+      ("shard", Json.Int shard);
+      ("completed", Json.Int completed);
+    ]
+
+let error_json ~shard ~msg : Json.t =
+  Json.Obj
+    [
+      ("type", Json.String "shard-error");
+      ("shard", Json.Int shard);
+      ("error", Json.String msg);
+    ]
+
+(* ---- reading one shard back ------------------------------------------- *)
+
+type closed = Open | Done | Partial | Error of string
+
+type shard_read = {
+  records : Campaign.record list;
+      (* intact acknowledged runs, deduplicated first-wins *)
+  beat : (int * int) option;  (* (pid, completed) of the last heartbeat *)
+  closed : closed;
+}
+
+let fresh = { records = []; beat = None; closed = Open }
+
+let jint k j = Option.bind (Json.member k j) Json.to_int
+
+(* A worker killed between fork and its header write leaves a missing or
+   empty (or torn-header-only) file: that is a valid shard holding zero
+   acknowledged runs.  Anything with an intact first record must carry a
+   matching shard header — resuming under different (shard, jobs)
+   coordinates would splice incompatible partitions together. *)
+let read_shard ~(cfg : Campaign.config) ?golden ~jobs ~shard path : shard_read =
+  match Journal.read_or_empty path with
+  | [] -> fresh
+  | header :: rest ->
+    (match Json.member "journal" header with
+    | Some (Json.String "hb-campaign-shard") -> ()
+    | _ ->
+      Hb_error.fail ~component:"shard" "%s: not an hb-campaign shard journal"
+        path);
+    (match jint "version" header with
+    | Some 1 -> ()
+    | _ ->
+      Hb_error.fail ~component:"shard" "%s: unsupported shard journal version"
+        path);
+    let want what k v =
+      match jint k header with
+      | Some n when n = v -> ()
+      | _ ->
+        Hb_error.fail ~component:"shard"
+          "%s: shard journal %s does not match this campaign (want %d)" path
+          what v
+    in
+    want "shard index" "shard" shard;
+    want "job count" "jobs" jobs;
+    let campaign =
+      match Json.member "campaign" header with
+      | Some c -> c
+      | None ->
+        Hb_error.fail ~component:"shard"
+          "%s: shard header lacks the embedded campaign header" path
+    in
+    Campaign.check_header path campaign cfg;
+    (match golden with
+    | Some g -> Campaign.check_golden path campaign g
+    | None -> ());
+    let seen = Hashtbl.create 64 in
+    let records = ref [] in
+    let beat = ref None in
+    let closed = ref Open in
+    List.iter
+      (fun j ->
+        match Journal.record_type j with
+        | Some "run" ->
+          let r = Campaign.record_of_json path j in
+          if r.Campaign.idx < 0 || r.Campaign.idx >= cfg.Campaign.runs then
+            Hb_error.fail ~component:"shard"
+              "%s: run record index %d outside campaign of %d runs" path
+              r.Campaign.idx cfg.Campaign.runs;
+          if r.Campaign.idx mod jobs <> shard then
+            Hb_error.fail ~component:"shard"
+              "%s: run record %d does not belong to shard %d of %d" path
+              r.Campaign.idx shard jobs;
+          if not (Hashtbl.mem seen r.Campaign.idx) then begin
+            Hashtbl.add seen r.Campaign.idx ();
+            records := r :: !records
+          end
+        | Some "hb" -> (
+          match (jint "pid" j, jint "completed" j) with
+          | Some pid, Some completed -> beat := Some (pid, completed)
+          | _ -> ())
+        | Some "ckpt" -> ()
+        (* when a shard's slice is the whole campaign (jobs=1, or every
+           other index already journaled), the serial runner's own "done"
+           marker lands in the shard file; the shard terminator follows
+           it, so it carries no extra information here *)
+        | Some "done" -> ()
+        | Some "shard-done" -> closed := Done
+        | Some "shard-partial" -> closed := Partial
+        | Some "shard-error" ->
+          let msg =
+            match Json.member "error" j with
+            | Some (Json.String s) -> s
+            | _ -> "unknown worker error"
+          in
+          closed := Error msg
+        | _ ->
+          Hb_error.fail ~component:"shard" "%s: unrecognized shard record" path)
+      rest;
+    { records = List.rev !records; beat = !beat; closed = !closed }
+
+(* ---- assembling the campaign report ----------------------------------- *)
+
+(* Union of every shard's acknowledged records plus [extra] (records a
+   partial base journal already held), deduplicated first-wins by
+   index.  Shards are disjoint by construction, so dedup only matters
+   across the extra/shard boundary. *)
+let gather ~(cfg : Campaign.config) ?golden ~jobs ~base ~(extra : Campaign.record list) () :
+    Campaign.record list =
+  let seen = Hashtbl.create 256 in
+  let keep r =
+    if Hashtbl.mem seen r.Campaign.idx then false
+    else begin
+      Hashtbl.add seen r.Campaign.idx ();
+      true
+    end
+  in
+  let shards =
+    List.concat_map
+      (fun shard ->
+        (read_shard ~cfg ?golden ~jobs ~shard
+           (Partition.shard_path ~base ~shard))
+          .records)
+      (List.init jobs (fun k -> k))
+  in
+  List.filter keep (extra @ shards)
+
+let merged_report ~(cfg : Campaign.config) ~golden ~jobs ~base
+    ~(extra : Campaign.record list) () : Campaign.report * bool =
+  let records = gather ~cfg ~golden ~jobs ~base ~extra () in
+  let complete = List.length records = cfg.Campaign.runs in
+  let header = Campaign.header_json cfg golden in
+  ( Campaign.report_of_header ~cfg ~deadline_expired:(not complete) base header
+      records,
+    complete )
+
+(* A completed sharded campaign leaves its base journal indistinguishable
+   from a serial run's: header, every run record in index order, done
+   marker.  A later [--resume] of the base file then reconstructs with
+   zero execution, sharded or not. *)
+let write_merged ~(cfg : Campaign.config) ~golden ~base
+    (report : Campaign.report) =
+  let w = Journal.create base in
+  Fun.protect
+    ~finally:(fun () -> Journal.close w)
+    (fun () ->
+      Journal.append w (Campaign.header_json cfg golden);
+      List.iter
+        (fun r ->
+          Journal.append w
+            (Campaign.run_record_json
+               ~window_interval:cfg.Campaign.window_interval r))
+        report.Campaign.records;
+      Journal.append w (Json.Obj [ ("type", Json.String "done") ]))

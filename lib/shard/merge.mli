@@ -1,0 +1,68 @@
+(** Deterministic reassembly of a campaign report from shard journals:
+    reads every worker's file back (tolerant of missing files, torn
+    tails and respawn duplicates) and rebuilds the exact record set the
+    serial runner produces. *)
+
+module Campaign := Hb_fault.Campaign
+module Json := Hb_obs.Json
+
+val done_json : shard:int -> completed:int -> Json.t
+(** Terminator a worker appends when its whole slice is acknowledged. *)
+
+val partial_json : shard:int -> completed:int -> Json.t
+(** Terminator for a slice cut short by the wall-clock deadline. *)
+
+val error_json : shard:int -> msg:string -> Json.t
+(** A worker's typed failure, journaled for the supervisor to surface. *)
+
+type closed = Open | Done | Partial | Error of string
+
+type shard_read = {
+  records : Campaign.record list;
+  beat : (int * int) option;  (** (pid, completed) of the last heartbeat *)
+  closed : closed;
+}
+
+val read_shard :
+  cfg:Campaign.config ->
+  ?golden:Campaign.golden ->
+  jobs:int ->
+  shard:int ->
+  string ->
+  shard_read
+(** Read one shard journal.  A missing/empty/torn-header file is a valid
+    fresh shard; an intact header must match (shard, jobs) and the
+    campaign config (and golden, when given) or a typed error is
+    raised, as are out-of-slice or malformed run records. *)
+
+val gather :
+  cfg:Campaign.config ->
+  ?golden:Campaign.golden ->
+  jobs:int ->
+  base:string ->
+  extra:Campaign.record list ->
+  unit ->
+  Campaign.record list
+(** Union of all shards' records plus [extra] (a partial base journal's
+    prior records), deduplicated first-wins by index. *)
+
+val merged_report :
+  cfg:Campaign.config ->
+  golden:Campaign.golden ->
+  jobs:int ->
+  base:string ->
+  extra:Campaign.record list ->
+  unit ->
+  Campaign.report * bool
+(** The assembled report and whether every planned index is covered; an
+    incomplete merge is flagged [deadline_expired]. *)
+
+val write_merged :
+  cfg:Campaign.config ->
+  golden:Campaign.golden ->
+  base:string ->
+  Campaign.report ->
+  unit
+(** Write the merged report's records as a normal (serial-format) done
+    campaign journal at [base], so a later [--resume] reconstructs with
+    zero execution. *)

@@ -1,0 +1,25 @@
+(** Static partitioning of a campaign plan across shards.
+
+    Index [i] belongs to shard [i mod jobs]: a pure function both sides
+    of a fork can evaluate, so a respawned worker re-derives its slice
+    from (shard, jobs) alone — no work list ever has to be serialized.
+    The modulo striping also balances the plan's injection points across
+    shards (the plan is index-ordered, execution is point-sorted), so no
+    worker inherits a contiguous run of the most expensive suffixes. *)
+
+let owner ~jobs idx = idx mod jobs
+
+let select ~jobs ~shard idx = owner ~jobs idx = shard
+
+(** Runs shard [shard] owns out of a [runs]-run campaign. *)
+let size ~jobs ~shard ~runs =
+  if shard >= runs mod jobs then runs / jobs else (runs / jobs) + 1
+
+(** Shard journal path: the base journal plus a [.shardK] suffix. *)
+let shard_path ~base ~shard = Printf.sprintf "%s.shard%d" base shard
+
+let validate ~jobs =
+  if jobs < 1 then
+    Hb_error.fail ~component:"shard" "--jobs must be at least 1 (got %d)" jobs;
+  if jobs > 256 then
+    Hb_error.fail ~component:"shard" "--jobs %d is absurd (max 256)" jobs

@@ -1,0 +1,18 @@
+(** Static (index mod jobs) partitioning of a campaign plan: a pure
+    function both sides of a fork evaluate identically, so a respawned
+    worker re-derives its slice from (shard, jobs) alone. *)
+
+val owner : jobs:int -> int -> int
+(** The shard that owns a plan index. *)
+
+val select : jobs:int -> shard:int -> int -> bool
+(** Does [shard] own this index?  (The worker's [?select] predicate.) *)
+
+val size : jobs:int -> shard:int -> runs:int -> int
+(** How many of [runs] indices the shard owns. *)
+
+val shard_path : base:string -> shard:int -> string
+(** [base ^ ".shard" ^ k] — one journal file per worker. *)
+
+val validate : jobs:int -> unit
+(** Raises a typed error unless [1 <= jobs <= 256]. *)

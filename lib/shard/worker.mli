@@ -1,0 +1,44 @@
+(** One shard worker: executes its slice of the plan, journaling every
+    acknowledged run into its own shard file; resumable at any byte. *)
+
+module Campaign := Hb_fault.Campaign
+
+val exit_ok : int
+val exit_partial : int
+(** Wall-clock deadline expired with the slice incomplete. *)
+
+val exit_error : int
+(** Typed [Hb_error]; the message is journaled as a shard-error record
+    and respawning is pointless. *)
+
+val exit_crash : int
+(** Untyped failure; a respawn may recover. *)
+
+val run_inline :
+  mk:(unit -> Hb_cpu.Machine.t) ->
+  cfg:Campaign.config ->
+  golden:Campaign.golden ->
+  jobs:int ->
+  shard:int ->
+  path:string ->
+  ?deadline:Hb_recover.Deadline.t ->
+  unit ->
+  Campaign.report
+(** Execute (or resume) shard [shard]'s slice, appending to the shard
+    journal at [path].  Replays the acknowledged prefix from the journal
+    without re-executing it; terminates the file with a shard-done or
+    shard-partial marker.  Also called directly by the supervisor's
+    parent process when a worker's respawn budget is exhausted. *)
+
+val child :
+  mk:(unit -> Hb_cpu.Machine.t) ->
+  cfg:Campaign.config ->
+  golden:Campaign.golden ->
+  jobs:int ->
+  shard:int ->
+  path:string ->
+  ?deadline:Hb_recover.Deadline.t ->
+  unit ->
+  'a
+(** The forked child's whole life: [run_inline], then [Unix._exit] with
+    the protocol code above.  Never returns, never writes to stdio. *)

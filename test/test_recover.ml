@@ -349,6 +349,14 @@ let test_journal_torn_tail () =
   let back = Journal.read path in
   Alcotest.(check int) "torn tail dropped, prefix intact" 2
     (List.length back);
+  (* resuming over the torn tail must not glue the next record onto the
+     partial line: append_to repairs to a record boundary first *)
+  let w = Journal.append_to path in
+  Journal.append w (Json.Obj [ ("idx", Json.Int 2) ]);
+  Journal.close w;
+  let back = Journal.read path in
+  Alcotest.(check int) "append after torn tail keeps the journal readable"
+    3 (List.length back);
   Sys.remove path
 
 let test_journal_midfile_corruption () =
@@ -359,6 +367,59 @@ let test_journal_midfile_corruption () =
    | exception Hb_error.Hb_error (ctx, _) ->
      Alcotest.(check string) "typed component" "journal"
        ctx.Hb_error.component);
+  Sys.remove path
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* Regression: the corruption error must name the corrupt line's own
+   1-based position in the file — corruption at line 3 says "line 3",
+   regardless of how many records parsed before it. *)
+let test_journal_corruption_line_number () =
+  let path = temp_path () in
+  write_lines path
+    [ {|{"idx": 0}|}; {|{"idx": 1}|}; "{corrupt"; {|{"idx": 3}|} ];
+  (match Journal.read path with
+   | _ -> Alcotest.fail "corruption at line 3 must raise"
+   | exception Hb_error.Hb_error (ctx, msg) ->
+     Alcotest.(check string) "typed component" "journal"
+       ctx.Hb_error.component;
+     Alcotest.(check bool)
+       (Printf.sprintf "message names line 3: %S" msg)
+       true (contains msg "line 3");
+     Alcotest.(check bool) "message names the journal path" true
+       (contains msg path));
+  Sys.remove path
+
+(* I/O failures surface as typed errors naming the journal path, never
+   raw Sys_error/Unix_error: opening a directory as a journal, and
+   appending through a closed writer (the closed fd stands in for any
+   mid-campaign I/O failure — EINTR is the one errno retried instead). *)
+let test_journal_io_errors_are_typed () =
+  let dir = Filename.temp_file "hb_recover_dir" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  (match Journal.create dir with
+   | _ -> Alcotest.fail "creating a journal over a directory must raise"
+   | exception Hb_error.Hb_error (ctx, msg) ->
+     Alcotest.(check string) "typed component" "journal"
+       ctx.Hb_error.component;
+     Alcotest.(check bool) "create error names the path" true
+       (contains msg dir));
+  Unix.rmdir dir;
+  let path = temp_path () in
+  let w = Journal.create path in
+  Journal.append w (Json.Obj [ ("idx", Json.Int 0) ]);
+  Journal.close w;
+  (match Journal.append w (Json.Obj [ ("idx", Json.Int 1) ]) with
+   | () -> Alcotest.fail "appending through a closed writer must raise"
+   | exception Hb_error.Hb_error (ctx, msg) ->
+     Alcotest.(check string) "typed component" "journal"
+       ctx.Hb_error.component;
+     Alcotest.(check bool) "append error names the path" true
+       (contains msg path));
   Sys.remove path
 
 (* ---- campaign journaling / resume -------------------------------------- *)
@@ -554,6 +615,10 @@ let () =
           Alcotest.test_case "torn-tail" `Quick test_journal_torn_tail;
           Alcotest.test_case "corruption" `Quick
             test_journal_midfile_corruption;
+          Alcotest.test_case "corruption-line-number" `Quick
+            test_journal_corruption_line_number;
+          Alcotest.test_case "io-errors-typed" `Quick
+            test_journal_io_errors_are_typed;
         ] );
       ( "campaign",
         [
