@@ -527,8 +527,11 @@ let () =
   let baseline_path, args = split_opt "--baseline" args in
   let wall_append, args = split_opt "--wall-append" args in
   let wall_label, args = split_opt "--wall-label" args in
+  let trend_path, args = split_opt "--trend" args in
+  let trend_json, args = split_opt "--trend-json" args in
   let gating =
     baseline_write <> None || baseline_path <> None || wall_append <> None
+    || trend_path <> None
   in
   (match args with
    | [ "--list" ] ->
@@ -540,8 +543,29 @@ let () =
      prerr_endline
        "usage: main.exe [--list | --exp <name>] [--json FILE] \
         [--baseline FILE] [--baseline-write FILE] [--wall-append FILE] \
-        [--wall-label LABEL]";
+        [--wall-label LABEL] [--trend FILE [--trend-json OUT]]";
      exit 1);
+  (* Wall-trend analysis of a committed trajectory: a pure function of
+     the document (no suite collection), so it runs standalone in CI as
+     a cheap advisory artifact. *)
+  (match trend_path with
+   | None ->
+     if trend_json <> None then begin
+       prerr_endline "error: --trend-json needs --trend FILE";
+       exit 1
+     end
+   | Some path ->
+     let trajectory = read_json path in
+     print_string (Suite.trend_table ~trajectory ());
+     (match trend_json with
+      | None -> ()
+      | Some out ->
+        let oc = open_out out in
+        output_string oc
+          (Json.to_string_pretty (Suite.trend ~trajectory ()));
+        output_char oc '\n';
+        close_out oc;
+        Printf.eprintf "[bench] wrote wall-trend analysis %s\n%!" out));
   (* Perf-trajectory gate: record / compare the committed
      BENCH_hardbound.json snapshot (cycle drift > 2% fails). *)
   (match baseline_write with

@@ -32,6 +32,7 @@ module Deadline = Hb_recover.Deadline
 module Host = Hb_obs.Host
 module Progress = Hb_obs.Progress
 module Serve = Hb_obs.Serve
+module Fleet = Hb_obs.Fleet
 
 let mode_conv =
   let parse s =
@@ -331,6 +332,26 @@ let progress_arg =
            ~doc:"Print a live one-line campaign progress ticker \
                  (injection index, outcome tally, ETA) to stderr")
 
+let fleet_arg =
+  Arg.(value & flag
+       & info [ "fleet" ]
+           ~doc:"With --jobs N: every shard worker appends crash-tolerant \
+                 telemetry snapshots (metrics dump, span tree, GC deltas, \
+                 per-injection wall latencies) to a sidecar next to its \
+                 journal shard, and the live endpoints serve the \
+                 aggregated fleet view (worker-labeled hb_fleet_* series \
+                 plus rollups on /metrics, a per-worker block on \
+                 /progress).  Read-only: reports and journals stay \
+                 byte-identical")
+
+let fleet_chrome_arg =
+  Arg.(value & opt (some string) None
+       & info [ "fleet-chrome" ] ~docv:"FILE"
+           ~doc:"With --jobs N: write one unified Chrome trace to FILE \
+                 after the campaign — supervisor and worker tracks keyed \
+                 by pid, with instant events for respawns, watchdog \
+                 SIGKILLs and shard adoptions.  Implies --fleet")
+
 let host_spans_arg =
   Arg.(value & opt (some string) None
        & info [ "host-spans" ] ~docv:"FILE"
@@ -472,10 +493,13 @@ let report m status ~label ~mode ~scheme ~stats ~stats_format ~profile
    every piece is torn down through Fun.protect even when the run dies
    with Hb_error.  [live_reg] lets the single-run path publish the
    machine's own registry to /metrics once a machine exists. *)
-let with_host_plane ~serve_port ~tick ~host_spans ~host_chrome
+let with_host_plane ~serve_port ~tick ~host_spans ~host_chrome ~fleet_on
     ~(pr : Progress.t) ~(live_reg : (unit -> Metrics.t) option ref) f =
   let want_profiler =
     host_spans <> None || host_chrome <> None || serve_port <> None
+    (* the unified fleet trace wants a supervisor track even when no
+       host sink was asked for *)
+    || fleet_on
   in
   let prof = if want_profiler then Some (Host.install ()) else None in
   let server =
@@ -488,13 +512,19 @@ let with_host_plane ~serve_port ~tick ~host_spans ~host_chrome
         in
         Progress.export pr reg;
         Host.export_live reg;
+        (* aggregated fleet view: worker-labeled series from the
+           telemetry sidecars, once a sharded campaign installs the
+           collector (a no-op before/without one) *)
+        Fleet.export_live reg;
         Metrics.to_prometheus reg
       in
-      let s =
-        Serve.start ~port ~metrics
-          ~progress:(fun () -> Progress.to_json pr)
-          ()
+      let progress_json () =
+        match (Progress.to_json pr, Fleet.live_json ()) with
+        | Json.Obj fields, Some fleet ->
+          Json.Obj (fields @ [ ("fleet", fleet) ])
+        | j, _ -> j
       in
+      let s = Serve.start ~port ~metrics ~progress:progress_json () in
       Printf.eprintf
         "serving /metrics /progress /healthz on http://127.0.0.1:%d\n%!"
         (Serve.port s);
@@ -528,7 +558,7 @@ let with_host_plane ~serve_port ~tick ~host_spans ~host_chrome
    given, every machine streams into the same sink. *)
 let run_fault ~mk_plain ~label ~inject ~campaign ~campaign_json
     ~campaign_checkpoints ~policy ~violation_budget ~journal ~resume
-    ~deadline ~jobs ~max_worker_restarts ~trace_file ~trace_format
+    ~deadline ~jobs ~max_worker_restarts ~fleet ~trace_file ~trace_format
     ~trace_retires ~metrics_json ~progress =
   let module Campaign = Hb_fault.Campaign in
   let module Injector = Hb_fault.Injector in
@@ -581,7 +611,8 @@ let run_fault ~mk_plain ~label ~inject ~campaign ~campaign_json
             log = Some (fun s -> Printf.eprintf "%s\n%!" s) }
         in
         Hb_shard.Shard.run ?journal ?resume
-          ~deadline:(Deadline.of_secs deadline) ~progress ~cfg:scfg ~mk cfg
+          ~deadline:(Deadline.of_secs deadline) ~progress ~cfg:scfg ~fleet
+          ~mk cfg
       else
         Campaign.run ?journal ?resume ~deadline:(Deadline.of_secs deadline)
           ~progress ~mk cfg
@@ -642,7 +673,7 @@ let run file workload mode scheme temporal stats stats_format asm emit_asm
     timeline_flag timeline_jsonl timeline_csv sample_interval diff_pair
     inject campaign campaign_json campaign_checkpoints policy
     violation_budget journal resume deadline jobs max_worker_restarts
-    serve_port progress_flag host_spans host_chrome =
+    fleet_flag fleet_chrome serve_port progress_flag host_spans host_chrome =
   try
     match diff_pair with
     | Some (a_path, b_path) ->
@@ -653,8 +684,12 @@ let run file workload mode scheme temporal stats stats_format asm emit_asm
     | None ->
     let pr = Progress.create () in
     let live_reg : (unit -> Metrics.t) option ref = ref None in
+    let fleet =
+      { Fleet.sidecars = fleet_flag || fleet_chrome <> None;
+        chrome = fleet_chrome }
+    in
     with_host_plane ~serve_port ~tick:progress_flag ~host_spans
-      ~host_chrome ~pr ~live_reg
+      ~host_chrome ~fleet_on:(Fleet.active fleet) ~pr ~live_reg
     @@ fun () ->
     let want_attr = attr_flag || attr_json <> None in
     let source, label, asm =
@@ -714,13 +749,20 @@ let run file workload mode scheme temporal stats stats_format asm emit_asm
            workers would interleave writes into one sink)\n";
         exit 2
       end;
+      if Fleet.active fleet && jobs <= 1 then begin
+        Printf.eprintf
+          "error: --fleet/--fleet-chrome need a sharded campaign \
+           (--jobs N with N > 1); the single-process plane is \
+           --host-spans/--host-chrome/--serve\n";
+        exit 2
+      end;
       if campaign > 0 || inject <> None then
         run_fault
           ~mk_plain:(fun () -> Machine.create ~config ~globals image)
           ~label ~inject ~campaign ~campaign_json ~campaign_checkpoints
           ~policy ~violation_budget ~journal ~resume ~deadline ~jobs
-          ~max_worker_restarts ~trace_file ~trace_format ~trace_retires
-          ~metrics_json ~progress:pr
+          ~max_worker_restarts ~fleet ~trace_file ~trace_format
+          ~trace_retires ~metrics_json ~progress:pr
       else begin
       let m = Machine.create ~config ~globals image in
       (* publish this machine to the live endpoint: /metrics scrapes its
@@ -835,7 +877,7 @@ let cmd =
           $ diff_arg $ inject $ campaign $ campaign_json
           $ campaign_checkpoints $ on_violation $ violation_budget
           $ journal_arg $ resume_arg $ deadline_arg $ jobs_arg
-          $ max_worker_restarts_arg $ serve_arg
-          $ progress_arg $ host_spans_arg $ host_chrome_arg)
+          $ max_worker_restarts_arg $ fleet_arg $ fleet_chrome_arg
+          $ serve_arg $ progress_arg $ host_spans_arg $ host_chrome_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -23,6 +23,7 @@ let usage () =
      \             [--campaign N] [--seed S] [--jobs J]\n\
      \             [--max-worker-restarts K] [--journal FILE]\n\
      \             [--resume FILE] [--campaign-json FILE]\n\
+     \             [--fleet] [--fleet-chrome FILE]\n\
      modes: nochecks hardbound malloc-only softfat objtable\n\
      encodings: uncompressed extern-4 intern-4 intern-11\n\
      policies: abort report null-guard rollback";
@@ -42,6 +43,11 @@ let max_worker_restarts =
 let journal_file = ref None
 let resume_file = ref None
 let campaign_json = ref None
+
+(* fleet telemetry plane for sharded campaigns: worker sidecars plus an
+   optional post-run unified Chrome trace *)
+let fleet_flag = ref false
+let fleet_chrome = ref None
 
 let main () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -109,6 +115,12 @@ let main () =
     | "--campaign-json" :: f :: rest ->
       campaign_json := Some f;
       parse name mode scheme policy budget rest
+    | "--fleet" :: rest ->
+      fleet_flag := true;
+      parse name mode scheme policy budget rest
+    | "--fleet-chrome" :: f :: rest ->
+      fleet_chrome := Some f;
+      parse name mode scheme policy budget rest
     | n :: rest when name = None -> parse (Some n) mode scheme policy budget rest
     | _ -> usage ()
   in
@@ -116,7 +128,21 @@ let main () =
     parse None Codegen.Hardbound Encoding.Extern4 Policy.Abort
       Policy.default.Policy.violation_budget args
   in
-  if !spans_file <> None || !chrome_file <> None then begin
+  let fleet =
+    { Hb_obs.Fleet.sidecars = !fleet_flag || !fleet_chrome <> None;
+      chrome = !fleet_chrome }
+  in
+  if Hb_obs.Fleet.active fleet && !jobs <= 1 then begin
+    prerr_endline
+      "error: --fleet/--fleet-chrome need a sharded campaign (--jobs J \
+       with J > 1)";
+    exit 1
+  end;
+  if
+    !spans_file <> None || !chrome_file <> None
+    (* the unified fleet trace wants a supervisor track *)
+    || Hb_obs.Fleet.active fleet
+  then begin
     let t = Host.install () in
     (* the supervised path leaves via [exit]; at_exit still dumps *)
     at_exit (fun () ->
@@ -164,7 +190,8 @@ let main () =
                 log = Some (fun s -> Printf.eprintf "%s\n%!" s) }
             in
             Hb_harness.Resilience.sharded_campaign ~scheme ~mode
-              ?journal:!journal_file ?resume:!resume_file ~shard_cfg cfg n
+              ?journal:!journal_file ?resume:!resume_file ~shard_cfg ~fleet
+              cfg n
           else
             Hb_harness.Resilience.campaign ~scheme ~mode
               ?journal:!journal_file ?resume:!resume_file cfg n

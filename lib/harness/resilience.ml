@@ -37,11 +37,13 @@ let campaign ?scheme ?temporal ?tripwire ?max_instrs ?mode ?journal ?resume
     [shard_cfg.jobs] forked, supervised workers ({!Hb_shard.Shard}); the
     merged report is byte-identical to {!campaign}'s. *)
 let sharded_campaign ?scheme ?temporal ?tripwire ?max_instrs ?mode ?journal
-    ?resume ?deadline ?progress ~(shard_cfg : Hb_shard.Supervisor.config)
-    (config : Campaign.config) name =
+    ?resume ?deadline ?progress ?fleet
+    ~(shard_cfg : Hb_shard.Supervisor.config) (config : Campaign.config) name
+    =
   let w = Hb_workloads.Workloads.find name in
   let mk =
     machine_maker ?scheme ?temporal ?tripwire ?max_instrs ?mode w.source
   in
-  Hb_shard.Shard.run ?journal ?resume ?deadline ?progress ~cfg:shard_cfg ~mk
+  Hb_shard.Shard.run ?journal ?resume ?deadline ?progress ?fleet
+    ~cfg:shard_cfg ~mk
     { config with Campaign.label = name }

@@ -222,6 +222,212 @@ let append_wall ?extra ~trajectory ~label (suite : per_workload list) =
       ("points", Json.List (prior @ [ wall_point ?extra ~label suite ]));
     ]
 
+let point_label p =
+  match Json.member "label" p with
+  | Some (Json.String s) -> s
+  | _ -> snap_fail "wall point: missing \"label\""
+
+let point_entries p =
+  match Option.bind (Json.member "entries" p) Json.to_list with
+  | Some l -> l
+  | None -> snap_fail "wall point %S: missing \"entries\" list" (point_label p)
+
+let jnum = function
+  | Some (Json.Float f) -> Some f
+  | Some (Json.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+(* ---- wall-trend analysis (advisory, point-to-point) ------------------ *)
+
+(* One (workload, config) entry compared across two consecutive
+   trajectory points. *)
+type trend_row = {
+  t_workload : string;
+  t_config : string;
+  t_wall0 : float;
+  t_wall1 : float;
+  t_wall_ratio : float;
+  t_ips0 : float;
+  t_ips1 : float;
+  t_ips_ratio : float;
+  t_gc0 : int;
+  t_gc1 : int;
+  t_breach : bool;
+}
+
+(* (workload, config) -> (wall_ms, sim_ips, gc_major_words) of a point;
+   malformed entries are skipped (old points may predate a field). *)
+let entry_map p =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      match (Json.member "workload" e, Json.member "config" e) with
+      | Some (Json.String w), Some (Json.String c) -> (
+        match
+          ( jnum (Json.member "wall_ms" e),
+            jnum (Json.member "sim_ips" e),
+            Option.bind (Json.member "gc_major_words" e) Json.to_int )
+        with
+        | Some wall, Some ips, Some gc -> Hashtbl.replace tbl (w, c) (wall, ips, gc)
+        | _ -> ())
+      | _ -> ())
+    (point_entries p);
+  tbl
+
+(* (from point, to point) -> (from label, to label, rows in the "to"
+   point's entry order, restricted to pairs present in both). *)
+let trend_step ~band (a, b) =
+  let prior = entry_map a in
+  let rows =
+    List.filter_map
+      (fun e ->
+        match (Json.member "workload" e, Json.member "config" e) with
+        | Some (Json.String w), Some (Json.String c) -> (
+          match
+            ( Hashtbl.find_opt prior (w, c),
+              jnum (Json.member "wall_ms" e),
+              jnum (Json.member "sim_ips" e),
+              Option.bind (Json.member "gc_major_words" e) Json.to_int )
+          with
+          | Some (wall0, ips0, gc0), Some wall1, Some ips1, Some gc1
+            when wall0 > 0.0 ->
+            let wall_ratio = wall1 /. wall0 in
+            Some
+              {
+                t_workload = w;
+                t_config = c;
+                t_wall0 = wall0;
+                t_wall1 = wall1;
+                t_wall_ratio = wall_ratio;
+                t_ips0 = ips0;
+                t_ips1 = ips1;
+                t_ips_ratio = (if ips0 > 0.0 then ips1 /. ips0 else 0.0);
+                t_gc0 = gc0;
+                t_gc1 = gc1;
+                t_breach =
+                  wall_ratio > 1.0 +. band || wall_ratio < 1.0 -. band;
+              }
+          | _ -> None)
+        | _ -> None)
+      (point_entries b)
+  in
+  (point_label a, point_label b, rows)
+
+let rec consecutive = function
+  | a :: (b :: _ as rest) -> (a, b) :: consecutive rest
+  | _ -> []
+
+let trend_steps ~band trajectory =
+  List.map (trend_step ~band) (consecutive (wall_points trajectory))
+
+let geo_or_one = function [] -> 1.0 | xs -> geo_mean xs
+
+let step_summary rows =
+  let breaches = List.length (List.filter (fun r -> r.t_breach) rows) in
+  let wall_g = geo_or_one (List.map (fun r -> r.t_wall_ratio) rows) in
+  let ips_g =
+    geo_or_one
+      (List.filter_map
+         (fun r -> if r.t_ips_ratio > 0.0 then Some r.t_ips_ratio else None)
+         rows)
+  in
+  let gc_delta = List.fold_left (fun a r -> a + (r.t_gc1 - r.t_gc0)) 0 rows in
+  (breaches, wall_g, ips_g, gc_delta)
+
+(** Deterministic point-to-point analysis of a committed wall trajectory
+    (a pure function of the document: no fresh measurement).  One step
+    per consecutive pair of points; each step carries the per-
+    (workload, config) wall / throughput / GC deltas and a summary with
+    geomean ratios and the count of advisory-band breaches.  Advisory by
+    construction — the underlying numbers are host-varying. *)
+let trend ?(band = 0.5) ~trajectory () =
+  let steps = trend_steps ~band trajectory in
+  Json.Obj
+    [
+      ("bench", Json.String "hb-wall-trend");
+      ("version", Json.Int 1);
+      ("band", Json.Float band);
+      ("points", Json.Int (List.length (wall_points trajectory)));
+      ( "steps",
+        Json.List
+          (List.map
+             (fun (from_l, to_l, rows) ->
+               let breaches, wall_g, ips_g, gc_delta = step_summary rows in
+               Json.Obj
+                 [
+                   ("from", Json.String from_l);
+                   ("to", Json.String to_l);
+                   ( "entries",
+                     Json.List
+                       (List.map
+                          (fun r ->
+                            Json.Obj
+                              [
+                                ("workload", Json.String r.t_workload);
+                                ("config", Json.String r.t_config);
+                                ("wall_ms_from", Json.Float r.t_wall0);
+                                ("wall_ms_to", Json.Float r.t_wall1);
+                                ("wall_ratio", Json.Float r.t_wall_ratio);
+                                ("sim_ips_from", Json.Float r.t_ips0);
+                                ("sim_ips_to", Json.Float r.t_ips1);
+                                ("ips_ratio", Json.Float r.t_ips_ratio);
+                                ("gc_major_words_from", Json.Int r.t_gc0);
+                                ("gc_major_words_to", Json.Int r.t_gc1);
+                                ( "gc_major_words_delta",
+                                  Json.Int (r.t_gc1 - r.t_gc0) );
+                                ("breach", Json.Bool r.t_breach);
+                              ])
+                          rows) );
+                   ( "summary",
+                     Json.Obj
+                       [
+                         ("entries", Json.Int (List.length rows));
+                         ("breaches", Json.Int breaches);
+                         ("wall_ratio_geomean", Json.Float wall_g);
+                         ("ips_ratio_geomean", Json.Float ips_g);
+                         ("gc_major_words_delta", Json.Int gc_delta);
+                       ] );
+                 ])
+             steps) );
+    ]
+
+(** Human rendering of the same analysis: one summary line per step plus
+    a per-entry table (band breaches flagged with [!]). *)
+let trend_table ?(band = 0.5) ~trajectory () =
+  let b = Buffer.create 1024 in
+  let points = wall_points trajectory in
+  Printf.bprintf b
+    "wall trend: %d point%s, %d step%s, band \xc2\xb1%.0f%%  (advisory \
+     \xe2\x80\x94 wall times are host-varying)\n"
+    (List.length points)
+    (if List.length points = 1 then "" else "s")
+    (max 0 (List.length points - 1))
+    (if List.length points = 2 then "" else "s")
+    (100.0 *. band);
+  let steps = trend_steps ~band trajectory in
+  if steps = [] then
+    Buffer.add_string b "  (fewer than two points: nothing to compare)\n"
+  else
+    List.iter
+      (fun (from_l, to_l, rows) ->
+        let breaches, wall_g, ips_g, gc_delta = step_summary rows in
+        Printf.bprintf b
+          "\n%s -> %s   entries %d   breaches %d   wall x%.2f (geomean)   \
+           ips x%.2f   gc \xce\x94%+d words\n"
+          from_l to_l (List.length rows) breaches wall_g ips_g gc_delta;
+        Printf.bprintf b "  %-24s %22s %7s %7s %12s\n" "workload/config"
+          "wall ms (from -> to)" "ratio" "ips x" "gc \xce\x94words";
+        List.iter
+          (fun r ->
+            Printf.bprintf b "  %-24s %10.2f -> %-8.2f %7.2f %7.2f %+12d%s\n"
+              (r.t_workload ^ "/" ^ r.t_config)
+              r.t_wall0 r.t_wall1 r.t_wall_ratio r.t_ips_ratio
+              (r.t_gc1 - r.t_gc0)
+              (if r.t_breach then "  !" else ""))
+          rows)
+      steps;
+  Buffer.contents b
+
 (** Advisory comparison of a fresh suite against the last recorded
     trajectory point: per-config wall-time ratios outside the variance
     [band] (default ±50% — hosts differ) come back as human-readable

@@ -63,6 +63,21 @@ val append_wall :
     [trajectory] (a previous document, or [None] to start a series).
     Raises [Hb_obs.Json.Parse_error] when [trajectory] is malformed. *)
 
+val trend : ?band:float -> trajectory:Hb_obs.Json.t -> unit -> Hb_obs.Json.t
+(** Deterministic point-to-point analysis of a committed wall-trajectory
+    document ([BENCH_wall.json]): a pure function of the document, no
+    fresh measurement.  The result
+    ([{"bench":"hb-wall-trend","version":1,...}]) carries one step per
+    consecutive pair of points with per-(workload, config) wall /
+    sim_ips / gc_major_words deltas and a summary (geomean ratios,
+    advisory-band breach count; [band] defaults to ±50%).  Advisory by
+    construction — wall numbers are host-varying.  Raises
+    [Hb_obs.Json.Parse_error] on a malformed trajectory. *)
+
+val trend_table : ?band:float -> trajectory:Hb_obs.Json.t -> unit -> string
+(** Human rendering of {!trend}: one summary line per step plus a
+    per-entry table, band breaches flagged with [!]. *)
+
 val wall_advisory :
   ?band:float ->
   trajectory:Hb_obs.Json.t ->

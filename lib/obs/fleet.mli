@@ -1,0 +1,145 @@
+(** Fleet-wide observability for sharded campaigns.
+
+    The sharded engine ({!Hb_shard}) forks one worker per shard; every
+    observability surface built so far (span profiles, the metrics
+    registry, the live endpoints) is single-process, so the workers run
+    dark.  This module is the cross-process telemetry plane: each worker
+    periodically appends crash-tolerant snapshots (metrics registry
+    dump, its open/closed span tree, GC quick-stat deltas, per-injection
+    wall-latency observations) to a {e sidecar} file next to its journal
+    shard; the supervisor tails the sidecars and serves an aggregated
+    fleet view — worker-labeled [hb_fleet_*] series plus fleet-sum
+    rollups on [/metrics], a per-worker block on [/progress] — and,
+    post-run, merges everything into one unified Chrome trace with
+    supervisor and worker tracks keyed by pid.
+
+    Everything here is strictly read-only with respect to the
+    deterministic artifacts: sidecars are separate files the {!Hb_shard}
+    merge never reads, so campaign reports, journals, and the
+    [BENCH_hardbound.json] gate are byte-identical with the fleet plane
+    on or off. *)
+
+type config = {
+  sidecars : bool;  (** workers append telemetry sidecars *)
+  chrome : string option;
+      (** post-run unified Chrome trace path (implies sidecars) *)
+}
+
+val disabled : config
+
+val active : config -> bool
+(** Any part of the fleet plane requested. *)
+
+val sidecar_path : string -> string
+(** A shard journal's telemetry sidecar path (the journal path plus a
+    [.fleet] suffix — a distinct extension, so the shard merge never
+    mistakes telemetry for campaign records). *)
+
+(** {2 Worker side}
+
+    Lives inside {!Hb_shard.Worker.run_inline}: the forked child (or the
+    parent adopting an exhausted shard) appends JSONL telemetry to its
+    sidecar.  Writes are flushed but never fsync'd — losing a tail
+    record to a crash costs telemetry, not correctness — and readers
+    tolerate a torn tail the same way the journal reader does. *)
+
+type worker
+
+val worker_begin : path:string -> shard:int -> completed:int -> worker
+(** Open (append) the sidecar for the shard journal at [path], start a
+    fresh worker-local span profile, and write a first snapshot so the
+    aggregator sees the shard as soon as it spawns.  [completed] is the
+    journal-replayed prior count. *)
+
+val run_start : worker -> idx:int -> unit
+(** Open a per-run span and start the wall-latency clock. *)
+
+val run_done :
+  worker ->
+  idx:int ->
+  outcome:string ->
+  latency:int option ->
+  completed:int ->
+  unit
+(** Close the run span, record the run's wall latency (and detect
+    latency, when the outcome carried one) into the worker-local
+    registry, append an observation record, and snapshot periodically. *)
+
+val worker_end : worker -> unit
+(** Final snapshot (with the span tree closed) and sidecar close.
+    Restores nothing global — the worker never touches the ambient
+    profiler, so parent-side adoption is safe. *)
+
+(** {2 Supervisor events}
+
+    Process-lifecycle moments (spawns, respawns, watchdog SIGKILLs,
+    shard adoptions) recorded in the parent, exported as
+    [hb_fleet_events] counters and instant events on the unified
+    trace. *)
+
+type event = {
+  e_at_ns : int64;  (** absolute monotonic, comparable across processes *)
+  e_kind : string;  (** spawn | respawn | watchdog_kill | exhaust | adopt | kill *)
+  e_shard : int;
+  e_pid : int option;
+  e_detail : string;
+}
+
+val install : sidecars:string list -> unit
+(** Install the ambient parent-side collector: the sidecar paths to
+    aggregate (index = shard) and an empty event log.  One per process,
+    like {!Host.install}. *)
+
+val uninstall : unit -> unit
+val installed : unit -> bool
+
+val event : kind:string -> shard:int -> ?pid:int -> string -> unit
+(** Record a lifecycle event on the ambient collector; a no-op when none
+    is installed (the supervisor calls this unconditionally). *)
+
+val events : unit -> event list
+(** Events recorded so far, oldest first; [[]] when not installed. *)
+
+(** {2 Aggregation}
+
+    The serving side re-reads the sidecars on every call — they are
+    small JSONL files — so a mid-flight scrape sees each worker's
+    latest snapshot.  Reads are fully tolerant: a torn tail or a
+    half-written record is skipped, never raised. *)
+
+val export_live : Metrics.t -> unit
+(** Export the aggregated fleet view from the ambient collector into a
+    registry: per-worker gauges ([hb_fleet.worker_*{worker="K"}]),
+    per-injection wall-latency and detect-latency histograms labeled by
+    outcome and worker plus unlabeled fleet-sum rollups, and
+    [hb_fleet.events{kind,worker}] counters.  A no-op when no collector
+    is installed. *)
+
+val live_json : unit -> Json.t option
+(** The per-worker fleet block for [/progress]: latest snapshot per
+    shard (pid, completed, rss, GC, snapshot count) and the event log.
+    [None] when no collector is installed. *)
+
+(** {2 The unified Chrome trace} *)
+
+val unified_chrome :
+  ?host:Host.t ->
+  events:event list ->
+  sidecars:string list ->
+  unit ->
+  Json.t
+(** One trace_event array laying the whole campaign on a single
+    timeline: the supervisor's span profile on its own pid track, each
+    worker incarnation's span tree on a track keyed by its real pid
+    (a respawned shard gets a fresh track), and instant events for the
+    supervisor's lifecycle moments.  All monotonic timestamps are
+    shifted to the earliest one seen, so the trace starts at 0. *)
+
+val write_chrome :
+  ?host:Host.t ->
+  events:event list ->
+  sidecars:string list ->
+  string ->
+  unit
+(** {!unified_chrome} to a file; the channel closes even on a failed
+    write. *)

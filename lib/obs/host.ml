@@ -299,8 +299,10 @@ let to_json t =
     ]
 
 (* Chrome trace_event complete events, timestamps in µs relative to the
-   profile start — drop the file on chrome://tracing or Perfetto. *)
-let to_chrome t =
+   profile start — drop the file on chrome://tracing or Perfetto.  The
+   (pid, tid) pair keys the track; the fleet merger gives each process
+   its own so a sharded campaign reads as one multi-track timeline. *)
+let chrome_events ?(pid = 1) ?(tid = 1) ?(shift_us = 0.) t =
   let events = ref [] in
   let rec walk depth sp =
     events :=
@@ -308,17 +310,22 @@ let to_chrome t =
         [
           ("name", Json.String sp.sp_name);
           ("ph", Json.String "X");
-          ("ts", Json.Float (Int64.to_float (Int64.sub sp.start_ns t.t0) /. 1e3));
+          ( "ts",
+            Json.Float
+              ((Int64.to_float (Int64.sub sp.start_ns t.t0) /. 1e3)
+              +. shift_us) );
           ("dur", Json.Float (Int64.to_float (max 0L sp.wall_ns) /. 1e3));
-          ("pid", Json.Int 1);
-          ("tid", Json.Int 1);
+          ("pid", Json.Int pid);
+          ("tid", Json.Int tid);
           ("args", Json.Obj [ ("depth", Json.Int depth) ]);
         ]
       :: !events;
     List.iter (walk (depth + 1)) (List.rev sp.children_rev)
   in
   walk 0 t.root;
-  Json.List (List.rev !events)
+  List.rev !events
+
+let to_chrome ?pid ?tid t = Json.List (chrome_events ?pid ?tid t)
 
 (* Sinks get the same closing guarantee as every other artifact writer:
    the descriptor comes back even when the write raises mid-file. *)

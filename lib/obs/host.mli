@@ -104,7 +104,16 @@ val peak_rss_kb : unit -> int
 (** VmHWM from /proc/self/status; 0 where unavailable. *)
 
 val to_json : t -> Json.t
-val to_chrome : t -> Json.t
+
+val chrome_events :
+  ?pid:int -> ?tid:int -> ?shift_us:float -> t -> Json.t list
+(** The profile's spans as Chrome trace_event complete events on the
+    track keyed by [(pid, tid)] (default [(1, 1)]), timestamps in µs
+    relative to the profile start plus [shift_us] — the building block
+    the fleet merger uses to lay supervisor and worker profiles on one
+    timeline. *)
+
+val to_chrome : ?pid:int -> ?tid:int -> t -> Json.t
 (** Chrome trace_event array (complete events, µs timestamps) for
     chrome://tracing / Perfetto. *)
 

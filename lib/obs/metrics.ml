@@ -79,6 +79,11 @@ let bucket_of v =
     let rec go i n = if n = 0 || i = num_buckets - 1 then i else go (i + 1) (n lsr 1) in
     go 0 v
 
+(* Non-positive observations land in bucket 0, exposed as [le="1"] in the
+   text exposition: the histogram is a latency/size histogram, so zero (a
+   sub-resolution measurement) is folded into the smallest bucket rather
+   than dropped, and negative values (clock skew artifacts) are clamped
+   the same way.  [sum]/[min]/[max] still see the raw value. *)
 let observe h v =
   h.count <- h.count + 1;
   h.sum <- h.sum + v;
@@ -172,7 +177,7 @@ let prom_labels ?extra labels =
 (** Render the registry in the Prometheus/OpenMetrics text format:
     counters become gauges (they are set-at-snapshot absolutes, not
     monotonic processes), histograms expose cumulative [_bucket{le=...}]
-    series plus [_sum]/[_count].  Series order matches {!snapshot}, so
+    series plus [_sum]/[_count]/[_min]/[_max].  Series order matches {!snapshot}, so
     identical runs produce byte-identical expositions. *)
 let to_prometheus t =
   let b = Buffer.create 4096 in
@@ -210,7 +215,11 @@ let to_prometheus t =
         (prom_labels ~extra:("le", "+Inf") h.h_labels)
         h.count;
       Printf.bprintf b "%s_sum%s %d\n" name (prom_labels h.h_labels) h.sum;
-      Printf.bprintf b "%s_count%s %d\n" name (prom_labels h.h_labels) h.count)
+      Printf.bprintf b "%s_count%s %d\n" name (prom_labels h.h_labels) h.count;
+      Printf.bprintf b "%s_min%s %d\n" name (prom_labels h.h_labels)
+        (if h.count = 0 then 0 else h.min);
+      Printf.bprintf b "%s_max%s %d\n" name (prom_labels h.h_labels)
+        (if h.count = 0 then 0 else h.max))
     (sorted_values t.histograms);
   Buffer.add_string b "# EOF\n";
   Buffer.contents b

@@ -27,7 +27,10 @@ val histogram : t -> ?labels:labels -> string -> histogram
 
 val observe : histogram -> int -> unit
 (** Record one observation into power-of-two buckets, tracking
-    count/sum/min/max. *)
+    count/sum/min/max.  Non-positive values land in bucket 0, which the
+    text exposition reports as [le="1"]: zeros and negative artifacts are
+    clamped into the smallest bucket rather than dropped, while
+    [sum]/[min]/[max] still record the raw value. *)
 
 val snapshot : t -> Json.t
 (** [{"counters": [...], "histograms": [...]}], deterministically
@@ -36,6 +39,7 @@ val snapshot : t -> Json.t
 val to_prometheus : t -> string
 (** Prometheus/OpenMetrics text exposition of the registry: counters as
     gauges (set-at-snapshot absolutes), histograms as cumulative
-    [_bucket{le=...}] series plus [_sum]/[_count], terminated by
-    [# EOF].  Deterministically ordered like {!snapshot}; metric names
-    are sanitized ([cpu.cycles] -> [cpu_cycles]). *)
+    [_bucket{le=...}] series plus [_sum]/[_count]/[_min]/[_max] (min/max
+    read 0 while the histogram is empty), terminated by [# EOF].
+    Deterministically ordered like {!snapshot}; metric names are
+    sanitized ([cpu.cycles] -> [cpu_cycles]). *)

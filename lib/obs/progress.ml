@@ -198,9 +198,13 @@ let export t reg =
       ws
 
 let render t =
+  (* When no run has completed this session (e.g. every record was
+     journal-replayed), there is no rate to extrapolate from — show a
+     dash rather than a nonsense/∞ estimate. *)
   let eta =
     match eta_s t with
     | Some e when not t.finished -> Printf.sprintf ", eta %.0fs" e
+    | None when (not t.finished) && t.completed < t.total -> ", eta -"
     | _ -> ""
   in
   let tally =

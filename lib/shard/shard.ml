@@ -20,14 +20,18 @@ module Journal = Hb_recover.Journal
 module Deadline = Hb_recover.Deadline
 module Host = Hb_obs.Host
 module Progress = Hb_obs.Progress
+module Fleet = Hb_obs.Fleet
 
 let remove_if_exists path = if Sys.file_exists path then Sys.remove path
 
 let run ?journal ?resume ?(deadline = Deadline.none) ?progress
-    ?(cfg = Supervisor.default) ~mk (ccfg : Campaign.config) :
-    Campaign.report =
+    ?(cfg = Supervisor.default) ?(fleet = Fleet.disabled) ~mk
+    (ccfg : Campaign.config) : Campaign.report =
   Partition.validate ~jobs:cfg.Supervisor.jobs;
   let jobs = cfg.Supervisor.jobs in
+  let cfg =
+    if Fleet.active fleet then { cfg with Supervisor.fleet = true } else cfg
+  in
   if journal <> None && resume <> None then
     Hb_error.fail ~component:"shard"
       "--journal and --resume are exclusive (a resumed campaign appends to \
@@ -46,11 +50,27 @@ let run ?journal ?resume ?(deadline = Deadline.none) ?progress
     | _ -> ())
   | None -> ());
   (* a fresh --journal run must not silently resume stale shard files
-     from an earlier campaign at the same path *)
+     (or their telemetry sidecars) from an earlier campaign at the same
+     path *)
   if resume = None then
     List.iter
-      (fun shard -> remove_if_exists (Partition.shard_path ~base ~shard))
+      (fun shard ->
+        let p = Partition.shard_path ~base ~shard in
+        remove_if_exists p;
+        remove_if_exists (Fleet.sidecar_path p))
       (List.init jobs (fun k -> k));
+  let sidecars =
+    List.init jobs (fun shard ->
+        Fleet.sidecar_path (Partition.shard_path ~base ~shard))
+  in
+  (* the ambient fleet collector gives the supervisor's lifecycle hooks
+     and the serving thread's aggregation callbacks a common home; it is
+     torn down with the run so back-to-back in-process campaigns never
+     see each other's events *)
+  if Fleet.active fleet then Fleet.install ~sidecars;
+  Fun.protect
+    ~finally:(fun () -> if Fleet.active fleet then Fleet.uninstall ())
+  @@ fun () ->
   (* prior records from a partial base journal (e.g. an interrupted
      serial run being resumed sharded); a complete base journal
      reconstructs with zero execution, exactly like the serial path *)
@@ -115,10 +135,22 @@ let run ?journal ?resume ?(deadline = Deadline.none) ?progress
       if not temp then Merge.write_merged ~cfg:ccfg ~golden ~base report;
       match progress with Some p -> Progress.finish p | None -> ()
     end;
+    (* the unified cross-process trace reads the sidecars back, so it
+       must land before any temp cleanup; the ambient host profiler (if
+       the CLI installed one) supplies the supervisor track *)
+    (match fleet.Fleet.chrome with
+    | Some path ->
+      Fleet.write_chrome
+        ?host:(Host.active ())
+        ~events:(Fleet.events ()) ~sidecars path
+    | None -> ());
     if temp then begin
       remove_if_exists base;
       List.iter
-        (fun shard -> remove_if_exists (Partition.shard_path ~base ~shard))
+        (fun shard ->
+          let p = Partition.shard_path ~base ~shard in
+          remove_if_exists p;
+          remove_if_exists (Fleet.sidecar_path p))
         (List.init jobs (fun k -> k))
     end;
     report

@@ -14,6 +14,7 @@ val run :
   ?deadline:Hb_recover.Deadline.t ->
   ?progress:Hb_obs.Progress.t ->
   ?cfg:Supervisor.config ->
+  ?fleet:Hb_obs.Fleet.config ->
   mk:(unit -> Hb_cpu.Machine.t) ->
   Campaign.config ->
   Campaign.report
@@ -28,4 +29,15 @@ val run :
     hint.  Without [journal]/[resume] the shard files are temporary and
     removed afterwards.  [deadline] yields a well-formed
     [deadline_expired] partial report.  [progress] gains a per-worker
-    table ([/progress] and [hb_shard_*] gauges). *)
+    table ([/progress] and [hb_shard_*] gauges).
+
+    [fleet] (default {!Hb_obs.Fleet.disabled}) attaches the fleet
+    telemetry plane: workers append crash-tolerant sidecars next to
+    their journal shards, an ambient {!Hb_obs.Fleet} collector records
+    supervision lifecycle events and aggregates the sidecars for the
+    live endpoints, and [fleet.chrome] writes a post-run unified Chrome
+    trace (supervisor + worker tracks keyed by pid, lifecycle instant
+    events).  Strictly read-only: the merged report and every journal
+    are byte-identical with the fleet plane on or off.  A campaign that
+    short-circuits on an already-complete base journal executes nothing
+    and writes no fleet artifacts. *)

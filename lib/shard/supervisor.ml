@@ -19,6 +19,7 @@ module Outcome = Hb_fault.Outcome
 module Deadline = Hb_recover.Deadline
 module Clock = Hb_obs.Clock
 module Progress = Hb_obs.Progress
+module Fleet = Hb_obs.Fleet
 
 type config = {
   jobs : int;
@@ -32,6 +33,9 @@ type config = {
   log : (string -> unit) option;
       (* supervision events ("worker 2 pid 1234 spawned", ...); the CLI
          wires stderr, tests capture, default drops *)
+  fleet : bool;
+      (* workers append telemetry sidecars and lifecycle moments are
+         recorded as fleet events; read-only w.r.t. journals/reports *)
 }
 
 let default =
@@ -43,6 +47,7 @@ let default =
     backoff_cap_s = 5.;
     poll_interval_s = 0.05;
     log = None;
+    fleet = false;
   }
 
 type state =
@@ -91,10 +96,14 @@ let spawn scfg ~mk ~cfg ~golden ~deadline slot =
   match Unix.fork () with
   | 0 ->
     Worker.child ~mk ~cfg ~golden ~jobs:scfg.jobs ~shard:slot.shard
-      ~path:slot.path ~deadline ()
+      ~path:slot.path ~fleet:scfg.fleet ~deadline ()
   | pid ->
     logf scfg "[shard] worker %d pid %d spawned (attempt %d)" slot.shard pid
       (slot.restarts + 1);
+    Fleet.event
+      ~kind:(if slot.restarts = 0 then "spawn" else "respawn")
+      ~shard:slot.shard ~pid
+      (Printf.sprintf "attempt %d" (slot.restarts + 1));
     slot.state <-
       Running
         {
@@ -123,6 +132,7 @@ let respawn_or_exhaust scfg ~deadline slot why =
       "[shard] worker %d %s; respawn budget (%d) exhausted, parent will \
        adopt the slice"
       slot.shard why scfg.max_worker_restarts;
+    Fleet.event ~kind:"exhaust" ~shard:slot.shard why;
     slot.state <- Exhausted;
     set_row_state slot "exhausted"
   end
@@ -193,6 +203,8 @@ let check scfg ~mk ~cfg ~golden ~deadline slot =
         if silent > scfg.heartbeat_timeout_s then begin
           logf scfg "[shard] worker %d pid %d silent for %.1fs; killing"
             slot.shard r.pid silent;
+          Fleet.event ~kind:"watchdog_kill" ~shard:slot.shard ~pid:r.pid
+            (Printf.sprintf "silent %.1fs" silent);
           sigkill r.pid;
           respawn_or_exhaust scfg ~deadline slot "hung (watchdog)"
         end
@@ -302,6 +314,8 @@ let run ~mk ~(cfg : Campaign.config) ~golden ~base
             | Running r ->
               logf scfg "[shard] killing worker %d pid %d (campaign failed)"
                 s.shard r.pid;
+              Fleet.event ~kind:"kill" ~shard:s.shard ~pid:r.pid
+                "campaign failed";
               sigkill r.pid
             | _ -> ())
           slots;
@@ -327,10 +341,12 @@ let run ~mk ~(cfg : Campaign.config) ~golden ~base
       match slot.state with
       | Exhausted ->
         logf scfg "[shard] adopting shard %d inline" slot.shard;
+        Fleet.event ~kind:"adopt" ~shard:slot.shard
+          ~pid:(Unix.getpid ()) "parent runs the slice inline";
         set_row_state slot "adopted";
         let report =
           Worker.run_inline ~mk ~cfg ~golden ~jobs:scfg.jobs
-            ~shard:slot.shard ~path:slot.path ~deadline ()
+            ~shard:slot.shard ~path:slot.path ~fleet:scfg.fleet ~deadline ()
         in
         slot.state <-
           (if report.Campaign.deadline_expired then Partial else Done);

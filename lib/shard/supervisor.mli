@@ -16,11 +16,16 @@ type config = {
   poll_interval_s : float;
   log : (string -> unit) option;
       (** supervision event sink (spawn/kill/respawn/adopt lines) *)
+  fleet : bool;
+      (** workers append {!Hb_obs.Fleet} telemetry sidecars, and
+          lifecycle moments (spawn/respawn/watchdog-kill/adopt) are
+          recorded as fleet events; read-only w.r.t. journals and
+          reports *)
 }
 
 val default : config
 (** 2 jobs, 3 restarts, 60 s heartbeat timeout, 0.25 s–5 s backoff,
-    50 ms poll, no log. *)
+    50 ms poll, no log, fleet off. *)
 
 val run :
   mk:(unit -> Hb_cpu.Machine.t) ->

@@ -9,8 +9,10 @@
     fewer workers reuses the identical code path. *)
 
 module Campaign = Hb_fault.Campaign
+module Outcome = Hb_fault.Outcome
 module Journal = Hb_recover.Journal
 module Deadline = Hb_recover.Deadline
+module Fleet = Hb_obs.Fleet
 
 (* Exit-code protocol, read by the supervisor's [waitpid]. *)
 let exit_ok = 0
@@ -19,7 +21,7 @@ let exit_error = 3 (* typed Hb_error; journaled as a shard-error record *)
 let exit_crash = 5 (* anything else; respawn may help *)
 
 let run_inline ~mk ~(cfg : Campaign.config) ~golden ~jobs ~shard ~path
-    ?(deadline = Deadline.none) () : Campaign.report =
+    ?(fleet = false) ?(deadline = Deadline.none) () : Campaign.report =
   let prior, writer =
     match Journal.read_or_empty path with
     | [] ->
@@ -35,8 +37,18 @@ let run_inline ~mk ~(cfg : Campaign.config) ~golden ~jobs ~shard ~path
       let sr = Merge.read_shard ~cfg ~golden ~jobs ~shard path in
       (sr.Merge.records, Journal.append_to path)
   in
+  (* fleet telemetry is a side channel: the sidecar has its own file and
+     its own (worker-local) span profile, so the shard journal and the
+     merged report are byte-identical with it on or off *)
+  let fl =
+    if fleet then
+      Some (Fleet.worker_begin ~path ~shard ~completed:(List.length prior))
+    else None
+  in
   Fun.protect
-    ~finally:(fun () -> Journal.close writer)
+    ~finally:(fun () ->
+      Journal.close writer;
+      match fl with Some f -> Fleet.worker_end f | None -> ())
     (fun () ->
       let completed = ref (List.length prior) in
       let seq = ref 0 in
@@ -46,9 +58,20 @@ let run_inline ~mk ~(cfg : Campaign.config) ~golden ~jobs ~shard ~path
         (* liveness only — unsynced, so a lost heartbeat costs nothing *)
         Journal.append_nosync writer
           (Journal.heartbeat_json ~pid ~seq:!seq ~completed:!completed
-             ~next:(Some p.Campaign.p_idx))
+             ~next:(Some p.Campaign.p_idx));
+        match fl with
+        | Some f -> Fleet.run_start f ~idx:p.Campaign.p_idx
+        | None -> ()
       in
-      let on_record _ = incr completed in
+      let on_record (r : Campaign.record) =
+        incr completed;
+        match fl with
+        | Some f ->
+          Fleet.run_done f ~idx:r.Campaign.idx
+            ~outcome:(Outcome.name r.Campaign.outcome)
+            ~latency:r.Campaign.latency ~completed:!completed
+        | None -> ()
+      in
       let report =
         Campaign.execute_plan ~mk ~cfg ~golden
           ~select:(Partition.select ~jobs ~shard)
@@ -69,9 +92,11 @@ let run_inline ~mk ~(cfg : Campaign.config) ~golden ~jobs ~shard ~path
    not run the parent's [at_exit] hooks (host-span dumps, stdio flush of
    buffers it inherited) — its only output channel is the shard journal
    and its exit code. *)
-let child ~mk ~cfg ~golden ~jobs ~shard ~path ?deadline () : 'a =
+let child ~mk ~cfg ~golden ~jobs ~shard ~path ?fleet ?deadline () : 'a =
   let code =
-    match run_inline ~mk ~cfg ~golden ~jobs ~shard ~path ?deadline () with
+    match
+      run_inline ~mk ~cfg ~golden ~jobs ~shard ~path ?fleet ?deadline ()
+    with
     | report ->
       if report.Campaign.deadline_expired then exit_partial else exit_ok
     | exception Hb_error.Hb_error (ctx, msg) ->

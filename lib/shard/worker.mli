@@ -21,6 +21,7 @@ val run_inline :
   jobs:int ->
   shard:int ->
   path:string ->
+  ?fleet:bool ->
   ?deadline:Hb_recover.Deadline.t ->
   unit ->
   Campaign.report
@@ -28,7 +29,11 @@ val run_inline :
     journal at [path].  Replays the acknowledged prefix from the journal
     without re-executing it; terminates the file with a shard-done or
     shard-partial marker.  Also called directly by the supervisor's
-    parent process when a worker's respawn budget is exhausted. *)
+    parent process when a worker's respawn budget is exhausted.
+    [fleet] (default off) additionally appends crash-tolerant telemetry
+    — per-run wall latencies and periodic snapshots — to the journal's
+    {!Hb_obs.Fleet} sidecar; the journal and report stay byte-identical
+    either way. *)
 
 val child :
   mk:(unit -> Hb_cpu.Machine.t) ->
@@ -37,6 +42,7 @@ val child :
   jobs:int ->
   shard:int ->
   path:string ->
+  ?fleet:bool ->
   ?deadline:Hb_recover.Deadline.t ->
   unit ->
   'a

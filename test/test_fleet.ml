@@ -1,0 +1,333 @@
+(* Fleet telemetry plane tests: the read-only contract (reports and
+   merged journals byte-identical with the plane on or off), sidecar
+   contents and crash-tolerant parsing, worker-labeled aggregation into
+   an OpenMetrics exposition, lifecycle-event export, the unified
+   cross-process Chrome trace (per-pid incarnation tracks, respawn
+   instants), and the progress ticker's eta dash when the session rate
+   is zero. *)
+
+module Build = Hb_runtime.Build
+module Codegen = Hb_minic.Codegen
+module Machine = Hb_cpu.Machine
+module Json = Hb_obs.Json
+module Metrics = Hb_obs.Metrics
+module Progress = Hb_obs.Progress
+module Fleet = Hb_obs.Fleet
+module Campaign = Hb_fault.Campaign
+module Partition = Hb_shard.Partition
+module Supervisor = Hb_shard.Supervisor
+module Shard = Hb_shard.Shard
+
+let src =
+  {|
+int main() {
+  int *cells[8];
+  int i;
+  int sum;
+  for (i = 0; i < 8; i++) {
+    cells[i] = (int*)malloc(8);
+    cells[i][0] = i * 5;
+  }
+  sum = 0;
+  for (i = 0; i < 8; i++) { sum = sum + cells[i][0]; }
+  print_int(sum);
+  return 0;
+}
+|}
+
+let maker () =
+  let image, globals = Build.compile ~mode:Codegen.Hardbound src in
+  let config = Build.config_for Codegen.Hardbound in
+  fun () -> Machine.create ~config ~globals image
+
+let campaign_cfg ~runs =
+  { Campaign.default with Campaign.label = "fleet-test"; runs; seed = 23 }
+
+let report_string r = Json.to_string_pretty (Campaign.to_json r)
+
+let temp_base () =
+  let p = Filename.temp_file "hb_fleet_test" ".jsonl" in
+  Sys.remove p;
+  p
+
+let remove_if_exists p = if Sys.file_exists p then Sys.remove p
+
+let cleanup ~base ~jobs =
+  remove_if_exists base;
+  List.iter
+    (fun shard ->
+      let p = Partition.shard_path ~base ~shard in
+      remove_if_exists p;
+      remove_if_exists (Fleet.sidecar_path p))
+    (List.init jobs (fun k -> k))
+
+let scfg jobs = { Supervisor.default with Supervisor.jobs }
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 path in
+  output_string oc s;
+  close_out oc
+
+(* ---- the read-only contract + real sidecar/trace artifacts ------------ *)
+
+let test_fleet_read_only_and_artifacts () =
+  let mk = maker () in
+  let cfg = campaign_cfg ~runs:12 in
+  let serial = Campaign.run ~mk cfg in
+  let base_off = temp_base () in
+  let off = Shard.run ~journal:base_off ~cfg:(scfg 2) ~mk cfg in
+  let base_on = temp_base () in
+  let trace = Filename.temp_file "hb_fleet_trace" ".json" in
+  let on =
+    Shard.run ~journal:base_on ~cfg:(scfg 2)
+      ~fleet:{ Fleet.sidecars = true; chrome = Some trace }
+      ~mk cfg
+  in
+  Alcotest.(check string) "fleet-on report is byte-identical to serial"
+    (report_string serial) (report_string on);
+  Alcotest.(check string) "fleet-on report is byte-identical to fleet-off"
+    (report_string off) (report_string on);
+  Alcotest.(check string)
+    "merged base journal is byte-identical fleet on/off"
+    (read_file base_off) (read_file base_on);
+  (* every shard left a sidecar with at least the begin snapshot, a final
+     snapshot, and one observation per executed run *)
+  List.iter
+    (fun shard ->
+      let p = Fleet.sidecar_path (Partition.shard_path ~base:base_on ~shard) in
+      Alcotest.(check bool)
+        (Printf.sprintf "sidecar for shard %d exists" shard)
+        true (Sys.file_exists p);
+      let records =
+        List.filter_map
+          (fun l ->
+            match Json.of_string l with j -> Some j | exception _ -> None)
+          (String.split_on_char '\n' (read_file p))
+      in
+      let count ty =
+        List.length
+          (List.filter
+             (fun j ->
+               match Json.member "type" j with
+               | Some (Json.String t) -> t = ty
+               | _ -> false)
+             records)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "shard %d: begin + final snapshots" shard)
+        true (count "snap" >= 2);
+      Alcotest.(check int)
+        (Printf.sprintf "shard %d: one obs per executed run" shard)
+        (Partition.size ~jobs:2 ~shard ~runs:12)
+        (count "obs"))
+    [ 0; 1 ];
+  (* the unified trace: a supervisor meta track, one worker track per
+     shard keyed by pid, per-run complete events, and spawn instants *)
+  let tr = read_file trace in
+  ignore (Json.of_string tr);
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("trace has: " ^ needle) true
+        (contains_sub tr needle))
+    [
+      "supervisor (pid ";
+      "worker 0 (pid ";
+      "worker 1 (pid ";
+      "spawn worker 0";
+      "spawn worker 1";
+      "\"run 0\"";
+    ];
+  (* the collector was torn down with the run: nothing leaks into a later
+     in-process campaign *)
+  Alcotest.(check bool) "ambient collector uninstalled after the run" false
+    (Fleet.installed ());
+  Sys.remove trace;
+  cleanup ~base:base_off ~jobs:2;
+  cleanup ~base:base_on ~jobs:2
+
+(* ---- aggregation over synthetic sidecars ------------------------------ *)
+
+let snap_line ~pid ~seq ~completed =
+  Printf.sprintf
+    {|{"type": "snap", "shard": 0, "pid": %d, "seq": %d, "t0_ns": 1000, "at_ns": 2000, "completed": %d, "rss_kb": 321, "gc": {"minor_words": 10.5, "major_words": 20.5, "minor_gcs": 3, "major_gcs": 1}, "metrics": {}, "profile": {"root": {"name": "worker-0", "start_ns": 1000, "wall_ns": -1, "children": []}}}|}
+    pid seq completed
+
+let obs_line ~outcome ~latency =
+  Printf.sprintf
+    {|{"type": "obs", "shard": 0, "pid": 31337, "idx": 3, "outcome": "%s", "wall_ns": 500, "latency": %s}|}
+    outcome latency
+
+let with_synthetic_fleet f =
+  let s0 = Filename.temp_file "hb_fleet_side" ".fleet" in
+  let s1 = Filename.temp_file "hb_fleet_side" ".fleet" in
+  Sys.remove s1;
+  (* shard 1 has no sidecar yet: a worker that never reached its first
+     snapshot must read as "not seen", not as an error *)
+  write_file s0
+    (String.concat "\n"
+       [
+         snap_line ~pid:31337 ~seq:1 ~completed:3;
+         obs_line ~outcome:"detected" ~latency:"42";
+         obs_line ~outcome:"masked" ~latency:"null";
+         snap_line ~pid:31337 ~seq:2 ~completed:7;
+         (* a respawned incarnation, then a tail torn mid-write *)
+         snap_line ~pid:31338 ~seq:1 ~completed:9;
+         {|{"type": "snap", "shard": 0, "pid": 999|};
+       ]);
+  Fleet.install ~sidecars:[ s0; s1 ];
+  Fun.protect
+    ~finally:(fun () ->
+      Fleet.uninstall ();
+      remove_if_exists s0;
+      remove_if_exists s1)
+    (fun () -> f (s0, s1))
+
+let test_aggregation_and_torn_sidecar () =
+  with_synthetic_fleet @@ fun _ ->
+  Fleet.event ~kind:"respawn" ~shard:1 ~pid:4242 "attempt 2";
+  Fleet.event ~kind:"respawn" ~shard:1 ~pid:4243 "attempt 3";
+  Fleet.event ~kind:"watchdog_kill" ~shard:0 ~pid:31337 "silent 1.0s";
+  let reg = Metrics.create () in
+  Fleet.export_live reg;
+  let text = Metrics.to_prometheus reg in
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) ("exposition has: " ^ line) true
+        (contains_sub text (line ^ "\n")))
+    [
+      (* the torn tail and the absent shard-1 sidecar are skipped; the
+         last parsable snapshot (the respawned pid) wins *)
+      {|hb_fleet_worker_completed{worker="0"} 9|};
+      {|hb_fleet_worker_pid{worker="0"} 31338|};
+      {|hb_fleet_worker_snaps{worker="0"} 3|};
+      {|hb_fleet_worker_gc_major_words{worker="0"} 20|};
+      "hb_fleet_workers 1";
+      "hb_fleet_completed 9";
+      (* per-worker histogram series plus the fleet rollup *)
+      {|hb_fleet_run_wall_ns_count{outcome="detected",worker="0"} 1|};
+      {|hb_fleet_run_wall_ns_count{outcome="detected"} 1|};
+      {|hb_fleet_detect_latency_instrs_sum{outcome="detected",worker="0"} 42|};
+      (* lifecycle events, per (kind, worker) and rolled up per kind *)
+      {|hb_fleet_events{kind="respawn",worker="1"} 2|};
+      {|hb_fleet_events{kind="respawn"} 2|};
+      {|hb_fleet_events{kind="watchdog_kill",worker="0"} 1|};
+    ];
+  (* a null latency must not contribute a detect-latency observation *)
+  Alcotest.(check bool) "masked run has no latency series" false
+    (contains_sub text {|hb_fleet_detect_latency_instrs_count{outcome="masked"|});
+  (* the /progress block: per-worker rows plus the event log *)
+  (match Fleet.live_json () with
+  | None -> Alcotest.fail "live_json must be available while installed"
+  | Some j ->
+    let workers =
+      match Json.member "workers" j with
+      | Some (Json.List l) -> l
+      | _ -> Alcotest.fail "workers list missing"
+    in
+    Alcotest.(check int) "one row per shard" 2 (List.length workers);
+    (match workers with
+    | [ w0; w1 ] ->
+      Alcotest.(check (option int)) "shard 0 completed" (Some 9)
+        (Option.bind (Json.member "completed" w0) Json.to_int);
+      Alcotest.(check bool) "shard 1 not seen yet" true
+        (Json.member "seen" w1 = Some (Json.Bool false))
+    | _ -> Alcotest.fail "expected exactly two worker rows");
+    match Json.member "events" j with
+    | Some (Json.List l) -> Alcotest.(check int) "events logged" 3 (List.length l)
+    | _ -> Alcotest.fail "events list missing")
+
+let test_export_is_noop_when_uninstalled () =
+  Alcotest.(check bool) "no ambient collector" false (Fleet.installed ());
+  Fleet.event ~kind:"spawn" ~shard:0 "must be dropped";
+  Alcotest.(check (list unit)) "no events buffered" []
+    (List.map ignore (Fleet.events ()));
+  let reg = Metrics.create () in
+  Fleet.export_live reg;
+  Alcotest.(check bool) "no fleet series exported" false
+    (contains_sub (Metrics.to_prometheus reg) "hb_fleet");
+  Alcotest.(check bool) "no live json" true (Fleet.live_json () = None)
+
+(* ---- unified trace over synthetic sidecars ---------------------------- *)
+
+let test_unified_chrome_incarnations () =
+  with_synthetic_fleet @@ fun (s0, s1) ->
+  Fleet.event ~kind:"respawn" ~shard:0 ~pid:31338 "attempt 2";
+  let j =
+    Fleet.unified_chrome ~events:(Fleet.events ()) ~sidecars:[ s0; s1 ] ()
+  in
+  let text = Json.to_string_pretty j in
+  (* both incarnations of shard 0 get their own pid-keyed track; the
+     respawn shows as an instant event with the new pid in its args *)
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("trace has: " ^ needle) true
+        (contains_sub text needle))
+    [
+      "worker 0 (pid 31337)";
+      "worker 0 (pid 31338)";
+      "respawn worker 0";
+      {|"worker_pid": 31338|};
+      (* the open span (wall_ns -1) renders as a zero-duration complete
+         event on the unified timebase *)
+      {|"name": "worker-0"|};
+    ];
+  Alcotest.(check bool) "torn snapshot pid never becomes a track" false
+    (contains_sub text "pid 999")
+
+(* ---- progress eta dash ------------------------------------------------ *)
+
+let test_progress_eta_dash () =
+  let p = Progress.create () in
+  Progress.begin_campaign p ~label:"fleet-test" ~total:10 ~prior:4;
+  (* journal-replayed records only: this session has executed nothing,
+     so there is no rate to extrapolate — the ticker must print a dash,
+     not a bogus finite estimate *)
+  let line = Progress.render p in
+  Alcotest.(check bool) ("eta dash in: " ^ line) true
+    (contains_sub line ", eta -");
+  Progress.start_run p 4;
+  Progress.finish_run p ~outcome:"detected";
+  let line = Progress.render p in
+  Alcotest.(check bool) ("finite eta in: " ^ line) false
+    (contains_sub line ", eta -");
+  Alcotest.(check bool) ("eta present in: " ^ line) true
+    (contains_sub line ", eta ")
+
+let () =
+  Alcotest.run "fleet"
+    [
+      ( "read-only",
+        [
+          Alcotest.test_case "byte-identity + sidecars + trace" `Slow
+            test_fleet_read_only_and_artifacts;
+        ] );
+      ( "aggregation",
+        [
+          Alcotest.test_case "worker-labeled series + torn tail" `Quick
+            test_aggregation_and_torn_sidecar;
+          Alcotest.test_case "uninstalled collector is inert" `Quick
+            test_export_is_noop_when_uninstalled;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "per-pid incarnation tracks" `Quick
+            test_unified_chrome_incarnations;
+        ] );
+      ( "progress",
+        [
+          Alcotest.test_case "eta dash at zero session rate" `Quick
+            test_progress_eta_dash;
+        ] );
+    ]

@@ -27,13 +27,16 @@ let forbidden =
    raw-clock surface confined to this file. *)
 let exempt path = Filename.basename path = "clock.ml"
 
-(* Modules allowed to consume [Hb_obs.Clock] — the host plane, the
-   campaign deadline, and the shard supervisor (heartbeat watchdog and
-   respawn backoff are wall-clock decisions about host processes; none
-   of them feed the injection plan or any simulated state).  Everything
-   else in lib/ must stay clock-free so a new wall-clock reader has to
-   show up here, in review. *)
-let clock_consumers = [ "host.ml"; "progress.ml"; "deadline.ml"; "supervisor.ml" ]
+(* Modules allowed to consume [Hb_obs.Clock] — the host plane (fleet
+   telemetry included: run wall latencies and event timestamps are
+   host-varying by definition), the campaign deadline, and the shard
+   supervisor (heartbeat watchdog and respawn backoff are wall-clock
+   decisions about host processes; none of them feed the injection plan
+   or any simulated state).  Everything else in lib/ must stay
+   clock-free so a new wall-clock reader has to show up here, in
+   review. *)
+let clock_consumers =
+  [ "host.ml"; "progress.ml"; "deadline.ml"; "supervisor.ml"; "fleet.ml" ]
 
 let read_file path =
   let ic = open_in_bin path in

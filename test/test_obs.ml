@@ -235,6 +235,69 @@ let test_prometheus_escaping () =
   Alcotest.(check bool) "single EOF marker" true
     (not (contains_sub (String.sub text 0 (n - ne)) "# EOF"))
 
+(* Golden exposition of a sparse-bucket histogram: cumulative [le]
+   series over only the populated power-of-two buckets, the [+Inf]
+   closer, [_sum]/[_count]/[_min]/[_max], hostile label values escaped —
+   pinned byte-for-byte so the format cannot drift silently. *)
+let test_histogram_golden_exposition () =
+  let reg = Metrics.create () in
+  let h =
+    Metrics.histogram reg ~labels:[ ("op", "a\"b\\c\nd") ] "span.wall_ns"
+  in
+  List.iter (Metrics.observe h) [ 3; 700; 700; 5_000_000 ];
+  let lbl = {|{op="a\"b\\c\nd"|} in
+  let golden =
+    String.concat "\n"
+      [
+        "# TYPE span_wall_ns histogram";
+        Printf.sprintf {|span_wall_ns_bucket%s,le="4"} 1|} lbl;
+        Printf.sprintf {|span_wall_ns_bucket%s,le="1024"} 3|} lbl;
+        Printf.sprintf {|span_wall_ns_bucket%s,le="8388608"} 4|} lbl;
+        Printf.sprintf {|span_wall_ns_bucket%s,le="+Inf"} 4|} lbl;
+        Printf.sprintf {|span_wall_ns_sum%s} 5001403|} lbl;
+        Printf.sprintf {|span_wall_ns_count%s} 4|} lbl;
+        Printf.sprintf {|span_wall_ns_min%s} 3|} lbl;
+        Printf.sprintf {|span_wall_ns_max%s} 5000000|} lbl;
+        "# EOF";
+        "";
+      ]
+  in
+  Alcotest.(check string) "golden histogram exposition" golden
+    (Metrics.to_prometheus reg)
+
+(* The pinned non-positive semantics: v <= 0 folds into bucket 0
+   (exposed as le="1") while sum/min/max see the raw value; an empty
+   histogram reads _min/_max 0. *)
+let test_observe_non_positive () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg "lat" in
+  Metrics.observe h (-5);
+  Metrics.observe h 0;
+  let text = Metrics.to_prometheus reg in
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) ("exposition has: " ^ line) true
+        (contains_sub text (line ^ "\n")))
+    [
+      {|lat_bucket{le="1"} 2|};
+      {|lat_bucket{le="+Inf"} 2|};
+      "lat_sum -5";
+      "lat_count 2";
+      "lat_min -5";
+      "lat_max 0";
+    ];
+  (* no observation leaked past the le="1" clamp into a higher bucket *)
+  Alcotest.(check bool) "only the clamp bucket and +Inf" false
+    (contains_sub text {|lat_bucket{le="2"}|});
+  let empty_reg = Metrics.create () in
+  ignore (Metrics.histogram empty_reg "idle");
+  let text = Metrics.to_prometheus empty_reg in
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) ("empty histogram: " ^ line) true
+        (contains_sub text (line ^ "\n")))
+    [ {|idle_bucket{le="+Inf"} 0|}; "idle_count 0"; "idle_min 0"; "idle_max 0" ]
+
 let test_prometheus_name_sanitization () =
   let reg = Metrics.create () in
   Metrics.set_counter reg "cache.l1d.misses" 3;
@@ -298,6 +361,10 @@ let () =
           tc "labelled series" test_metrics_labels;
           tc "openmetrics escaping of hostile labels + EOF framing"
             test_prometheus_escaping;
+          tc "golden sparse-bucket histogram exposition"
+            test_histogram_golden_exposition;
+          tc "non-positive observations clamp to le=\"1\""
+            test_observe_non_positive;
           tc "openmetrics name sanitization" test_prometheus_name_sanitization;
         ] );
       ( "profile",

@@ -330,6 +330,55 @@ let test_kill_tree_then_resume () =
     (report_string serial) (report_string resumed);
   cleanup ~base ~jobs:2
 
+let test_heartbeat_only_torn_tail_resume () =
+  let mk = maker () in
+  let cfg = campaign_cfg ~runs:14 in
+  let serial = Campaign.run ~mk cfg in
+  let base = temp_base () in
+  ignore (Shard.run ~journal:base ~cfg:(scfg ~jobs:2 ()) ~mk cfg);
+  (* forge the nastiest crash shape: no merged base journal, shard 0
+     missing its done marker and its last acknowledged run record, and
+     the file ending in a heartbeat whose write was torn mid-line (the
+     nosync channel heartbeats ride makes exactly this tail possible) *)
+  Sys.remove base;
+  let shard0 = Partition.shard_path ~base ~shard:0 in
+  let lines = read_lines shard0 in
+  let keep =
+    let last_run =
+      List.fold_left
+        (fun (i, last) l ->
+          let is_run =
+            match Json.of_string l with
+            | j -> Journal.record_type j = Some "run"
+            | exception _ -> false
+          in
+          (i + 1, if is_run then i else last))
+        (0, -1) lines
+      |> snd
+    in
+    List.filteri
+      (fun i l ->
+        i <> last_run
+        &&
+        match Json.of_string l with
+        | j -> Journal.record_type j <> Some "done"
+        | exception _ -> true)
+      lines
+  in
+  Alcotest.(check bool) "the doctored shard really lost records" true
+    (List.length keep < List.length lines);
+  let oc =
+    open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 shard0
+  in
+  List.iter (fun l -> output_string oc (l ^ "\n")) keep;
+  output_string oc {|{"type": "hb", "pid": 1, "seq": 99, "completed": 6|};
+  close_out oc;
+  let resumed = Shard.run ~resume:base ~cfg:(scfg ~jobs:2 ()) ~mk cfg in
+  Alcotest.(check string)
+    "heartbeat-only torn tail + missing done marker resumes byte-identically"
+    (report_string serial) (report_string resumed);
+  cleanup ~base ~jobs:2
+
 let test_exhausted_restarts_adopted () =
   let mk = maker () in
   let cfg = campaign_cfg ~runs:24 in
@@ -408,6 +457,8 @@ let () =
             test_watchdog_hung_worker;
           Alcotest.test_case "kill-tree-resume" `Slow
             test_kill_tree_then_resume;
+          Alcotest.test_case "heartbeat-torn-tail-resume" `Slow
+            test_heartbeat_only_torn_tail_resume;
           Alcotest.test_case "exhausted-adoption" `Slow
             test_exhausted_restarts_adopted;
         ] );
