@@ -30,6 +30,7 @@ let experiments =
     ("recover", "Recovery policies: corpus detection matrix + clean overhead");
     ("attr", "Per-PC attribution: top hotspots + differential overhead");
     ("timeline", "Timeline: windowed phase samples + shadow census");
+    ("flame", "Calling-context profiles: exclusive-sum identity per encoding");
     ("host", "Host profiling: wall time / sim throughput / GC per config");
     ("shard", "Sharded campaign engine: speedup vs worker count, \
                byte-identical merge");
@@ -276,6 +277,56 @@ let rec run_experiment name =
                       (fun (k, v) -> (k, Json.Int v))
                       (Timeline.sums tl)));
               ] ))
+        Hb_workloads.Workloads.all
+    in
+    note_json name (Json.Obj reports)
+  | "flame" ->
+    banner "Calling-context profiles: exclusive-sum identity";
+    let module Machine = Hb_cpu.Machine in
+    let module Flame = Hb_obs.Flame in
+    (* Every workload under every encoding: the calling-context tree's
+       exclusive sums must reconcile with the global counters exactly, or
+       the profiler's attribution is untrustworthy.  Compile once per
+       workload; the image is encoding-independent. *)
+    let mode = Codegen.Hardbound in
+    let reports =
+      List.map
+        (fun (wl : Hb_workloads.Workloads.t) ->
+          Printf.eprintf "[flame] profiling %s...\n%!" wl.name;
+          let image, globals = Hb_runtime.Build.compile ~mode wl.source in
+          let per_scheme =
+            List.map
+              (fun scheme ->
+                let config = Hb_runtime.Build.config_for ~scheme mode in
+                let m = Hb_cpu.Machine.create ~config ~globals image in
+                Machine.enable_flame m;
+                (match Machine.run m with
+                 | Machine.Exited 0 -> ()
+                 | st ->
+                   Hb_error.fail ~component:"bench"
+                     "%s did not exit cleanly: %s" wl.name
+                     (Machine.status_name st));
+                let cct = Option.get (Machine.flame m) in
+                (match
+                   Flame.check cct
+                     ~expect:(Hb_cpu.Stats.fields m.Hb_cpu.Machine.stats)
+                 with
+                 | Ok () -> ()
+                 | Error msg ->
+                   Hb_error.fail ~component:"bench" "%s/%s: %s" wl.name
+                     (Encoding.scheme_name scheme) msg);
+                ( Encoding.scheme_name scheme,
+                  Json.Obj
+                    [
+                      ("contexts", Json.Int (Flame.contexts cct));
+                      ("max_depth", Json.Int (Flame.max_depth_seen cct));
+                      ("truncations", Json.Int (Flame.truncations cct));
+                    ] ))
+              Encoding.all_schemes
+          in
+          Printf.printf "%-12s identity holds under %d encoding(s)\n" wl.name
+            (List.length per_scheme);
+          (wl.name, Json.Obj per_scheme))
         Hb_workloads.Workloads.all
     in
     note_json name (Json.Obj reports)

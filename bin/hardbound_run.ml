@@ -160,11 +160,23 @@ let attr_json =
            ~doc:"Write the full per-PC attribution dump to FILE (implies \
                  attribution; feed two dumps to --diff)")
 
+(* Validated through the shared [Attr.parse_top] so the two CLIs cannot
+   drift: zero/negative counts are a typed error with a usage hint, the
+   same contract --sample-interval has. *)
+let attr_top_conv =
+  let parse s =
+    match Attr.parse_top s with
+    | n -> Ok n
+    | exception Hb_error.Hb_error (ctx, msg) ->
+      Error (`Msg (Hb_error.to_string (ctx, msg)))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 let attr_top =
-  Arg.(value & opt int 10
+  Arg.(value & opt attr_top_conv 10
        & info [ "attr-top" ] ~docv:"N"
-           ~doc:"Rows shown in the --attr and --diff tables (N <= 0 shows \
-                 every site)")
+           ~doc:"Rows shown in the --attr, --diff and --flame tables (must \
+                 be positive)")
 
 let timeline_flag =
   Arg.(value & flag
@@ -190,6 +202,39 @@ let sample_interval =
        & info [ "sample-interval" ] ~docv:"CYCLES"
            ~doc:"Timeline window width in simulated cycles (must be \
                  positive)")
+
+let flame_flag =
+  Arg.(value & flag
+       & info [ "flame" ]
+           ~doc:"Print a calling-context (flame) profile: the hottest call \
+                 paths by exclusive simulated cycles, with check/metadata \
+                 micro-ops, stalls and hierarchy misses per context")
+
+let flame_folded =
+  Arg.(value & opt (some string) None
+       & info [ "flame-folded" ] ~docv:"FILE"
+           ~doc:"Write FlameGraph folded stacks ('a;b;c cycles' lines, \
+                 deterministic) to FILE; under --campaign the stacks are \
+                 aggregated per outcome bucket (one flamegraph per outcome)")
+
+let flame_chrome =
+  Arg.(value & opt (some string) None
+       & info [ "flame-chrome" ] ~docv:"FILE"
+           ~doc:"Write the calling-context profile as speedscope JSON \
+                 (loads in speedscope.app and Chrome-trace viewers) to \
+                 FILE")
+
+let heatmap_flag =
+  Arg.(value & flag
+       & info [ "heatmap" ]
+           ~doc:"Print a per-page address-space heat map (program vs \
+                 tag/shadow metadata access and bounds-check counts, per \
+                 region)")
+
+let heatmap_json =
+  Arg.(value & opt (some string) None
+       & info [ "heatmap-json" ] ~docv:"FILE"
+           ~doc:"Write the per-page address-space heat map as JSON to FILE")
 
 let diff_arg =
   Arg.(value & opt (some (pair ~sep:',' file file)) None
@@ -408,7 +453,8 @@ let setup_obs m ~trace_file ~trace_format ~trace_events ~trace_retires
    arrive via [extra_metrics], applied to each registry being dumped. *)
 let report m status ~label ~mode ~scheme ~stats ~stats_format ~profile
     ~attr_show ~attr_json ~attr_top ~timeline_show ~metrics_json
-    ~metrics_prom ?(extra_metrics = fun (_ : Metrics.t) -> ()) () =
+    ~metrics_prom ~flame_show ~flame_folded ~flame_chrome ~heatmap_show
+    ~heatmap_json ?(extra_metrics = fun (_ : Metrics.t) -> ()) () =
   print_string (Machine.output m);
   Printf.printf "\n[%s] (mode=%s, encoding=%s)\n"
     (Machine.status_name status) (Codegen.mode_name mode)
@@ -462,6 +508,44 @@ let report m status ~label ~mode ~scheme ~stats ~stats_format ~profile
        | Ok () -> None
        | Error msg -> Some msg)
   in
+  (* Calling-context profile: table, folded stacks, speedscope dump, the
+     address-space heat map — and the exclusive-sum identity, enforced
+     exactly like the attribution and timeline planes'. *)
+  let flame_leak =
+    match Machine.flame m with
+    | None -> None
+    | Some cct ->
+      if flame_show then print_string (Hb_obs.Flame.report ~top:attr_top cct);
+      (match flame_folded with
+       | None -> ()
+       | Some path -> write_file path (Hb_obs.Flame.folded cct));
+      (match flame_chrome with
+       | None -> ()
+       | Some path ->
+         write_file path
+           (Json.to_string_pretty (Hb_obs.Flame.speedscope ~name:label cct)
+            ^ "\n"));
+      let rows = Machine.heat_rows m in
+      if heatmap_show then print_string (Hb_obs.Flame.heatmap_render rows);
+      (match heatmap_json with
+       | None -> ()
+       | Some path ->
+         let meta =
+           [
+             ("label", Json.String label);
+             ("mode", Json.String (Codegen.mode_name mode));
+             ("scheme", Json.String (Encoding.scheme_name scheme));
+           ]
+         in
+         write_file path
+           (Json.to_string_pretty
+              (Hb_obs.Flame.heatmap_json ~meta
+                 ~page_size:Hb_mem.Layout.page_size rows)
+            ^ "\n"));
+      (match Hb_obs.Flame.check cct ~expect:(Stats.fields m.Machine.stats) with
+       | Ok () -> None
+       | Error msg -> Some msg)
+  in
   let registry () =
     let reg = Machine.metrics m in
     extra_metrics reg;
@@ -476,14 +560,14 @@ let report m status ~label ~mode ~scheme ~stats ~stats_format ~profile
    | None -> ()
    | Some path -> write_file path (Metrics.to_prometheus (registry ())));
   let code = match status with Machine.Exited n -> n | _ -> 42 in
-  match (attr_leak, timeline_leak) with
-  | None, None -> code
-  | leaks ->
+  match (attr_leak, timeline_leak, flame_leak) with
+  | None, None, None -> code
+  | _ ->
     List.iter
       (function
         | Some msg -> Printf.eprintf "error: %s\n" msg
         | None -> ())
-      [ fst leaks; snd leaks ];
+      [ attr_leak; timeline_leak; flame_leak ];
     if code = 0 then 3 else code
 
 (* The host observability plane, wrapped around a whole invocation: the
@@ -559,12 +643,26 @@ let with_host_plane ~serve_port ~tick ~host_spans ~host_chrome ~fleet_on
 let run_fault ~mk_plain ~label ~inject ~campaign ~campaign_json
     ~campaign_checkpoints ~policy ~violation_budget ~journal ~resume
     ~deadline ~jobs ~max_worker_restarts ~fleet ~trace_file ~trace_format
-    ~trace_retires ~metrics_json ~progress =
+    ~trace_retires ~metrics_json ~progress ~flame_folded =
   let module Campaign = Hb_fault.Campaign in
   let module Injector = Hb_fault.Injector in
+  let want_flame = flame_folded <> None in
+  if want_flame && jobs > 1 then begin
+    Printf.eprintf
+      "error: --flame-folded aggregates in-process and cannot cross \
+       --jobs worker forks; run the campaign with --jobs 1\n";
+    exit 2
+  end;
+  if want_flame && campaign = 0 then begin
+    Printf.eprintf
+      "error: --flame-folded with --inject needs --campaign N (stochastic \
+       single runs have no outcome buckets to aggregate)\n";
+    exit 2
+  end;
   let sink = ref None in
   let mk () =
     let m = mk_plain () in
+    if want_flame then Machine.enable_flame m;
     (match trace_file with
      | None -> ()
      | Some path ->
@@ -600,6 +698,43 @@ let run_fault ~mk_plain ~label ~inject ~campaign ~campaign_json
         policy;
         violation_budget }
     in
+    (* Per-outcome folded-stack aggregation: each fresh run's
+       calling-context tree folds into its outcome's bucket (then resets
+       for the next run, which restores over the same machine), so one
+       campaign yields one flamegraph per outcome.  The observe hook is
+       read-only — report and journal stay byte-identical with and
+       without it (CI cmp-enforces this). *)
+    let flame_buckets : (string, (string, int) Hashtbl.t) Hashtbl.t =
+      Hashtbl.create 8
+    in
+    let observe =
+      if not want_flame then None
+      else
+        Some
+          (fun (r : Campaign.record) (m : Machine.t) ->
+            match Machine.flame m with
+            | None -> ()
+            | Some cct ->
+              let bucket_name = Hb_fault.Outcome.name r.Campaign.outcome in
+              let bucket =
+                match Hashtbl.find_opt flame_buckets bucket_name with
+                | Some b -> b
+                | None ->
+                  let b = Hashtbl.create 64 in
+                  Hashtbl.replace flame_buckets bucket_name b;
+                  b
+              in
+              List.iter
+                (fun (stack, cycles) ->
+                  let prev =
+                    match Hashtbl.find_opt bucket stack with
+                    | Some n -> n
+                    | None -> 0
+                  in
+                  Hashtbl.replace bucket stack (prev + cycles))
+                (Hb_obs.Flame.folded_lines cct);
+              Hb_obs.Flame.reset cct)
+    in
     let report =
       if jobs > 1 then
         (* sharded: fork [jobs] workers, one journal shard each,
@@ -615,8 +750,28 @@ let run_fault ~mk_plain ~label ~inject ~campaign ~campaign_json
           ~mk cfg
       else
         Campaign.run ?journal ?resume ~deadline:(Deadline.of_secs deadline)
-          ~progress ~mk cfg
+          ~progress ?observe ~mk cfg
     in
+    (match flame_folded with
+     | None -> ()
+     | Some path ->
+       (* outcome bucket as the root frame: 'detected;main;f;g 123' —
+          sorted, so the file is byte-identical for identical campaigns *)
+       let lines =
+         List.sort compare
+           (Hashtbl.fold
+              (fun outcome bucket acc ->
+                Hashtbl.fold
+                  (fun stack cycles acc ->
+                    (outcome ^ ";" ^ stack, cycles) :: acc)
+                  bucket acc)
+              flame_buckets [])
+       in
+       let b = Buffer.create 1024 in
+       List.iter
+         (fun (stack, cycles) -> Printf.bprintf b "%s %d\n" stack cycles)
+         lines;
+       write_file path (Buffer.contents b));
     Printf.printf
       "campaign %s: %d runs, seed %d, golden %s (%d instrs, %d output \
        bytes)\n\n"
@@ -670,7 +825,8 @@ let run_fault ~mk_plain ~label ~inject ~campaign ~campaign_json
 let run file workload mode scheme temporal stats stats_format asm emit_asm
     fuel trace_instrs trace_file trace_format trace_events trace_retires
     profile metrics_json metrics_prom attr_flag attr_json attr_top
-    timeline_flag timeline_jsonl timeline_csv sample_interval diff_pair
+    timeline_flag timeline_jsonl timeline_csv sample_interval
+    flame_flag flame_folded flame_chrome heatmap_flag heatmap_json diff_pair
     inject campaign campaign_json campaign_checkpoints policy
     violation_budget journal resume deadline jobs max_worker_restarts
     fleet_flag fleet_chrome serve_port progress_flag host_spans host_chrome =
@@ -756,13 +912,24 @@ let run file workload mode scheme temporal stats stats_format asm emit_asm
            --host-spans/--host-chrome/--serve\n";
         exit 2
       end;
-      if campaign > 0 || inject <> None then
+      if campaign > 0 || inject <> None then begin
+        if
+          flame_flag || flame_chrome <> None || heatmap_flag
+          || heatmap_json <> None
+        then begin
+          Printf.eprintf
+            "error: fault campaigns support --flame-folded only (one \
+             aggregated flamegraph per outcome bucket); --flame, \
+             --flame-chrome and the heat map are single-run reports\n";
+          exit 2
+        end;
         run_fault
           ~mk_plain:(fun () -> Machine.create ~config ~globals image)
           ~label ~inject ~campaign ~campaign_json ~campaign_checkpoints
           ~policy ~violation_budget ~journal ~resume ~deadline ~jobs
           ~max_worker_restarts ~fleet ~trace_file ~trace_format
-          ~trace_retires ~metrics_json ~progress:pr
+          ~trace_retires ~metrics_json ~progress:pr ~flame_folded
+      end
       else begin
       let m = Machine.create ~config ~globals image in
       (* publish this machine to the live endpoint: /metrics scrapes its
@@ -776,6 +943,11 @@ let run file workload mode scheme temporal stats stats_format asm emit_asm
           ~profile
       in
       if want_attr then Machine.enable_attr ~line_base m;
+      let want_flame =
+        flame_flag || flame_folded <> None || flame_chrome <> None
+        || heatmap_flag || heatmap_json <> None
+      in
+      if want_flame then Machine.enable_flame m;
       let want_timeline =
         timeline_flag || timeline_jsonl <> None || timeline_csv <> None
       in
@@ -841,6 +1013,8 @@ let run file workload mode scheme temporal stats stats_format asm emit_asm
           report m status ~label ~mode ~scheme ~stats ~stats_format ~profile
             ~attr_show:attr_flag ~attr_json ~attr_top
             ~timeline_show:timeline_flag ~metrics_json ~metrics_prom
+            ~flame_show:flame_flag ~flame_folded ~flame_chrome
+            ~heatmap_show:heatmap_flag ~heatmap_json
             ~extra_metrics:(fun reg -> !supervisor reg) ())
       end
     end
@@ -874,7 +1048,8 @@ let cmd =
           $ trace_format $ trace_events $ trace_retires $ profile
           $ metrics_json $ metrics_prom $ attr_flag $ attr_json $ attr_top
           $ timeline_flag $ timeline_jsonl $ timeline_csv $ sample_interval
-          $ diff_arg $ inject $ campaign $ campaign_json
+          $ flame_flag $ flame_folded $ flame_chrome $ heatmap_flag
+          $ heatmap_json $ diff_arg $ inject $ campaign $ campaign_json
           $ campaign_checkpoints $ on_violation $ violation_budget
           $ journal_arg $ resume_arg $ deadline_arg $ jobs_arg
           $ max_worker_restarts_arg $ fleet_arg $ fleet_chrome_arg

@@ -14,6 +14,10 @@ module Run = Hb_harness.Run
 module Policy = Hb_recover.Policy
 module Recover = Hb_recover.Recover
 module Host = Hb_obs.Host
+module Attr = Hb_obs.Attr
+module Flame = Hb_obs.Flame
+module Layout = Hb_mem.Layout
+module Physmem = Hb_mem.Physmem
 
 let usage () =
   prerr_endline
@@ -24,6 +28,9 @@ let usage () =
      \             [--max-worker-restarts K] [--journal FILE]\n\
      \             [--resume FILE] [--campaign-json FILE]\n\
      \             [--fleet] [--fleet-chrome FILE]\n\
+     \             [--attr] [--attr-top N]\n\
+     \             [--flame] [--flame-folded FILE] [--flame-chrome FILE]\n\
+     \             [--heatmap] [--heatmap-json FILE]\n\
      modes: nochecks hardbound malloc-only softfat objtable\n\
      encodings: uncompressed extern-4 intern-4 intern-11\n\
      policies: abort report null-guard rollback";
@@ -48,6 +55,79 @@ let campaign_json = ref None
    optional post-run unified Chrome trace *)
 let fleet_flag = ref false
 let fleet_chrome = ref None
+
+(* per-run observability: per-PC attribution and the calling-context
+   (flame) profiler with its artifact sinks *)
+let attr_flag = ref false
+let attr_top = ref 10
+let flame_flag = ref false
+let flame_folded = ref None
+let flame_chrome = ref None
+let heatmap_flag = ref false
+let heatmap_json = ref None
+
+let want_obs () =
+  !attr_flag || !flame_flag || !flame_folded <> None || !flame_chrome <> None
+  || !heatmap_flag || !heatmap_json <> None
+
+let want_flame () =
+  !flame_flag || !flame_folded <> None || !flame_chrome <> None
+  || !heatmap_flag || !heatmap_json <> None
+
+let write_file path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc
+
+let enable_obs m =
+  if !attr_flag then
+    Machine.enable_attr ~line_base:Hb_runtime.Build.runtime_lines m;
+  if want_flame () then Machine.enable_flame m
+
+(* Post-run observability report: attribution table, flame report and
+   artifact sinks, heat map — plus their accounting identities (per-PC
+   sums and per-context exclusive sums must both equal the global
+   counters).  Returns true when an identity leaked so the caller can
+   exit non-zero, exactly like hardbound_run. *)
+let obs_report ~label m =
+  let leaked = ref false in
+  let complain = function
+    | Ok () -> ()
+    | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      leaked := true
+  in
+  (match Machine.attr m with
+   | None -> ()
+   | Some a ->
+     if !attr_flag then print_string (Attr.to_table ~top:!attr_top a);
+     complain (Attr.check a ~expect:(Stats.fields m.Machine.stats)));
+  (match Machine.flame m with
+   | None -> ()
+   | Some cct ->
+     if !flame_flag then print_string (Flame.report ~top:!attr_top cct);
+     (match !flame_folded with
+      | Some p -> write_file p (Flame.folded cct)
+      | None -> ());
+     (match !flame_chrome with
+      | Some p ->
+        write_file p
+          (Hb_obs.Json.to_string_pretty (Flame.speedscope ~name:label cct)
+           ^ "\n")
+      | None -> ());
+     let rows = Machine.heat_rows m in
+     if !heatmap_flag then print_string (Flame.heatmap_render rows);
+     (match !heatmap_json with
+      | Some p ->
+        write_file p
+          (Hb_obs.Json.to_string_pretty
+             (Flame.heatmap_json
+                ~meta:[ ("label", Hb_obs.Json.String label) ]
+                ~page_size:Layout.page_size rows)
+           ^ "\n")
+      | None -> ());
+     complain (Flame.check cct ~expect:(Stats.fields m.Machine.stats)));
+  !leaked
 
 let main () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -121,6 +201,33 @@ let main () =
     | "--fleet-chrome" :: f :: rest ->
       fleet_chrome := Some f;
       parse name mode scheme policy budget rest
+    | "--attr" :: rest ->
+      attr_flag := true;
+      parse name mode scheme policy budget rest
+    | "--attr-top" :: n :: rest ->
+      (* shared validator: zero/negative is a typed error with a usage
+         hint, same as hardbound_run's --attr-top *)
+      attr_top :=
+        (try Hb_obs.Attr.parse_top n
+         with Hb_error.Hb_error (ctx, msg) ->
+           Printf.eprintf "error: %s\n" (Hb_error.to_string (ctx, msg));
+           exit 1);
+      parse name mode scheme policy budget rest
+    | "--flame" :: rest ->
+      flame_flag := true;
+      parse name mode scheme policy budget rest
+    | "--flame-folded" :: f :: rest ->
+      flame_folded := Some f;
+      parse name mode scheme policy budget rest
+    | "--flame-chrome" :: f :: rest ->
+      flame_chrome := Some f;
+      parse name mode scheme policy budget rest
+    | "--heatmap" :: rest ->
+      heatmap_flag := true;
+      parse name mode scheme policy budget rest
+    | "--heatmap-json" :: f :: rest ->
+      heatmap_json := Some f;
+      parse name mode scheme policy budget rest
     | n :: rest when name = None -> parse (Some n) mode scheme policy budget rest
     | _ -> usage ()
   in
@@ -169,6 +276,13 @@ let main () =
         Printf.eprintf "error: %s\n" (Hb_error.to_string (ctx, msg));
         exit 1
     in
+    if !campaign_runs > 0 && want_obs () then begin
+      prerr_endline
+        "error: --attr/--flame/--heatmap are single-run reports; for \
+         campaign flamegraphs use hardbound_run --campaign with \
+         --flame-folded";
+      exit 1
+    end;
     if !campaign_runs > 0 then begin
       (* fault-campaign mode: deterministic report, optionally sharded
          across forked supervised workers *)
@@ -220,6 +334,7 @@ let main () =
       in
       let config = Hb_runtime.Build.config_for ~scheme mode in
       let m = Machine.create ~config ~globals image in
+      enable_obs m;
       let rcfg =
         { Policy.default with Policy.policy; violation_budget = budget }
       in
@@ -235,19 +350,61 @@ let main () =
       Printf.printf "mode=%s encoding=%s policy=%s [%s]\n"
         (Codegen.mode_name mode) (Encoding.scheme_name scheme)
         (Policy.name policy) (Machine.status_name o.Recover.status);
-      exit (match o.Recover.status with Machine.Exited c -> c | _ -> 42)
+      let leaked = obs_report ~label:n m in
+      let code =
+        match o.Recover.status with Machine.Exited c -> c | _ -> 42
+      in
+      exit (if leaked && code = 0 then 3 else code)
     end;
-    let r = Run.measure ~scheme ~mode w in
-    print_string r.Run.output;
-    Printf.printf
-      "\nmode=%s encoding=%s\ninstructions  %d\nuops          %d\n\
-       cycles        %d\nsetbounds     %d\nmetadata uops %d\n\
-       stalls        data %d / tag %d / base-bound %d\n\
-       pages         data %d / tag %d / shadow %d\n"
-      (Codegen.mode_name mode)
-      (Encoding.scheme_name scheme)
-      r.Run.instructions r.Run.uops r.Run.cycles r.Run.setbound_instrs
-      r.Run.metadata_uops r.Run.data_stalls r.Run.tag_stalls r.Run.bb_stalls
-      r.Run.data_pages r.Run.tag_pages r.Run.shadow_pages
+    if want_obs () then begin
+      (* Observability run: [Run.measure] never exposes its machine, so
+         build one inline (same compile / config / fuel) and report from
+         it — the stats lines below match the measured path's exactly. *)
+      let image, globals =
+        Host.span "compile" @@ fun () ->
+        Hb_runtime.Build.compile ~mode w.source
+      in
+      let config = Hb_runtime.Build.config_for ~scheme mode in
+      let m = Machine.create ~config ~globals image in
+      enable_obs m;
+      let status = Host.span "run" @@ fun () -> Machine.run m in
+      (match status with
+       | Machine.Exited 0 -> ()
+       | st ->
+         Hb_error.fail ~component:"olden" "%s [%s/%s]: %s" n
+           (Codegen.mode_name mode) (Encoding.scheme_name scheme)
+           (Machine.status_name st));
+      let s = m.Machine.stats in
+      let pages r = Physmem.pages_touched_in m.Machine.mem r in
+      print_string (Machine.output m);
+      Printf.printf
+        "\nmode=%s encoding=%s\ninstructions  %d\nuops          %d\n\
+         cycles        %d\nsetbounds     %d\nmetadata uops %d\n\
+         stalls        data %d / tag %d / base-bound %d\n\
+         pages         data %d / tag %d / shadow %d\n"
+        (Codegen.mode_name mode)
+        (Encoding.scheme_name scheme)
+        s.Stats.instructions s.Stats.uops (Stats.cycles s)
+        s.Stats.setbound_instrs s.Stats.metadata_uops
+        s.Stats.charged_data_stalls s.Stats.charged_tag_stalls
+        s.Stats.charged_bb_stalls
+        (pages Layout.Globals + pages Layout.Heap + pages Layout.Stack)
+        (pages Layout.Tag_space) (pages Layout.Shadow_space);
+      if obs_report ~label:n m then exit 3
+    end
+    else begin
+      let r = Run.measure ~scheme ~mode w in
+      print_string r.Run.output;
+      Printf.printf
+        "\nmode=%s encoding=%s\ninstructions  %d\nuops          %d\n\
+         cycles        %d\nsetbounds     %d\nmetadata uops %d\n\
+         stalls        data %d / tag %d / base-bound %d\n\
+         pages         data %d / tag %d / shadow %d\n"
+        (Codegen.mode_name mode)
+        (Encoding.scheme_name scheme)
+        r.Run.instructions r.Run.uops r.Run.cycles r.Run.setbound_instrs
+        r.Run.metadata_uops r.Run.data_stalls r.Run.tag_stalls r.Run.bb_stalls
+        r.Run.data_pages r.Run.tag_pages r.Run.shadow_pages
+    end
 
 let () = main ()

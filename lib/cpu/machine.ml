@@ -21,6 +21,7 @@ module Trace = Hb_obs.Trace
 module Profile = Hb_obs.Profile
 module Attr = Hb_obs.Attr
 module Timeline = Hb_obs.Timeline
+module Flame = Hb_obs.Flame
 
 type config = {
   scheme : Encoding.scheme;
@@ -114,10 +115,15 @@ type t = {
   mutable profile : prof option;
   mutable attr : Attr.t option;
   mutable timeline : Timeline.t option;
+  mutable flame : flame option;
 }
 
 (** Per-function profile plus the pc → function-id map driving it. *)
 and prof = { prof : Profile.t; fn_ids : int array }
+
+(** Calling-context tree plus the pc → function-id map its shadow call
+    stack pushes with. *)
+and flame = { cct : Flame.t; flame_ids : int array }
 
 let fault m msg = raise (Machine_fault (Printf.sprintf "%s (pc=%d, fn=%s)" msg m.pc
   (if m.pc >= 0 && m.pc < Array.length m.image.fn_of_index then
@@ -161,6 +167,7 @@ let create ?(config = default_config) ~globals (image : Hb_isa.Program.image) =
       profile = None;
       attr = None;
       timeline = None;
+      flame = None;
     }
   in
   m.regs.(sp) <- Layout.stack_top;
@@ -243,6 +250,56 @@ let enable_attr ?(line_base = 0) m =
   m.attr <- Some (Attr.create ~fns:m.image.fn_of_index ~lines)
 
 let attr m = m.attr
+
+(** Start the calling-context profiler: intern the image's function names
+    to dense ids (the {!enable_profile} interner) and root the tree at the
+    current function.  The machine then maintains the shadow call stack at
+    its call/return sites and charges every retired instruction's
+    attributable deltas to the context on top.  [max_depth] bounds the
+    stack (deeper recursion clamps and counts truncations).  Idempotent;
+    the recording restarts from zero. *)
+let enable_flame ?max_depth m =
+  let ids = Hashtbl.create 64 in
+  let names = ref [] in
+  let intern name =
+    match Hashtbl.find_opt ids name with
+    | Some i -> i
+    | None ->
+      let i = Hashtbl.length ids in
+      Hashtbl.replace ids name i;
+      names := name :: !names;
+      i
+  in
+  let flame_ids = Array.map intern m.image.fn_of_index in
+  let names = Array.of_list (List.rev !names) in
+  m.flame <-
+    Some { cct = Flame.create ?max_depth ~names ~root:(fn_at m m.pc) (); flame_ids }
+
+let flame m = Option.map (fun f -> f.cct) m.flame
+
+(** Resolve the flame heat counters into rows: region names from the
+    static {!Layout} map, residency via [Physmem.peek_u8] (absent pages
+    read as zero and are never allocated, so the walk perturbs nothing). *)
+let heat_rows m =
+  match m.flame with
+  | None -> []
+  | Some f ->
+    List.map
+      (fun (page, accesses, checks) ->
+        let addr = page * Layout.page_size in
+        let resident = ref 0 in
+        for i = 0 to Layout.page_size - 1 do
+          if Physmem.peek_u8 m.mem (addr + i) <> 0 then incr resident
+        done;
+        {
+          Flame.h_page = page;
+          h_addr = addr;
+          h_region = Layout.region_name (Layout.region_of addr);
+          h_accesses = accesses;
+          h_checks = checks;
+          h_resident = !resident;
+        })
+      (Flame.heat_pages f.cct)
 
 (* Point-in-time census of memory-resident bounded pointers, computed by
    scanning the materialized tag-space pages: each non-zero tag is decoded
@@ -368,6 +425,9 @@ let metrics m =
   (match m.profile with
    | Some p -> Profile.export p.prof reg
    | None -> ());
+  (match m.flame with
+   | Some f -> Flame.export f.cct reg
+   | None -> ());
   reg
 
 (* ---- ALU ---------------------------------------------------------- *)
@@ -471,10 +531,37 @@ let[@inline never] attr_hier_misses m (a : Attr.t) =
   if mask land Hierarchy.miss_l2 <> 0 then
     a.Attr.l2_misses.(pc) <- a.Attr.l2_misses.(pc) + 1
 
+(* Cold path of [hier_access]: charge the last-access miss mask to the
+   current calling context.  Safe to read the shadow stack here — call
+   and return instructions never issue hierarchy accesses, so the
+   context cannot be mid-transfer. *)
+let[@inline never] flame_hier_misses m (f : flame) =
+  let mask = m.hier.Hierarchy.last_mask in
+  let n = Flame.current f.cct in
+  if mask land Hierarchy.miss_tlb <> 0 then
+    n.Flame.tlb_misses <- n.Flame.tlb_misses + 1;
+  if mask land Hierarchy.miss_l1 <> 0 then
+    n.Flame.l1_misses <- n.Flame.l1_misses + 1;
+  if mask land Hierarchy.miss_l2 <> 0 then
+    n.Flame.l2_misses <- n.Flame.l2_misses + 1
+
+(* Shadow-call-stack maintenance — the flame plane's only transfer hooks,
+   run behind the off-path [None] check at the [Call] / [Call_reg] / [Ret]
+   sites in [exec].  Both run *after* the transfer commits (the pc already
+   points at the callee / return target), so a faulting indirect call or
+   return never unbalances the stack. *)
+let[@inline never] flame_call m (f : flame) =
+  Flame.enter f.cct f.flame_ids.(m.pc)
+
+let[@inline never] flame_ret (f : flame) = Flame.leave f.cct
+
 (* Route one access through the hierarchy; when a tracer is attached,
    expand any misses into per-level events using the hierarchy's
    last-access mask, and when attribution is on, charge the same mask to
-   the issuing PC's miss counters. *)
+   the issuing PC's miss counters.  The flame plane additionally counts
+   the touched page (program and metadata traffic alike — [cls] routed
+   tag/shadow addresses here too) and mirrors the miss charge onto the
+   current calling context. *)
 let[@inline] hier_access m cls addr =
   let stall = Hierarchy.access m.hier cls addr in
   (match m.tracer with
@@ -483,6 +570,11 @@ let[@inline] hier_access m cls addr =
   (match m.attr with
    | None -> ()
    | Some a -> if m.hier.Hierarchy.last_mask <> 0 then attr_hier_misses m a);
+  (match m.flame with
+   | None -> ()
+   | Some f ->
+     Flame.heat_touch f.cct (addr / Layout.page_size);
+     if m.hier.Hierarchy.last_mask <> 0 then flame_hier_misses m f);
   stall
 
 let tag_loc m word_addr =
@@ -531,6 +623,9 @@ let check_access m r ea width ~is_store =
   in
   if checked then begin
     m.stats.checked_derefs <- m.stats.checked_derefs + 1;
+    (match m.flame with
+     | None -> ()
+     | Some f -> Flame.heat_check f.cct (ea / Layout.page_size));
     (match m.tracer with
      | None -> ()
      | Some _ ->
@@ -876,7 +971,8 @@ let exec m i next =
      set_reg m ra
        (Hb_isa.Program.addr_of_index next)
        Meta.non_pointer;
-     m.pc <- m.image.target.(m.pc)
+     m.pc <- m.image.target.(m.pc);
+     (match m.flame with None -> () | Some f -> flame_call m f)
    | Call_reg r ->
      (* Section 6.1: code pointers carry base = bound = MAXINT; in full
         mode forged (non-pointer) function pointers are rejected. *)
@@ -891,11 +987,14 @@ let exec m i next =
         set_reg m ra
           (Hb_isa.Program.addr_of_index next)
           Meta.non_pointer;
-        m.pc <- idx
+        m.pc <- idx;
+        (match m.flame with None -> () | Some f -> flame_call m f)
       | _ -> fault m (Printf.sprintf "indirect call to 0x%x" m.regs.(r)))
    | Ret ->
      (match Hb_isa.Program.index_of_addr m.regs.(ra) with
-      | Some idx when idx <= Array.length m.image.code -> m.pc <- idx
+      | Some idx when idx <= Array.length m.image.code ->
+        m.pc <- idx;
+        (match m.flame with None -> () | Some f -> flame_ret f)
       | _ -> fault m (Printf.sprintf "return to 0x%x" m.regs.(ra)))
    | Syscall s ->
      do_syscall m s;
@@ -913,16 +1012,22 @@ let step m =
    | Some tr when Trace.trace_retires tr ->
      emit m (Trace.Retire { instr = Hb_isa.Printer.instr_str i })
    | _ -> ());
-  (match m.profile, m.attr with
-  | None, None ->
+  (match m.profile, m.attr, m.flame with
+  | None, None, None ->
     m.stats.instructions <- m.stats.instructions + 1;
     m.stats.uops <- m.stats.uops + 1;
     exec m i next
-  | prof, at ->
+  | prof, at, fl ->
     (* Snapshot the attributable counters, execute, charge the deltas to
-       the function (profile) and/or the PC (attribution) the instruction
-       belongs to. *)
+       the function (profile), the PC (attribution) and/or the calling
+       context (flame) the instruction belongs to.  The flame context is
+       captured *before* [exec]: a call or return instruction's own cost
+       belongs to the frame that issued it, not the one it transfers
+       into. *)
     let pc0 = m.pc in
+    let fnode =
+      match fl with None -> None | Some f -> Some (Flame.current f.cct)
+    in
     let s = m.stats in
     let uops0 = s.Stats.uops
     and data0 = s.Stats.charged_data_stalls
@@ -976,7 +1081,20 @@ let step m =
            add a.check_uops dchk;
            add a.metadata_uops dmeta;
            add a.checked_derefs dderef;
-           add a.setbounds dsb))
+           add a.setbounds dsb);
+        (match fnode with
+         | None -> ()
+         | Some n ->
+           let open Flame in
+           n.instrs <- n.instrs + 1;
+           n.uops <- n.uops + duops;
+           if ddata <> 0 then n.data_stalls <- n.data_stalls + ddata;
+           if dtag <> 0 then n.tag_stalls <- n.tag_stalls + dtag;
+           if dbb <> 0 then n.bb_stalls <- n.bb_stalls + dbb;
+           if dchk <> 0 then n.check_uops <- n.check_uops + dchk;
+           if dmeta <> 0 then n.metadata_uops <- n.metadata_uops + dmeta;
+           if dderef <> 0 then n.checked_derefs <- n.checked_derefs + dderef;
+           if dsb <> 0 then n.setbounds <- n.setbounds + dsb))
       (fun () -> exec m i next));
   (* Timeline boundary: one [None] check on the fast path; the sample
      itself (counter snapshot + shadow census) lives in the never-inlined

@@ -66,7 +66,14 @@ let restore (m : Machine.t) (s : t) =
   List.iter (fun (k, v) -> Hashtbl.replace m.Machine.aux_bits k v) s.aux;
   Physmem.import_pages m.Machine.mem s.pages;
   Buffer.clear m.Machine.out;
-  Buffer.add_string m.Machine.out s.output
+  Buffer.add_string m.Machine.out s.output;
+  (* The snapshot never materializes the flame plane's shadow call stack
+     (it is not architectural state); the restored machine resumes in an
+     unknown call context, so park the stack at the root — subsequent
+     charges land there and the exclusive-sum identity stays exact. *)
+  match m.Machine.flame with
+  | None -> ()
+  | Some f -> Hb_obs.Flame.reset_stack f.Machine.cct
 
 let status_key = function
   | None -> "running"

@@ -425,9 +425,14 @@ let plan (cfg : config) (golden : golden) : plan_entry list =
    campaign executes exactly the runs the interrupted one never
    recorded.  [on_start]/[on_record] bracket each run for shard workers
    (heartbeat before, acknowledgement after); both default off and
-   nothing they do flows back into the records. *)
+   nothing they do flows back into the records.  [observe] sees each
+   fresh record together with the machine that produced it (before the
+   next run restores over it) — the flame aggregator reads per-run
+   calling-context trees this way; it is strictly read-only with respect
+   to the report, which stays byte-identical with and without it. *)
 let execute ~mk ~(cfg : config) ~(golden : golden) ~writer ~deadline
-    ~progress ~select ~on_start ~on_record ~(prior : record list) : report =
+    ~progress ~select ~on_start ~on_record ~observe
+    ~(prior : record list) : report =
   let done_idx = Hashtbl.create 64 in
   List.iter (fun r -> Hashtbl.replace done_idx r.idx ()) prior;
   let mine p =
@@ -647,6 +652,10 @@ let execute ~mk ~(cfg : config) ~(golden : golden) ~writer ~deadline
           (match on_start with Some f -> f p | None -> ());
           let r = exec p in
           emit_record r;
+          (match observe with
+          | Some f -> (
+            match !last_m with Some m -> f r m | None -> ())
+          | None -> ());
           (match on_record with Some f -> f r | None -> ());
           incr executed;
           (* host-telemetry checkpoint: GC/RSS census every 25 executed
@@ -697,11 +706,11 @@ let execute ~mk ~(cfg : config) ~(golden : golden) ~writer ~deadline
    heartbeat/acknowledgement protocol, and [writer] is the worker's own
    shard journal. *)
 let execute_plan ~mk ~(cfg : config) ~golden ?select ?on_start ?on_record
-    ?writer ?(deadline = Deadline.none) ?progress ~prior () : report =
+    ?observe ?writer ?(deadline = Deadline.none) ?progress ~prior () : report =
   execute ~mk ~cfg ~golden ~writer ~deadline ~progress ~select ~on_start
-    ~on_record ~prior
+    ~on_record ~observe ~prior
 
-let run ?journal ?resume ?(deadline = Deadline.none) ?progress ~mk
+let run ?journal ?resume ?(deadline = Deadline.none) ?progress ?observe ~mk
     (cfg : config) : report =
   validate cfg;
   (* the golden reference and the injection sweep are the two wall-clock
@@ -712,7 +721,7 @@ let run ?journal ?resume ?(deadline = Deadline.none) ?progress ~mk
     Host.span "runs" (fun () ->
         Host.annotate_live "runs" (cfg.runs - List.length prior);
         execute ~mk ~cfg ~golden ~writer ~deadline ~progress ~select:None
-          ~on_start:None ~on_record:None ~prior)
+          ~on_start:None ~on_record:None ~observe ~prior)
   in
   match resume with
   | None -> (

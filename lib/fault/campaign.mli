@@ -76,6 +76,7 @@ val run :
   ?resume:string ->
   ?deadline:Hb_recover.Deadline.t ->
   ?progress:Hb_obs.Progress.t ->
+  ?observe:(record -> Machine.t -> unit) ->
   mk:(unit -> Machine.t) ->
   config ->
   report
@@ -83,6 +84,12 @@ val run :
     (the library deliberately does not know how to compile programs).
     Raises {!Hb_error.Hb_error} if the golden run does not exit cleanly
     or the config is vacuous.
+
+    [observe] sees each freshly-executed record together with the
+    machine that produced it, before the next run reuses that machine —
+    the CLI's flame aggregator reads per-run calling-context trees this
+    way.  It is strictly read-only with respect to the campaign: the
+    report and journal are byte-identical with and without it.
 
     [journal] writes a crash-resilient JSONL journal: a header binding
     the config and golden reference, then one fsync'd record per
@@ -142,6 +149,7 @@ val execute_plan :
   ?select:(int -> bool) ->
   ?on_start:(plan_entry -> unit) ->
   ?on_record:(record -> unit) ->
+  ?observe:(record -> Machine.t -> unit) ->
   ?writer:Hb_recover.Journal.writer ->
   ?deadline:Hb_recover.Deadline.t ->
   ?progress:Hb_obs.Progress.t ->

@@ -324,7 +324,15 @@ let geo_or_one = function [] -> 1.0 | xs -> geo_mean xs
 
 let step_summary rows =
   let breaches = List.length (List.filter (fun r -> r.t_breach) rows) in
-  let wall_g = geo_or_one (List.map (fun r -> r.t_wall_ratio) rows) in
+  (* a zero-wall point (clock too coarse, or a hand-edited trajectory)
+     would drive the geomean's log to -inf: ratios that are not positive
+     contribute nothing, exactly like the ips filter below *)
+  let wall_g =
+    geo_or_one
+      (List.filter_map
+         (fun r -> if r.t_wall_ratio > 0.0 then Some r.t_wall_ratio else None)
+         rows)
+  in
   let ips_g =
     geo_or_one
       (List.filter_map

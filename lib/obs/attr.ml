@@ -209,3 +209,25 @@ let to_json ?(meta = []) t =
           Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (totals t)) );
         ("sites", Json.List !sites);
       ])
+
+(* ---- CLI adapter ----------------------------------------------------- *)
+
+let top_usage_hint =
+  "give a positive row count, e.g. --attr-top 20; pass a large count to \
+   see every site"
+
+(** Parse and validate an [--attr-top] row count — both CLIs route the
+    flag through here so the validation (and its usage hint) cannot
+    drift.  Zero and negative counts are rejected with a typed
+    {!Hb_error}, matching the [--sample-interval] semantics. *)
+let parse_top s =
+  match int_of_string_opt (String.trim s) with
+  | None ->
+    Hb_error.fail ~component:"attr" "--attr-top %S is not a number (%s)" s
+      top_usage_hint
+  | Some n when n <= 0 ->
+    Hb_error.fail ~component:"attr"
+      "--attr-top %d is not a usable row count: the hotspot table needs at \
+       least one row (%s)"
+      n top_usage_hint
+  | Some n -> n

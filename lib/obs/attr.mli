@@ -72,3 +72,9 @@ val to_table : ?top:int -> t -> string
 val to_json : ?meta:(string * Json.t) list -> t -> Json.t
 (** Deterministic dump ({!Diff} input): [meta] fields, totals, then every
     executed site in PC order. *)
+
+val parse_top : string -> int
+(** CLI adapter: parse and validate an [--attr-top] row count.  Zero and
+    negative counts raise a typed {!Hb_error.Hb_error} with a usage
+    hint (matching the [--sample-interval] semantics); both CLIs route
+    the flag through here. *)

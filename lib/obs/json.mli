@@ -14,6 +14,14 @@ type t =
 
 val to_buffer : Buffer.t -> t -> unit
 
+val escape_to : Buffer.t -> string -> unit
+(** Append [s] as a JSON string literal — surrounding quotes included,
+    with quote, backslash, newline and other control characters escaped.
+    This is the single escaper every emitter in the tree routes through
+    (the printer above, the Chrome-trace sinks in [Host] and [Fleet],
+    the speedscope export in [Flame]); hand-rolled name emission is a
+    bug. *)
+
 val to_string : t -> string
 (** Compact single-line rendering (JSONL-safe: no raw newlines). *)
 

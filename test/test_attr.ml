@@ -285,6 +285,27 @@ let test_attr_off_by_default () =
   Alcotest.(check bool) "no attribution unless enabled" true
     (Machine.attr m = None)
 
+(* ---- CLI row-count validation ----------------------------------------- *)
+
+(* Both CLIs route --attr-top through this one validator: positive counts
+   pass through, junk and non-positive counts are typed errors carrying a
+   usage hint. *)
+let test_parse_top () =
+  Alcotest.(check int) "plain" 20 (Attr.parse_top "20");
+  Alcotest.(check int) "whitespace tolerated" 7 (Attr.parse_top " 7 ");
+  List.iter
+    (fun bad ->
+      match Attr.parse_top bad with
+      | n -> Alcotest.failf "%S accepted as %d" bad n
+      | exception Hb_error.Hb_error ((ctx : Hb_error.context), msg) ->
+        Alcotest.(check string) "typed to the attr component" "attr"
+          ctx.Hb_error.component;
+        Alcotest.(check bool) "message names the flag" true
+          (contains msg "--attr-top");
+        Alcotest.(check bool) "message carries a usage hint" true
+          (contains msg "positive row count"))
+    [ "0"; "-3"; "xyz"; ""; "1.5" ]
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "attr"
@@ -309,4 +330,7 @@ let () =
           tc "cumulative histogram buckets" test_prometheus_histogram;
         ] );
       ( "defaults", [ tc "attribution off by default" test_attr_off_by_default ] );
+      ( "validation",
+        [ tc "--attr-top rejects junk and non-positive counts" test_parse_top ]
+      );
     ]

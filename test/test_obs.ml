@@ -341,12 +341,53 @@ let test_profile_names_functions () =
         Alcotest.(check bool) (fn ^ " in table") true (contains table fn))
       [ "main"; "sum" ]
 
+(* The single JSON string escaper every emitter routes through (the
+   printer, the Chrome-trace sinks in Host/Fleet, the speedscope export):
+   hostile names must come back byte-identical through a parse. *)
+let test_escape_to_hostile () =
+  let escape s =
+    let b = Buffer.create 32 in
+    Json.escape_to b s;
+    Buffer.contents b
+  in
+  (* the literal is a quoted JSON string that parses back to the input *)
+  List.iter
+    (fun s ->
+      let lit = escape s in
+      Alcotest.(check bool) "literal is quoted" true
+        (String.length lit >= 2 && lit.[0] = '"'
+        && lit.[String.length lit - 1] = '"');
+      (* no raw control characters survive in the literal *)
+      String.iter
+        (fun c ->
+          Alcotest.(check bool) "no raw control char" false (Char.code c < 0x20))
+        lit;
+      match Json.of_string lit with
+      | Json.String back ->
+        Alcotest.(check string) "round-trips byte-identical" s back
+      | _ -> Alcotest.fail "escaped literal did not parse as a string")
+    [
+      "plain";
+      "quo\"te";
+      "back\\slash";
+      "new\nline\rtab\t";
+      "\x00\x01\x1f mixed \"\\ all";
+      "trailing\\";
+    ];
+  (* the printer's String case is the same code path *)
+  Alcotest.(check string) "printer agrees with escape_to"
+    (escape "a\"b\\c\nd")
+    (Json.to_string (Json.String "a\"b\\c\nd"))
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "obs"
     [
       ( "json",
-        [ tc "print/parse round-trip and rejects malformed" test_json_roundtrip ] );
+        [
+          tc "print/parse round-trip and rejects malformed" test_json_roundtrip;
+          tc "escape_to handles hostile names" test_escape_to_hostile;
+        ] );
       ( "trace",
         [
           tc "ring buffer wraparound" test_ring_wraparound;
