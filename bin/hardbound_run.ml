@@ -33,6 +33,9 @@ module Host = Hb_obs.Host
 module Progress = Hb_obs.Progress
 module Serve = Hb_obs.Serve
 module Fleet = Hb_obs.Fleet
+module Interrupt = Hb_recover.Interrupt
+module Daemon = Hb_serve.Daemon
+module Admission = Hb_serve.Admission
 
 let mode_conv =
   let parse s =
@@ -410,6 +413,99 @@ let host_chrome_arg =
            ~doc:"Write the host span profile as a Chrome trace_event \
                  array to FILE (chrome://tracing / Perfetto)")
 
+(* ---------------------------------------------------------------- *)
+(* Daemon mode: hardbound_run --daemon PORT --queue-dir DIR          *)
+
+let daemon_arg =
+  Arg.(value & opt (some serve_conv) None
+       & info [ "daemon" ] ~docv:"PORT"
+           ~doc:"Run as a persistent simulation service on 127.0.0.1:PORT \
+                 instead of a one-shot run: POST /jobs accepts campaign \
+                 specs (see hb_client), acknowledged jobs are journaled \
+                 under --queue-dir and survive a daemon crash, and the \
+                 usual /metrics and /progress endpoints stay live.  Job \
+                 reports are byte-identical to the serial CLI's")
+
+let queue_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "queue-dir" ] ~docv:"DIR"
+           ~doc:"Daemon queue root: the fsync'd queue journal plus one \
+                 jN/ artifact directory per job (required with --daemon)")
+
+let daemon_workers_arg =
+  Arg.(value & opt int 2
+       & info [ "daemon-workers" ] ~docv:"N"
+           ~doc:"Concurrent forked job workers (--daemon)")
+
+let max_queued_arg =
+  Arg.(value & opt int 64
+       & info [ "max-queued" ] ~docv:"N"
+           ~doc:"Admission bound on jobs queued or running; beyond it \
+                 submissions get a typed 503 overloaded response with a \
+                 Retry-After hint (--daemon)")
+
+let max_per_tenant_arg =
+  Arg.(value & opt int 32
+       & info [ "max-per-tenant" ] ~docv:"N"
+           ~doc:"Per-tenant fairness quota on jobs queued or running \
+                 (--daemon)")
+
+let job_deadline_arg =
+  Arg.(value & opt float 300.
+       & info [ "job-deadline" ] ~docv:"SECS"
+           ~doc:"Default per-job wall budget; a spec's deadline_s \
+                 overrides it (--daemon)")
+
+let job_attempts_arg =
+  Arg.(value & opt int 3
+       & info [ "job-attempts" ] ~docv:"K"
+           ~doc:"Started attempts (with capped exponential backoff \
+                 between them) before a crashing or stuck job is marked \
+                 poisoned (--daemon)")
+
+let watchdog_grace_arg =
+  Arg.(value & opt float 5.
+       & info [ "watchdog-grace" ] ~docv:"SECS"
+           ~doc:"SIGKILL a worker this long after its job deadline should \
+                 have made it exit on its own (--daemon)")
+
+let mem_soft_kb_arg =
+  Arg.(value & opt int 0
+       & info [ "mem-soft-kb" ] ~docv:"KB"
+           ~doc:"Shrink the worker pool when the daemon's resident set \
+                 reaches KB; 0 disables (--daemon)")
+
+let mem_hard_kb_arg =
+  Arg.(value & opt int 0
+       & info [ "mem-hard-kb" ] ~docv:"KB"
+           ~doc:"Refuse new work when the daemon's resident set reaches \
+                 KB; 0 disables (--daemon)")
+
+let run_daemon ~port ~queue_dir ~workers ~max_queued ~max_per_tenant
+    ~job_deadline ~job_attempts ~watchdog_grace ~mem_soft_kb ~mem_hard_kb =
+  let dir =
+    match queue_dir with
+    | Some d -> d
+    | None ->
+      Printf.eprintf "error: --daemon needs --queue-dir DIR (the queue \
+                      journal is the crash-recovery source of truth)\n";
+      exit 2
+  in
+  let admission =
+    { (Admission.default ~workers) with
+      Admission.max_queued; max_per_tenant; mem_soft_kb; mem_hard_kb }
+  in
+  let cfg =
+    { (Daemon.default ~port ~dir) with
+      Daemon.admission;
+      job_deadline_s = job_deadline;
+      max_attempts = job_attempts;
+      watchdog_grace_s = watchdog_grace;
+      log = Some (fun s -> Printf.eprintf "%s\n%!" s) }
+  in
+  Daemon.run cfg;
+  0
+
 let read_file path =
   let ic = open_in_bin path in
   let n = in_channel_length ic in
@@ -681,6 +777,11 @@ let run_fault ~mk_plain ~label ~inject ~campaign ~campaign_json
   in
   let body () =
     if campaign > 0 then begin
+    (* Graceful SIGTERM/SIGINT: the campaign loop polls the flag at its
+       run boundaries and winds down through the deadline-partial path,
+       so the journal is fsync'd/closed and the report below is a
+       well-formed resumable partial. *)
+    Interrupt.install ();
     let spec =
       match inject with
       | Some s -> s
@@ -778,15 +879,23 @@ let run_fault ~mk_plain ~label ~inject ~campaign ~campaign_json
       label campaign cfg.Campaign.seed report.Campaign.golden_status
       report.Campaign.golden_instrs report.Campaign.golden_output_bytes;
     print_string (Campaign.coverage_table report);
-    if report.Campaign.deadline_expired then
-      Printf.printf
-        "deadline expired: %d of %d runs completed%s\n"
+    let interrupted =
+      Interrupt.requested () && report.Campaign.deadline_expired
+    in
+    let resume_hint =
+      match (journal, resume) with
+      | Some p, _ | _, Some p -> Printf.sprintf " (resume with --resume %s)" p
+      | None, None -> ""
+    in
+    if interrupted then
+      Printf.printf "interrupted by %s: %d of %d runs completed%s\n"
+        (Interrupt.signal_name ())
         (List.length report.Campaign.records)
-        cfg.Campaign.runs
-        (match (journal, resume) with
-         | Some p, _ | _, Some p ->
-           Printf.sprintf " (resume with --resume %s)" p
-         | None, None -> "");
+        cfg.Campaign.runs resume_hint
+    else if report.Campaign.deadline_expired then
+      Printf.printf "deadline expired: %d of %d runs completed%s\n"
+        (List.length report.Campaign.records)
+        cfg.Campaign.runs resume_hint;
     (match campaign_json with
      | None -> ()
      | Some path ->
@@ -798,7 +907,7 @@ let run_fault ~mk_plain ~label ~inject ~campaign ~campaign_json
        let reg = Metrics.create () in
        Campaign.export_metrics report reg;
        write_file path (Json.to_string_pretty (Metrics.snapshot reg) ^ "\n"));
-    0
+    if interrupted then Interrupt.exit_code else 0
   end
   else begin
     let spec = Option.get inject in
@@ -829,8 +938,16 @@ let run file workload mode scheme temporal stats stats_format asm emit_asm
     flame_flag flame_folded flame_chrome heatmap_flag heatmap_json diff_pair
     inject campaign campaign_json campaign_checkpoints policy
     violation_budget journal resume deadline jobs max_worker_restarts
-    fleet_flag fleet_chrome serve_port progress_flag host_spans host_chrome =
+    fleet_flag fleet_chrome serve_port progress_flag host_spans host_chrome
+    daemon_port queue_dir daemon_workers max_queued max_per_tenant
+    job_deadline job_attempts watchdog_grace mem_soft_kb mem_hard_kb =
   try
+    match daemon_port with
+    | Some port ->
+      run_daemon ~port ~queue_dir ~workers:daemon_workers ~max_queued
+        ~max_per_tenant ~job_deadline ~job_attempts ~watchdog_grace
+        ~mem_soft_kb ~mem_hard_kb
+    | None ->
     match diff_pair with
     | Some (a_path, b_path) ->
       (* Standalone differential report: no program runs. *)
@@ -1053,6 +1170,9 @@ let cmd =
           $ campaign_checkpoints $ on_violation $ violation_budget
           $ journal_arg $ resume_arg $ deadline_arg $ jobs_arg
           $ max_worker_restarts_arg $ fleet_arg $ fleet_chrome_arg
-          $ serve_arg $ progress_arg $ host_spans_arg $ host_chrome_arg)
+          $ serve_arg $ progress_arg $ host_spans_arg $ host_chrome_arg
+          $ daemon_arg $ queue_dir_arg $ daemon_workers_arg $ max_queued_arg
+          $ max_per_tenant_arg $ job_deadline_arg $ job_attempts_arg
+          $ watchdog_grace_arg $ mem_soft_kb_arg $ mem_hard_kb_arg)
 
 let () = exit (Cmd.eval' cmd)

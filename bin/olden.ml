@@ -287,6 +287,11 @@ let main () =
       (* fault-campaign mode: deterministic report, optionally sharded
          across forked supervised workers *)
       let module Campaign = Hb_fault.Campaign in
+      let module Interrupt = Hb_recover.Interrupt in
+      (* SIGTERM/SIGINT wind down through the deadline-partial path: the
+         journal is closed well-formed and the report below is the
+         completed, resumable prefix *)
+      Interrupt.install ();
       let cfg =
         { Campaign.default with
           Campaign.runs = !campaign_runs;
@@ -316,6 +321,18 @@ let main () =
       Printf.printf "campaign %s: %d runs, seed %d, jobs %d\n\n" n
         !campaign_runs !campaign_seed !jobs;
       print_string (Campaign.coverage_table report);
+      let interrupted =
+        Interrupt.requested () && report.Campaign.deadline_expired
+      in
+      if interrupted then
+        Printf.printf "interrupted by %s: %d of %d runs completed%s\n"
+          (Interrupt.signal_name ())
+          (List.length report.Campaign.records)
+          !campaign_runs
+          (match (!journal_file, !resume_file) with
+           | Some p, _ | _, Some p ->
+             Printf.sprintf " (resume with --resume %s)" p
+           | None, None -> "");
       (match !campaign_json with
       | None -> ()
       | Some path ->
@@ -323,7 +340,7 @@ let main () =
         output_string oc
           (Hb_obs.Json.to_string_pretty (Campaign.to_json report) ^ "\n");
         close_out oc);
-      exit 0
+      exit (if interrupted then Interrupt.exit_code else 0)
     end;
     if policy <> Policy.Abort then begin
       (* supervised run: traps route through the recovery policy instead

@@ -32,6 +32,7 @@ module Policy = Hb_recover.Policy
 module Recover = Hb_recover.Recover
 module Journal = Hb_recover.Journal
 module Deadline = Hb_recover.Deadline
+module Interrupt = Hb_recover.Interrupt
 
 type config = {
   label : string;
@@ -641,7 +642,10 @@ let execute ~mk ~(cfg : config) ~(golden : golden) ~writer ~deadline
     List.filter_map
       (fun p ->
         if !ddl then None
-        else if Deadline.expired deadline then begin
+        else if Deadline.expired deadline || Interrupt.requested () then begin
+          (* an interrupt winds down through the deadline path: stop
+             selecting runs, keep everything already journaled, and
+             report a well-formed resumable partial *)
           ddl := true;
           None
         end

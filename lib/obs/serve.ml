@@ -8,14 +8,32 @@
     - [GET /progress]: the live campaign document ({!Progress.to_json});
     - [GET /healthz]: liveness probe.
 
-    The server is read-only and strictly off to the side: handlers call
-    the snapshot callbacks the front end provided, and nothing they
-    compute flows back into the simulation, so every deterministic
-    artifact is byte-identical with and without [--serve].
+    The built-in routes are read-only and strictly off to the side:
+    handlers call the snapshot callbacks the front end provided, and
+    nothing they compute flows back into the simulation, so every
+    deterministic artifact is byte-identical with and without [--serve].
+    A front end that *wants* writable routes (the hb_serve daemon's
+    [POST /jobs]) supplies a [handler] that gets first refusal on every
+    request and falls through to the built-ins.
+
+    Robustness contract: the accept loop can never be wedged by a
+    stalled or hostile client.  Every connection reads under a
+    [SO_RCVTIMEO] deadline ([read_timeout_s]) and a total size bound
+    ([max_request]); a silent socket gets [408], an oversized request
+    [413], garbage [400] — and the loop moves on.
 
     Malformed ports and bind failures surface as typed {!Hb_error}
     diagnostics with usage hints rather than raw [Unix.Unix_error]
     escapes. *)
+
+type response = {
+  status : string;
+  content_type : string;
+  headers : (string * string) list;
+  body : string;
+}
+
+type handler = meth:string -> path:string -> body:string -> response option
 
 type t = {
   sock : Unix.file_descr;
@@ -44,63 +62,179 @@ let parse_port s =
       usage_hint
   | Some p -> p
 
-let http_response ~status ~content_type body =
+let response ?(headers = []) ?(content_type = "text/plain") ~status body =
+  { status; content_type; headers; body }
+
+let render { status; content_type; headers; body } =
+  let extra =
+    String.concat ""
+      (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) headers)
+  in
   Printf.sprintf
-    "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+    "HTTP/1.1 %s\r\nContent-Type: %s\r\n%sContent-Length: %d\r\nConnection: \
      close\r\n\r\n%s"
-    status content_type (String.length body) body
+    status content_type extra (String.length body) body
+
+let http_response ~status ~content_type body =
+  render { status; content_type; headers = []; body }
 
 let openmetrics_type =
   "application/openmetrics-text; version=1.0.0; charset=utf-8"
 
-(* First request line only; this server speaks exactly enough HTTP for
-   curl and a Prometheus scraper. *)
-let request_path fd =
-  let buf = Bytes.create 2048 in
-  let n = try Unix.read fd buf 0 (Bytes.length buf) with _ -> 0 in
-  if n <= 0 then None
-  else
-    let s = Bytes.sub_string buf 0 n in
-    match String.split_on_char '\r' s with
-    | line :: _ -> (
-      match String.split_on_char ' ' line with
-      | [ "GET"; path; _ ] -> Some path
-      | _ -> None)
-    | [] -> None
+(* ------------------------------------------------------------------ *)
+(* Bounded request reader                                              *)
 
-let handle ~metrics ~progress fd =
-  let reply =
-    match request_path fd with
-    | None -> http_response ~status:"400 Bad Request" ~content_type:"text/plain" "bad request\n"
-    | Some path -> (
-      (* a failing snapshot callback must not kill the serve loop *)
-      try
-        match path with
-        | "/metrics" ->
-          http_response ~status:"200 OK" ~content_type:openmetrics_type
-            (metrics ())
-        | "/progress" ->
-          http_response ~status:"200 OK" ~content_type:"application/json"
-            (Json.to_string_pretty (progress ()) ^ "\n")
-        | "/healthz" | "/" ->
-          http_response ~status:"200 OK" ~content_type:"text/plain" "ok\n"
-        | _ ->
-          http_response ~status:"404 Not Found" ~content_type:"text/plain"
-            (path ^ " not found; have /metrics /progress /healthz\n")
-      with e ->
-        http_response ~status:"500 Internal Server Error"
-          ~content_type:"text/plain"
-          (Printexc.to_string e ^ "\n"))
+type read_result =
+  | Req of { meth : string; path : string; body : string }
+  | Timeout  (* client connected but went silent past [read_timeout_s] *)
+  | Too_large  (* headers or declared body exceed [max_request] *)
+  | Closed  (* client hung up before sending anything *)
+  | Bad  (* unparsable request framing *)
+
+(* Index of "\r\n\r\n" in [s] (the body starts 4 bytes later), or -1. *)
+let header_end s =
+  let n = String.length s in
+  let rec go i =
+    if i + 3 >= n then -1
+    else if
+      s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n'
+    then i
+    else go (i + 1)
   in
-  (try ignore (Unix.write_substring fd reply 0 (String.length reply))
-   with _ -> ());
+  go 0
+
+let content_length head =
+  let lines = String.split_on_char '\n' head in
+  List.fold_left
+    (fun acc line ->
+      let line = String.trim line in
+      match String.index_opt line ':' with
+      | Some i
+        when String.lowercase_ascii (String.sub line 0 i) = "content-length"
+        -> (
+        let v = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+        match int_of_string_opt v with Some n -> Some n | None -> Some (-1))
+      | _ -> acc)
+    (Some 0) lines
+
+let request_line head =
+  match String.split_on_char '\r' head with
+  | line :: _ -> (
+    match String.split_on_char ' ' line with
+    | [ meth; path; _ ] -> Some (meth, path)
+    | _ -> None)
+  | [] -> None
+
+(** Read one full request (headers + declared body) under the
+    per-connection timeout and total size bound.  The timeout applies to
+    each blocking read, so a client must keep bytes flowing; the size
+    bound applies to headers and body independently. *)
+let read_request ~read_timeout_s ~max_request fd =
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO read_timeout_s
+   with Unix.Unix_error (_, _, _) -> ());
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 2048 in
+  let rec fill need =
+    (* the bound first: a request that arrives complete in one read must
+       not dodge the cap *)
+    if Buffer.length buf > max_request then Too_large
+    else
+      (* grow the buffer until [need buf] says we have a full request *)
+      match need (Buffer.contents buf) with
+      | Some r -> r
+      | None -> (
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> if Buffer.length buf = 0 then Closed else Bad
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          fill need
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+          Timeout
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> fill need
+        | exception _ -> Closed)
+  in
+  fill (fun raw ->
+      let he = header_end raw in
+      if he < 0 then None
+      else
+        let head = String.sub raw 0 he in
+        match request_line head with
+        | None -> Some Bad
+        | Some (meth, path) -> (
+          match content_length head with
+          | Some clen when clen < 0 -> Some Bad
+          | Some clen when clen > max_request -> Some Too_large
+          | Some clen ->
+            let have = String.length raw - (he + 4) in
+            if have >= clen then
+              Some (Req { meth; path; body = String.sub raw (he + 4) clen })
+            else None (* keep reading the body *)
+          | None -> Some Bad))
+
+let handle ~read_timeout_s ~max_request ~handler ~metrics ~progress fd =
+  let reply =
+    match read_request ~read_timeout_s ~max_request fd with
+    | Closed -> None
+    | Timeout ->
+      Some
+        (http_response ~status:"408 Request Timeout" ~content_type:"text/plain"
+           "request timed out: no bytes within the read timeout\n")
+    | Too_large ->
+      Some
+        (http_response ~status:"413 Content Too Large"
+           ~content_type:"text/plain" "request exceeds the size bound\n")
+    | Bad ->
+      Some
+        (http_response ~status:"400 Bad Request" ~content_type:"text/plain"
+           "bad request\n")
+    | Req { meth; path; body } ->
+      Some
+        ((* a failing snapshot callback or handler must not kill the
+            serve loop *)
+         try
+           match handler ~meth ~path ~body with
+           | Some r -> render r
+           | None -> (
+             match (meth, path) with
+             | "GET", "/metrics" ->
+               http_response ~status:"200 OK" ~content_type:openmetrics_type
+                 (metrics ())
+             | "GET", "/progress" ->
+               http_response ~status:"200 OK" ~content_type:"application/json"
+                 (Json.to_string_pretty (progress ()) ^ "\n")
+             | "GET", ("/healthz" | "/") ->
+               http_response ~status:"200 OK" ~content_type:"text/plain" "ok\n"
+             | "GET", _ ->
+               http_response ~status:"404 Not Found" ~content_type:"text/plain"
+                 (path ^ " not found; have /metrics /progress /healthz\n")
+             | _ ->
+               http_response ~status:"405 Method Not Allowed"
+                 ~content_type:"text/plain" "method not allowed\n")
+         with e ->
+           http_response ~status:"500 Internal Server Error"
+             ~content_type:"text/plain"
+             (Printexc.to_string e ^ "\n"))
+  in
+  (match reply with
+  | Some reply -> (
+    try ignore (Unix.write_substring fd reply 0 (String.length reply))
+    with _ -> ())
+  | None -> ());
+  (* shutdown acts on the socket itself, not this descriptor: the client
+     sees EOF even when a process forked mid-connection (the daemon's
+     job workers) still holds an inherited dup of the fd *)
+  (try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ());
   try Unix.close fd with _ -> ()
+
+let no_handler ~meth:_ ~path:_ ~body:_ = None
 
 (** Start serving on loopback:[port] (port 0 binds an ephemeral port —
     tests use it; the CLI validates user ports first with
     {!parse_port}).  Raises a typed {!Hb_error} when the port is
     already bound or cannot be opened. *)
-let start ?(port = 0) ~metrics ~progress () =
+let start ?(port = 0) ?(read_timeout_s = 5.) ?(max_request = 65536)
+    ?(handler = no_handler) ~metrics ~progress () =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt sock Unix.SO_REUSEADDR true;
@@ -128,7 +262,8 @@ let start ?(port = 0) ~metrics ~progress () =
       (fun () ->
         while not !stop_flag do
           match Unix.accept sock with
-          | fd, _ -> handle ~metrics ~progress fd
+          | fd, _ ->
+            handle ~read_timeout_s ~max_request ~handler ~metrics ~progress fd
           | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
             (* listener closed by [stop] *)
             stop_flag := true
@@ -139,6 +274,10 @@ let start ?(port = 0) ~metrics ~progress () =
   { sock; port = actual_port; thread; stop_flag }
 
 let port t = t.port
+
+(* Forked children inherit the listening socket; a worker that keeps it
+   open would hold the port after the daemon dies. *)
+let listen_fd t = t.sock
 
 (* Closing the listener bounces the blocked [accept], which sees the
    stop flag and exits; joining makes shutdown deterministic. *)

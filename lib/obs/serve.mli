@@ -1,9 +1,35 @@
-(** Live status endpoint: a tiny read-only HTTP server on a background
-    thread serving [GET /metrics] (OpenMetrics exposition), [/progress]
-    (live campaign JSON) and [/healthz].  Handlers only call the
+(** Live status endpoint: a tiny HTTP server on a background thread
+    serving [GET /metrics] (OpenMetrics exposition), [/progress] (live
+    campaign JSON) and [/healthz].  The built-in routes only call the
     snapshot callbacks the front end provided; nothing flows back into
     the simulation, so deterministic artifacts are byte-identical with
-    and without a server attached. *)
+    and without a server attached.  A front end that wants extra routes
+    (the hb_serve daemon) supplies a [handler] with first refusal on
+    every request.
+
+    Every connection reads under a per-connection timeout and a total
+    request size bound, so a stalled or hostile client cannot wedge the
+    accept loop: silent sockets get [408], oversized requests [413]. *)
+
+type response = {
+  status : string;  (** e.g. ["200 OK"] *)
+  content_type : string;
+  headers : (string * string) list;  (** extra headers, e.g. Retry-After *)
+  body : string;
+}
+
+type handler = meth:string -> path:string -> body:string -> response option
+(** Custom route hook: [Some response] claims the request, [None] falls
+    through to the built-in [GET /metrics], [/progress], [/healthz]
+    routes (and [404]/[405] otherwise). *)
+
+val response :
+  ?headers:(string * string) list ->
+  ?content_type:string ->
+  status:string ->
+  string ->
+  response
+(** Build a {!response}; [content_type] defaults to [text/plain]. *)
 
 type t
 
@@ -14,17 +40,27 @@ val parse_port : string -> int
 
 val start :
   ?port:int ->
+  ?read_timeout_s:float ->
+  ?max_request:int ->
+  ?handler:handler ->
   metrics:(unit -> string) ->
   progress:(unit -> Json.t) ->
   unit ->
   t
 (** Listen on loopback:[port] (default 0: an ephemeral port, for
     tests — the CLI validates user ports via {!parse_port} first) and
-    serve on a background thread.  Raises a typed {!Hb_error.Hb_error}
-    when the port is already bound or cannot be opened. *)
+    serve on a background thread.  [read_timeout_s] (default 5 s) bounds
+    each blocking read on a connection; [max_request] (default 64 KiB)
+    bounds the request head and body sizes.  Raises a typed
+    {!Hb_error.Hb_error} when the port is already bound or cannot be
+    opened. *)
 
 val port : t -> int
 (** The actually bound port (resolves an ephemeral request). *)
+
+val listen_fd : t -> Unix.file_descr
+(** The listening socket — forked children must close their inherited
+    copy or the port outlives the daemon. *)
 
 val stop : t -> unit
 (** Close the listener and join the serve thread. *)

@@ -1,0 +1,87 @@
+(** Bounded admission and pressure-driven degradation: the daemon sheds
+    load with typed [overloaded] responses and shrinks its worker pool
+    under memory pressure rather than OOMing mid-campaign; a failing
+    queue disk refuses new work outright because an un-journalable
+    submission cannot be acknowledged durably. *)
+
+type level = Normal | Shrink | Refuse
+
+let level_name = function
+  | Normal -> "normal"
+  | Shrink -> "shrink"
+  | Refuse -> "refuse"
+
+let level_rank = function Normal -> 0 | Shrink -> 1 | Refuse -> 2
+
+type config = {
+  max_queued : int;
+  max_per_tenant : int;
+  retry_after_s : float;
+  workers : int;
+  shrink_workers : int;
+  mem_soft_kb : int;
+  mem_hard_kb : int;
+}
+
+let default ~workers =
+  {
+    max_queued = 64;
+    max_per_tenant = 32;
+    retry_after_s = 2.;
+    workers;
+    shrink_workers = max 1 (workers / 2);
+    mem_soft_kb = 0;
+    mem_hard_kb = 0;
+  }
+
+type decision = Admit | Overloaded of string
+
+let decide cfg ~level ~queued ~tenant ~tenant_queued =
+  match level with
+  | Refuse ->
+    Overloaded "daemon is refusing new work under resource pressure"
+  | Normal | Shrink ->
+    if queued >= cfg.max_queued then
+      Overloaded
+        (Printf.sprintf "queue is full (%d jobs queued or running, bound %d)"
+           queued cfg.max_queued)
+    else if tenant_queued >= cfg.max_per_tenant then
+      Overloaded
+        (Printf.sprintf
+           "tenant %S is at its quota (%d jobs queued or running, bound %d)"
+           tenant tenant_queued cfg.max_per_tenant)
+    else Admit
+
+(* VmRSS (current resident set) rather than Host.peak_rss_kb's VmHWM:
+   pressure decisions need the live number, not the high-water mark. *)
+let rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec go () =
+          match input_line ic with
+          | exception End_of_file -> 0
+          | line ->
+            if String.length line > 6 && String.sub line 0 6 = "VmRSS:" then
+              let digits =
+                String.to_seq line
+                |> Seq.filter (fun c -> c >= '0' && c <= '9')
+                |> String.of_seq
+              in
+              match int_of_string_opt digits with Some n -> n | None -> 0
+            else go ()
+        in
+        go ())
+
+let probe cfg ~rss_kb ~disk_failing =
+  if disk_failing then Refuse
+  else if cfg.mem_hard_kb > 0 && rss_kb >= cfg.mem_hard_kb then Refuse
+  else if cfg.mem_soft_kb > 0 && rss_kb >= cfg.mem_soft_kb then Shrink
+  else Normal
+
+let workers_for cfg = function
+  | Normal -> cfg.workers
+  | Shrink | Refuse -> min cfg.workers cfg.shrink_workers

@@ -1,0 +1,54 @@
+(** Admission control and graceful degradation for the simulation
+    daemon.
+
+    Two jobs: keep the queue bounded (global depth plus a per-tenant
+    quota, so one tenant cannot starve the rest), and track a pressure
+    level that degrades service instead of falling over — [Shrink]
+    lowers the worker target under memory pressure, [Refuse] stops
+    admitting entirely (hard memory pressure or a failing queue disk)
+    while the status endpoints keep serving.  A refused submission is a
+    typed [overloaded] response with a retry-after hint, never a hang. *)
+
+type level = Normal | Shrink | Refuse
+
+val level_name : level -> string
+val level_rank : level -> int
+(** 0, 1, 2 — exported as the [hb_serve_level] gauge. *)
+
+type config = {
+  max_queued : int;  (** global bound on queued + running jobs *)
+  max_per_tenant : int;  (** per-tenant bound on queued + running jobs *)
+  retry_after_s : float;  (** hint attached to overloaded rejections *)
+  workers : int;  (** worker target under [Normal] *)
+  shrink_workers : int;  (** worker target under [Shrink]/[Refuse] *)
+  mem_soft_kb : int;  (** RSS above this degrades to [Shrink]; 0 = off *)
+  mem_hard_kb : int;  (** RSS above this degrades to [Refuse]; 0 = off *)
+}
+
+val default : workers:int -> config
+(** 64 queued, 32 per tenant, 2 s retry-after, [workers] normally and
+    [max 1 (workers/2)] under pressure, memory thresholds off. *)
+
+type decision = Admit | Overloaded of string
+
+val decide :
+  config -> level:level -> queued:int -> tenant:string -> tenant_queued:int ->
+  decision
+(** Admission verdict for one submission given current queue depth
+    (queued + running) and the submitting tenant's share.  [Overloaded]
+    carries the reason ([refusing under pressure] / [queue full] /
+    [tenant quota]). *)
+
+val rss_kb : unit -> int
+(** Current VmRSS of this process from [/proc/self/status]; 0 where
+    unavailable (then memory thresholds never trip — a gauge, never an
+    error). *)
+
+val probe : config -> rss_kb:int -> disk_failing:bool -> level
+(** The pressure level for a live RSS sample and the queue-journal disk
+    state.  A failing disk is always [Refuse]: accepting work we cannot
+    journal would break the durability acknowledgement. *)
+
+val workers_for : config -> level -> int
+(** Worker target at a pressure level ([Refuse] keeps the shrunk target
+    so already-admitted jobs still drain). *)

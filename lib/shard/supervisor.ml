@@ -17,6 +17,7 @@
 module Campaign = Hb_fault.Campaign
 module Outcome = Hb_fault.Outcome
 module Deadline = Hb_recover.Deadline
+module Interrupt = Hb_recover.Interrupt
 module Clock = Hb_obs.Clock
 module Progress = Hb_obs.Progress
 module Fleet = Hb_obs.Fleet
@@ -49,6 +50,23 @@ let default =
     log = None;
     fleet = false;
   }
+
+(** The respawn backoff schedule as a pure function: delay before
+    respawn attempt [restart] (1-based).  Exponential doubling from
+    [backoff_base_s], clamped at [backoff_cap_s] — deterministic,
+    monotone non-decreasing, and bounded, so a crash-looping worker can
+    never stampede the host, and tests can pin the exact schedule. *)
+let backoff_s (scfg : config) ~restart =
+  if restart <= 0 then 0.
+  else
+    Float.min scfg.backoff_cap_s
+      (scfg.backoff_base_s *. (2. ** float_of_int (restart - 1)))
+
+(** The full schedule a shard walks before its respawn budget is spent:
+    [[backoff_s ~restart:1; ...; backoff_s ~restart:max_worker_restarts]]. *)
+let backoff_schedule (scfg : config) =
+  List.init (max 0 scfg.max_worker_restarts) (fun i ->
+      backoff_s scfg ~restart:(i + 1))
 
 type state =
   | Running of {
@@ -138,10 +156,7 @@ let respawn_or_exhaust scfg ~deadline slot why =
   end
   else begin
     slot.restarts <- slot.restarts + 1;
-    let backoff =
-      Float.min scfg.backoff_cap_s
-        (scfg.backoff_base_s *. (2. ** float_of_int (slot.restarts - 1)))
-    in
+    let backoff = backoff_s scfg ~restart:slot.restarts in
     logf scfg "[shard] worker %d %s; respawn %d/%d in %.2fs" slot.shard why
       slot.restarts scfg.max_worker_restarts backoff;
     slot.state <-
@@ -293,9 +308,31 @@ let run ~mk ~(cfg : Campaign.config) ~golden ~base
     (fun (r : Campaign.record) -> Hashtbl.replace seen r.Campaign.idx ())
     extra;
   let polls = ref 0 in
+  (* Graceful SIGTERM/SIGINT: kill the running workers (their journals
+     keep the acknowledged prefix and stay resumable) and mark every
+     live slot partial, exactly as a deadline expiry would. *)
+  let interrupt_sweep () =
+    List.iter
+      (fun s ->
+        match s.state with
+        | Running r ->
+          logf scfg "[shard] interrupt (%s): killing worker %d pid %d"
+            (Interrupt.signal_name ()) s.shard r.pid;
+          Fleet.event ~kind:"interrupt_kill" ~shard:s.shard ~pid:r.pid
+            "shutdown requested";
+          sigkill r.pid;
+          s.state <- Partial;
+          set_row_state s "partial"
+        | Waiting _ | Exhausted ->
+          s.state <- Partial;
+          set_row_state s "partial"
+        | Done | Partial | Failed _ -> ())
+      slots
+  in
   let rec loop () =
     if List.for_all (fun s -> terminal s.state) slots then ()
     else begin
+      if Interrupt.requested () then interrupt_sweep ();
       List.iter (check scfg ~mk ~cfg ~golden ~deadline) slots;
       (* escalate a typed worker failure immediately: kill the survivors
          (their journals stay resumable) and surface the message *)

@@ -311,6 +311,110 @@ let test_serve_endpoints () =
         Alcotest.(check bool) "names the port" true
           (contains msg (string_of_int port)))
 
+(* The reader is bounded: a connected-but-silent client gets a typed 408
+   after the read timeout (the serve loop stays live for the next
+   client), an oversized request gets a typed 413, and a custom handler
+   hook takes precedence over the built-ins without shadowing them. *)
+let test_serve_bounded_reader () =
+  let metrics () = "" in
+  let progress () = Json.Obj [] in
+  let handler ~meth ~path ~body =
+    if meth = "POST" && path = "/echo" then
+      Some (Serve.response ~status:"200 OK" body)
+    else None
+  in
+  let srv =
+    Serve.start ~read_timeout_s:0.3 ~max_request:256 ~handler ~metrics
+      ~progress ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Serve.stop srv)
+    (fun () ->
+      let port = Serve.port srv in
+      (* connect and go silent: the server must answer 408, not hang *)
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+          let buf = Bytes.create 4096 in
+          let b = Buffer.create 256 in
+          (try
+             let rec loop () =
+               let n = Unix.read fd buf 0 (Bytes.length buf) in
+               if n > 0 then begin
+                 Buffer.add_subbytes b buf 0 n;
+                 loop ()
+               end
+             in
+             loop ()
+           with _ -> ());
+          let r = Buffer.contents b in
+          Alcotest.(check bool) "silent socket gets 408" true
+            (contains r "408 Request Timeout");
+          Alcotest.(check bool) "408 body explains the timeout" true
+            (contains r "read timeout"));
+      (* ... and the loop survives to serve the next client *)
+      let h = http_get port "/healthz" in
+      Alcotest.(check bool) "still serving after a timeout" true
+        (contains h "200 OK");
+      (* an oversized request is refused with a typed 413 *)
+      let big = http_get port ("/" ^ String.make 400 'x') in
+      Alcotest.(check bool) "oversized request gets 413" true
+        (contains big "413 Content Too Large");
+      Alcotest.(check bool) "still serving after a 413" true
+        (contains (http_get port "/healthz") "200 OK");
+      (* handler hook: takes POST /echo, defers everything else *)
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+          let req =
+            "POST /echo HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello"
+          in
+          ignore (Unix.write_substring fd req 0 (String.length req));
+          let b = Buffer.create 256 in
+          let buf = Bytes.create 4096 in
+          (try
+             let rec loop () =
+               let n = Unix.read fd buf 0 (Bytes.length buf) in
+               if n > 0 then begin
+                 Buffer.add_subbytes b buf 0 n;
+                 loop ()
+               end
+             in
+             loop ()
+           with _ -> ());
+          Alcotest.(check bool) "handler hook answers" true
+            (contains (Buffer.contents b) "hello"));
+      Alcotest.(check bool) "built-ins still reachable" true
+        (contains (http_get port "/healthz") "200 OK");
+      (* a non-GET with no handler match is a 405, not a hang *)
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+          let req =
+            "DELETE /metrics HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n"
+          in
+          ignore (Unix.write_substring fd req 0 (String.length req));
+          let b = Buffer.create 256 in
+          let buf = Bytes.create 4096 in
+          (try
+             let rec loop () =
+               let n = Unix.read fd buf 0 (Bytes.length buf) in
+               if n > 0 then begin
+                 Buffer.add_subbytes b buf 0 n;
+                 loop ()
+               end
+             in
+             loop ()
+           with _ -> ());
+          Alcotest.(check bool) "non-GET without handler is 405" true
+            (contains (Buffer.contents b) "405 Method Not Allowed")))
+
 (* ---- campaign byte-identity under the host plane ----------------------- *)
 
 let little_src =
@@ -390,6 +494,8 @@ let () =
         [
           tc "--serve port validation is typed" test_parse_port;
           tc "endpoints end-to-end on an ephemeral port" test_serve_endpoints;
+          tc "bounded reader: 408/413, handler hook, 405"
+            test_serve_bounded_reader;
         ] );
       ( "campaign",
         [

@@ -539,6 +539,40 @@ let test_deadline_partial_then_resume () =
     (report_string plain) (report_string resumed);
   Sys.remove path
 
+(* A SIGTERM/SIGINT (simulated — no kernel involved) winds the campaign
+   down through the deadline-partial path: the journal closes
+   well-formed and a resume finishes the remaining runs
+   byte-identically. *)
+let test_interrupt_partial_then_resume () =
+  let module Interrupt = Hb_recover.Interrupt in
+  let mk = maker () in
+  let plain = Campaign.run ~mk campaign_cfg in
+  let path = temp_path () in
+  Fun.protect ~finally:Interrupt.reset (fun () ->
+      (* interrupt mid-flight: the observe hook runs once per completed
+         record, so the flag flips deterministically after the 5th run *)
+      let seen = ref 0 in
+      let observe _ _ =
+        incr seen;
+        if !seen = 5 then Interrupt.simulate ()
+      in
+      let partial = Campaign.run ~journal:path ~observe ~mk campaign_cfg in
+      Alcotest.(check bool) "interrupt surfaces as the deadline flag" true
+        partial.Campaign.deadline_expired;
+      Alcotest.(check int) "stopped right after the interrupted run" 5
+        (List.length partial.Campaign.records);
+      Alcotest.(check string) "simulated signal is named" "SIGTERM"
+        (Interrupt.signal_name ());
+      (* the exit code the CLIs use for this state is distinct *)
+      Alcotest.(check bool) "distinct exit code" true
+        (not (List.mem Interrupt.exit_code [ 0; 1; 2; 3; 4; 5 ])));
+  Alcotest.(check bool) "reset clears the flag" false (Interrupt.requested ());
+  (* with the flag cleared, the journal resumes to completion *)
+  let resumed = Campaign.run ~resume:path ~mk campaign_cfg in
+  Alcotest.(check string) "resume after interrupt is byte-identical"
+    (report_string plain) (report_string resumed);
+  Sys.remove path
+
 let test_recovery_policy_campaign () =
   let mk = maker () in
   let cfg =
@@ -632,6 +666,8 @@ let () =
           Alcotest.test_case "sigkill-resume" `Slow test_sigkill_resume;
           Alcotest.test_case "deadline" `Quick
             test_deadline_partial_then_resume;
+          Alcotest.test_case "interrupt" `Quick
+            test_interrupt_partial_then_resume;
           Alcotest.test_case "recovery-policy" `Quick
             test_recovery_policy_campaign;
         ] );

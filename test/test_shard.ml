@@ -439,10 +439,57 @@ let test_journal_resume_exclusive () =
    | exception Hb_error.Hb_error _ -> ());
   cleanup ~base ~jobs:2
 
+(* Respawn backoff is a pure function of (config, restart ordinal):
+   deterministic, monotone non-decreasing, and capped — and the cap must
+   be reachable inside the restart budget, or it is dead configuration. *)
+let test_backoff_schedule () =
+  let scfg =
+    { Supervisor.default with
+      Supervisor.backoff_base_s = 0.25;
+      backoff_cap_s = 2.0;
+      max_worker_restarts = 8 }
+  in
+  (* deterministic: same inputs, same delays *)
+  Alcotest.(check (list (float 1e-9)))
+    "pure function of the restart ordinal"
+    (Supervisor.backoff_schedule scfg)
+    (Supervisor.backoff_schedule scfg);
+  let sched = Supervisor.backoff_schedule scfg in
+  Alcotest.(check int) "one delay per allowed restart" 8 (List.length sched);
+  Alcotest.(check (list (float 1e-9)))
+    "doubles from the base, then saturates at the cap"
+    [ 0.25; 0.5; 1.0; 2.0; 2.0; 2.0; 2.0; 2.0 ]
+    sched;
+  (* monotone non-decreasing *)
+  ignore
+    (List.fold_left
+       (fun prev d ->
+         Alcotest.(check bool) "monotone" true (d >= prev);
+         d)
+       0. sched);
+  (* the cap is reached strictly before the budget poisons the shard *)
+  let hits_cap =
+    List.filteri (fun i d -> i < 7 && d >= scfg.Supervisor.backoff_cap_s) sched
+  in
+  Alcotest.(check bool) "cap reached before the restart budget" true
+    (hits_cap <> []);
+  (* restart 0 (first spawn) waits nothing; negatives are clamped *)
+  Alcotest.(check (float 1e-9)) "no delay before the first spawn" 0.
+    (Supervisor.backoff_s scfg ~restart:0);
+  Alcotest.(check (float 1e-9)) "negative ordinal clamps to zero" 0.
+    (Supervisor.backoff_s scfg ~restart:(-3));
+  (* the stock config's schedule, pinned: a change must be deliberate *)
+  Alcotest.(check (list (float 1e-9)))
+    "default schedule" [ 0.25; 0.5; 1.0 ]
+    (Supervisor.backoff_schedule Supervisor.default)
+
 let () =
   Alcotest.run "shard"
     [
       ("partition", [ Alcotest.test_case "algebra" `Quick test_partition ]);
+      ( "backoff",
+        [ Alcotest.test_case "deterministic-monotone-capped" `Quick
+            test_backoff_schedule ] );
       ( "identity",
         [
           Alcotest.test_case "jobs-1" `Quick test_jobs1_identical;
