@@ -221,7 +221,7 @@ let retry_or_poison t (job : Queue.job) reason =
     let b = backoff_s t ~attempt:job.Queue.attempts in
     logf t "[serve] job j%d requeued (%s); attempt %d/%d, backoff %.2fs"
       job.Queue.id reason job.Queue.attempts t.cfg.max_attempts b;
-    Queue.mark_requeue t.q job ~reason
+    Queue.mark_requeue t.q job ~backoff_s:b ~reason
       ~not_before_ns:(Int64.add (Clock.now_ns ()) (Clock.ns_of_s b))
   end
 
@@ -307,6 +307,13 @@ let spawn t (job : Queue.job) =
     flush stdout;
     flush stderr;
     (match Unix.fork () with
+    | exception Unix.Unix_error (err, _, _) ->
+      (* mark_start already journaled the attempt; a swallowed fork
+         failure (e.g. EAGAIN) would strand the job Running-but-untracked
+         until a restart replays the journal — requeue it with backoff so
+         it stays schedulable in this daemon's lifetime *)
+      retry_or_poison t job
+        (Printf.sprintf "fork failed: %s" (Unix.error_message err))
     | 0 -> child_run t job ~attempt ~image ~globals
     | pid ->
       logf t "[serve] job j%d pid %d spawned (attempt %d/%d)" job.Queue.id
@@ -456,7 +463,8 @@ let submit_handler t body =
                        Json.String
                          (Printf.sprintf "/jobs/j%d" job.Queue.id) );
                    ])
-            | exception (Hb_error.Hb_error _ | Sys_error _) ->
+            | exception (Hb_error.Hb_error _ | Sys_error _
+                        | Unix.Unix_error _) ->
               (* a submit we could not journal was never acknowledged;
                  flag the disk so the probe degrades to Refuse *)
               t.disk_failing <- true;
@@ -490,28 +498,49 @@ let handler t ~meth ~path ~body =
       && String.sub path (String.length path - 7) 7 = "/report"
     in
     Mutex.lock t.mu;
-    let job = Queue.find t.q id in
-    let reply =
-      match (meth_, job) with
-      | _, None -> not_found (Printf.sprintf "no job j%d" id)
-      | "GET", Some job when want_report -> (
-        match job.Queue.state with
-        | Queue.Done ->
-          Serve.response ~status:"200 OK" ~content_type:"application/json"
-            (read_file (report_path t job))
-        | st ->
-          json_response ~status:"409 Conflict"
-            (Json.Obj
-               [
-                 ("error", Json.String "not_ready");
-                 ("state", Json.String (Queue.state_name st));
-               ]))
-      | "GET", Some job -> json_response (job_json t job)
-      | _, Some _ ->
-        Serve.response ~status:"405 Method Not Allowed" "method not allowed\n"
-    in
-    Mutex.unlock t.mu;
-    Some reply)
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.mu)
+      (fun () ->
+        let reply =
+          match (meth_, Queue.find t.q id) with
+          | _, None -> not_found (Printf.sprintf "no job j%d" id)
+          | "GET", Some job when want_report -> (
+            match job.Queue.state with
+            | Queue.Done -> (
+              (* a Done job can lack its report file: mark_done is
+                 journaled, but the report rename is not
+                 directory-fsynced, so an OS crash (or a manual
+                 deletion) can lose it — answer typed rather than let
+                 the exception escape *)
+              match read_file (report_path t job) with
+              | body ->
+                Serve.response ~status:"200 OK"
+                  ~content_type:"application/json" body
+              | exception Sys_error _ ->
+                json_response ~status:"500 Internal Server Error"
+                  (Json.Obj
+                     [
+                       ("error", Json.String "report_missing");
+                       ( "message",
+                         Json.String
+                           (Printf.sprintf
+                              "job j%d is done but its report file is \
+                               missing"
+                              id) );
+                     ]))
+            | st ->
+              json_response ~status:"409 Conflict"
+                (Json.Obj
+                   [
+                     ("error", Json.String "not_ready");
+                     ("state", Json.String (Queue.state_name st));
+                   ]))
+          | "GET", Some job -> json_response (job_json t job)
+          | _, Some _ ->
+            Serve.response ~status:"405 Method Not Allowed"
+              "method not allowed\n"
+        in
+        Some reply))
   | _ -> None
 
 let metrics t () =

@@ -8,6 +8,7 @@
     {!Hb_recover.Journal.append_to} before the writer reattaches. *)
 
 module Json = Hb_obs.Json
+module Clock = Hb_obs.Clock
 module Journal = Hb_recover.Journal
 
 type state =
@@ -110,7 +111,21 @@ let replay t path j =
   | Some "requeue" ->
     let job = require t path (int_field path j "job") in
     job.state <- Queued;
-    job.note <- str_field path j "reason"
+    job.note <- str_field path j "reason";
+    (* re-apply the journaled backoff delay from replay time: a restart
+       must not turn a crash-looping job's gate into an immediate retry
+       stampede (absolute deadlines are monotonic-clock values, so only
+       the relative delay is meaningful across processes) *)
+    let backoff_s =
+      match Json.member "backoff_s" j with
+      | Some (Json.Float f) -> f
+      | Some (Json.Int n) -> float_of_int n
+      | _ -> 0.
+    in
+    job.not_before_ns <-
+      (if backoff_s > 0. then
+         Int64.add (Clock.now_ns ()) (Clock.ns_of_s backoff_s)
+       else 0L)
   | Some "done" ->
     let job = require t path (int_field path j "job") in
     job.state <- Done
@@ -209,8 +224,13 @@ let submit t ~spec =
       note = "";
     }
   in
-  (* journal first — the fsync'd submit record is the acknowledgement —
-     then index and create the artifact directory *)
+  (* artifact directory first: a mkdir that fails after the fsync'd
+     submit record would leave a durably acknowledged job behind a 500,
+     inviting a duplicate resubmit.  An orphan directory from a crash
+     before the journal write is harmless (mkdir_p tolerates it on the
+     retry).  Then journal — the fsync'd record is the acknowledgement —
+     and index. *)
+  mkdir_p (job_dir t id);
   append t
     (Json.Obj
        [
@@ -219,7 +239,6 @@ let submit t ~spec =
          ("spec", Proto.spec_to_json spec);
        ]);
   Hashtbl.replace t.jobs id job;
-  mkdir_p (job_dir t id);
   job
 
 let jobs t =
@@ -273,7 +292,7 @@ let mark_start t job ~pid =
        ]);
   job.state <- Running pid
 
-let mark_requeue t job ~reason ~not_before_ns =
+let mark_requeue t ?(backoff_s = 0.) job ~reason ~not_before_ns =
   append t
     (Json.Obj
        [
@@ -281,6 +300,7 @@ let mark_requeue t job ~reason ~not_before_ns =
          ("job", Json.Int job.id);
          ("attempt", Json.Int job.attempts);
          ("reason", Json.String reason);
+         ("backoff_s", Json.Float backoff_s);
        ]);
   job.state <- Queued;
   job.note <- reason;

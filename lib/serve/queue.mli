@@ -52,9 +52,11 @@ val job_dir : t -> int -> string
 (** [dir/jobs/jN] — the job's campaign journal and report live here. *)
 
 val submit : t -> spec:Proto.spec -> job
-(** Admit a job: assign the next id, journal the submit record (fsync —
-    this is the durability acknowledgement), create its artifact
-    directory. *)
+(** Admit a job: assign the next id, create its artifact directory, then
+    journal the submit record (fsync — this is the durability
+    acknowledgement).  The directory comes first so any failure raises
+    before the job is durably acknowledged — a submit that raises was
+    never admitted. *)
 
 val find : t -> int -> job option
 val jobs : t -> job list
@@ -69,7 +71,14 @@ val next_eligible : t -> now_ns:int64 -> job option
 val mark_start : t -> job -> pid:int -> unit
 (** Journal the start of the next attempt ([attempts] increments). *)
 
-val mark_requeue : t -> job -> reason:string -> not_before_ns:int64 -> unit
+val mark_requeue :
+  t -> ?backoff_s:float -> job -> reason:string -> not_before_ns:int64 -> unit
+(** Re-admit a job as queued behind the [not_before_ns] backoff gate.
+    [backoff_s] (default 0) is the relative delay journaled with the
+    record: replay re-applies it from restart time, so a daemon restart
+    does not collapse a crash-looping job's gate into an immediate
+    retry. *)
+
 val mark_done : t -> job -> unit
 val mark_poisoned : t -> job -> reason:string -> unit
 val mark_failed : t -> job -> error:string -> unit

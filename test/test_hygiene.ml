@@ -42,6 +42,10 @@ let clock_consumers =
        decisions about host worker processes, exactly like the shard
        supervisor's; job reports stay deterministic *)
     "daemon.ml";
+    (* queue replay re-applies a journaled requeue's backoff delay from
+       restart time — the same host-scheduling decision as the daemon's
+       gate, persisted; it never touches simulated state *)
+    "queue.ml";
   ]
 
 let read_file path =

@@ -303,7 +303,26 @@ let test_queue_fairness_and_backoff () =
      | Some j -> j.Queue.id = 5
      | None -> false);
   Alcotest.(check string) "requeue reason recorded" "crash" j5.Queue.note;
-  Queue.close q
+  (* the backoff gate survives a restart: the journaled delay is
+     re-applied from replay time, so a crash-looping job cannot retry
+     immediately against a freshly restarted daemon *)
+  Queue.mark_requeue q j5 ~backoff_s:30. ~reason:"crash loop"
+    ~not_before_ns:(Int64.add (Clock.now_ns ()) (Clock.ns_of_s 30.));
+  Queue.close q;
+  let q' = Queue.open_ ~dir in
+  let j5' = Option.get (Queue.find q' 5) in
+  Alcotest.(check bool) "replayed gate is in the future" true
+    (j5'.Queue.not_before_ns > Clock.now_ns ());
+  Alcotest.(check bool) "inside replayed backoff: ineligible" true
+    (Queue.next_eligible q' ~now_ns:(Clock.now_ns ()) = None);
+  Alcotest.(check bool) "past replayed backoff: eligible again" true
+    (match
+       Queue.next_eligible q'
+         ~now_ns:(Int64.add (Clock.now_ns ()) (Clock.ns_of_s 60.))
+     with
+     | Some j -> j.Queue.id = 5
+     | None -> false);
+  Queue.close q'
 
 (* ---- admission -------------------------------------------------------- *)
 
@@ -456,7 +475,21 @@ let test_daemon_end_to_end () =
            (http port ~meth:"GET" ~path:"/jobs/j9" ()));
       Alcotest.(check bool) "bad spec 400" true
         (contains ~needle:"400"
-           (http port ~meth:"POST" ~path:"/jobs" ~body:"{nope" ())))
+           (http port ~meth:"POST" ~path:"/jobs" ~body:"{nope" ()));
+      (* a Done job whose report file vanished (crash before the rename
+         was directory-durable, manual deletion) is typed too — and must
+         not wedge the daemon's mutex: the planes stay live after *)
+      Sys.remove
+        (Filename.concat (Queue.job_dir (Daemon.queue d) 1) "report.json");
+      let r = http port ~meth:"GET" ~path:"/jobs/j1/report" () in
+      Alcotest.(check bool) "missing report is a typed 500" true
+        (contains ~needle:{|"error": "report_missing"|} r);
+      Alcotest.(check bool) "daemon still answers status" true
+        (contains ~needle:{|"state": "done"|}
+           (http port ~meth:"GET" ~path:"/jobs/j1" ()));
+      Alcotest.(check bool) "metrics still served" true
+        (contains ~needle:"hb_serve_up"
+           (http port ~meth:"GET" ~path:"/metrics" ())))
 
 let test_daemon_crash_restart_exactly_once () =
   let dir = temp_dir () in
